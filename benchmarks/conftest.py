@@ -1,0 +1,18 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures end to end
+(pytest-benchmark measures the harness runtime; the regenerated rows are
+printed so the run doubles as the reproduction log).
+
+Set ``REPRO_FULL=1`` to run the paper-scale sweeps instead of the
+3-point quick sweeps.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return os.environ.get("REPRO_FULL", "0") != "1"

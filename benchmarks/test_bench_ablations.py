@@ -1,0 +1,31 @@
+"""Benchmarks: design-choice ablations from DESIGN.md."""
+
+from repro.experiments import ablations
+
+
+def test_bench_ablation_mapping(benchmark, quick):
+    result = benchmark.pedantic(
+        ablations.run_mapping, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # model-vs-runtime discrepancies allow tiny losses on single cases;
+    # across the case set the ILP must not lose ground
+    assert result.summary["geomean ILP advantage over round-robin"] >= 0.95
+
+
+def test_bench_ablation_phases(benchmark, quick):
+    result = benchmark.pedantic(
+        ablations.run_phases, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+
+def test_bench_ablation_comm(benchmark, quick):
+    result = benchmark.pedantic(
+        ablations.run_comm, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.summary["geomean gain from comm-awareness"] >= 1.0

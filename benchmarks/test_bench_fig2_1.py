@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 2.1's background comparison."""
+
+from repro.experiments import fig2_1
+
+
+def test_bench_fig2_1(benchmark, quick):
+    result = benchmark.pedantic(
+        fig2_1.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.summary["geomean fused gain while the graph fits SM"] > 1.0
+    assert result.summary["our multi-partition flow >= per-filter everywhere"]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 3.2 (pipeline vs split SM behaviour)."""
+
+from repro.experiments import fig3_2
+
+
+def test_bench_fig3_2(benchmark, quick):
+    result = benchmark.pedantic(
+        fig3_2.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.summary["split/pipeline live-peak ratio grows with width"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 4.1 (performance-model validation)."""
+
+from repro.experiments import fig4_1
+
+
+def test_bench_fig4_1(benchmark, quick):
+    result = benchmark.pedantic(
+        fig4_1.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.summary["overall R^2 (paper: 0.972)"] > 0.9
+    assert result.summary["total partitions validated"] >= 50

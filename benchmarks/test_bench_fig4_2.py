@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 4.2 (multi-GPU scalability)."""
+
+from repro.experiments import fig4_2
+
+
+def test_bench_fig4_2(benchmark, quick):
+    result = benchmark.pedantic(
+        fig4_2.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # the headline shape: large-N 4-GPU speedups well above 2x on average
+    four = result.summary.get("avg final-N speedup, 4 GPUs", "0")
+    assert float(str(four).split()[0]) > 2.0

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 4.3 (SOSP vs the previous work)."""
+
+from repro.experiments import fig4_3
+
+
+def test_bench_fig4_3(benchmark, quick):
+    result = benchmark.pedantic(
+        fig4_3.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # ours should beat [7] in the clear majority of cases
+    wins, total = (
+        int(v) for v in str(
+            result.summary["cases where ours beats previous"]
+        ).split(" / ")
+    )
+    assert wins > total / 2

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 4.4 (SOSP cross-GPU validity)."""
+
+from repro.experiments import fig4_4
+
+
+def test_bench_fig4_4(benchmark, quick):
+    result = benchmark.pedantic(
+        fig4_4.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    bound = result.summary["theoretical bound (paper: 12%)"]
+    assert abs(bound - 0.12) < 0.02  # the paper's 12% derivation
+    # the paper's claim holds for the software it argues about
+    within, total = (
+        int(v)
+        for v in str(
+            result.summary["previous-work software within bound (paper's claim)"]
+        ).split(" / ")
+    )
+    assert within == total

@@ -1,0 +1,41 @@
+"""Benchmark: ILP solve time across problem sizes.
+
+The paper reports that "the multi-GPU mapping step took no more than 10
+seconds at most with a modern ILP solver".  This benchmark measures our
+HiGHS-backed solver on the real mapping problems of increasing size
+(partition counts up to DES N=32's ~200).
+"""
+
+import pytest
+
+from repro.apps.registry import build_app
+from repro.mapping.problem import build_mapping_problem
+from repro.mapping.solver_milp import solve_milp
+from repro.partition.heuristic import partition_stream_graph
+from repro.partition.pdg import build_pdg
+from repro.perf.engine import PerformanceEstimationEngine
+
+
+def _problem(app, n, gpus=4):
+    graph = build_app(app, n)
+    engine = PerformanceEstimationEngine(graph)
+    partitioning = partition_stream_graph(graph, engine=engine)
+    pdg = build_pdg(graph, partitioning.partitions, engine,
+                    estimates=partitioning.estimates)
+    return build_mapping_problem(pdg, gpus)
+
+
+@pytest.mark.parametrize(
+    "app,n",
+    [("MatMul2", 6), ("DCT", 18), ("Bitonic", 32), ("DES", 20)],
+    ids=["P~10", "P~44", "P~90", "P~133"],
+)
+def test_bench_milp_solve(benchmark, app, n):
+    problem = _problem(app, n)
+    result = benchmark.pedantic(
+        solve_milp, args=(problem,), rounds=1, iterations=1
+    )
+    print(f"\n{app} N={n}: {problem.num_partitions} partitions, "
+          f"tmax={result.tmax / 1e3:.1f} us, solver={result.solver}, "
+          f"optimal={result.optimal}")
+    assert result.tmax > 0

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 5.1 (splitter/joiner elimination)."""
+
+from repro.experiments import table5_1
+
+
+def test_bench_table5_1(benchmark, quick):
+    result = benchmark.pedantic(
+        table5_1.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.summary["all cases improved"]
+    assert result.summary["Bitonic gains exceed FFT gains (paper: yes)"]

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Validating the performance model on one application (mini Figure 4.1).
+
+Fits the transfer constants C1/C2 by regression against the simulator
+(Section 4.0.1 finds 38.4 and 11.2), then predicts every partition the
+heuristic selects for Bitonic and compares against "measured" kernel
+times, reporting the correlation.
+"""
+
+from repro.apps import build_app
+from repro.metrics.stats import r_squared
+from repro.partition.heuristic import partition_stream_graph
+from repro.perf.engine import PerformanceEstimationEngine
+from repro.perf.regression import fit_transfer_constants
+
+
+def main() -> None:
+    report = fit_transfer_constants()
+    print("transfer-constant regression (paper: C1=38.4, C2=11.2):")
+    print(f"  C1={report.c1:.1f}  C2={report.c2:.1f}  "
+          f"R^2={report.r_squared:.3f}  ({report.samples} probe kernels)")
+
+    predicted, measured = [], []
+    for n in (16, 32, 64):
+        graph = build_app("Bitonic", n)
+        engine = PerformanceEstimationEngine(graph)
+        partitions = partition_stream_graph(graph, engine=engine).partitions
+        for members in partitions:
+            estimate = engine.estimate(members)
+            measurement = engine.measure(members)
+            predicted.append(estimate.estimate.t_exec)
+            measured.append(measurement.t_exec)
+
+    print(f"\nBitonic partitions validated: {len(predicted)}")
+    print(f"prediction R^2 (paper reports 0.972 suite-wide): "
+          f"{r_squared(predicted, measured):.3f}")
+    worst = max(
+        (m / p, p, m) for p, m in zip(predicted, measured)
+    )
+    print(f"worst underprediction: measured/predicted = {worst[0]:.2f} "
+          f"(the paper attributes such outliers to SM bank conflicts)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Classic setup shim.
+
+The reproduction environment has no network and no `wheel` package, so
+PEP 660 editable installs (`pip install -e .`) cannot build a wheel.  This
+shim lets `python setup.py develop` (and `pip install -e .` on machines
+that do have `wheel`) work from the same pyproject metadata.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""Communication-aware mapping of stream graphs for multi-GPU platforms.
+
+A reproduction of the CGO 2016 line of work by Nguyen & Lee: a compile
+flow that partitions StreamIt-style stream graphs and maps the partitions
+onto multi-GPU machines with an ILP that balances computation *and*
+PCIe-link communication, validated end to end on a calibrated simulator.
+
+Typical entry points::
+
+    from repro import build_app, map_stream_graph
+
+    graph = build_app("DES", 16)
+    result = map_stream_graph(graph, num_gpus=4)
+    print(result.mapping.assignment, result.report.throughput)
+
+See :mod:`repro.flow` for the pipeline facade, :mod:`repro.experiments`
+for the paper's tables/figures, and ``repro-map`` / ``repro-experiments``
+for the command-line tools.
+"""
+
+from repro.apps import build_app
+from repro.flow import FlowResult, map_stream_graph
+from repro.frontend import compile_stream, parse_stream
+from repro.graph import (
+    Channel,
+    FilterNode,
+    FilterRole,
+    FilterSpec,
+    StreamGraph,
+    flatten,
+)
+from repro.gpu import (
+    C2070,
+    M2090,
+    GpuSpec,
+    GpuTopology,
+    KernelConfig,
+    KernelSimulator,
+    default_topology,
+)
+from repro.perf import PerformanceEstimationEngine
+from repro.partition import partition_stream_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "C2070",
+    "Channel",
+    "FilterNode",
+    "FilterRole",
+    "FilterSpec",
+    "FlowResult",
+    "GpuSpec",
+    "GpuTopology",
+    "KernelConfig",
+    "KernelSimulator",
+    "M2090",
+    "PerformanceEstimationEngine",
+    "StreamGraph",
+    "__version__",
+    "build_app",
+    "compile_stream",
+    "default_topology",
+    "flatten",
+    "map_stream_graph",
+    "parse_stream",
+    "partition_stream_graph",
+]

@@ -1,0 +1,28 @@
+"""The StreamIt benchmark suite used in the paper's evaluation.
+
+Eight applications, the same set as the previous work [7] (Section 4.0.1),
+each parameterized by the size knob ``N`` shown on the x-axes of
+Figures 4.2/4.3:
+
+========== ============================ =========================
+app        N meaning                    paper classification
+========== ============================ =========================
+DES        cipher rounds                compute-bound
+FMRadio    equalizer bands              compute-bound
+FFT        transform size               compute-bound
+DCT        2D block edge                compute-bound
+MatMul2    blocks per matrix dimension  compute-bound
+MatMul3    blocks per matrix dimension  memory-bound
+BitonicRec sort keys (recursive form)   memory-bound
+Bitonic    sort keys (iterative form)   memory-bound
+========== ============================ =========================
+
+The generators mirror the published StreamIt program structures (pipelines
+of rounds, butterfly split-joins, comparator stages, ...) with abstract
+per-filter work chosen so the compute/memory-bound split above emerges in
+the cost model.  See :mod:`repro.apps.registry` for the catalogue.
+"""
+
+from repro.apps.registry import APPS, AppInfo, build_app, paper_n_values
+
+__all__ = ["APPS", "AppInfo", "build_app", "paper_n_values"]

@@ -1,0 +1,130 @@
+"""Bitonic sorting networks (StreamIt benchmarks Bitonic / BitonicRec).
+
+Both sort ``n`` keys with compare-exchange stages; both are memory-bound
+(a comparator does ~3 ops per key it moves) and extremely splitter/joiner
+rich — the motivating workloads for the Chapter V elimination.
+
+``Bitonic`` is the iterative network: ``k(k+1)/2`` stages (k = log2 n),
+each a split-join of comparator lanes.
+
+``BitonicRec`` is the recursive formulation: sort(n) = two half sorts
+inside a split-join followed by merge(n), with merge recursing the same
+way — a deeper, nested split-join structure (even more movers per key).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.filters import FilterSpec, sink, source
+from repro.graph.flatten import flatten
+from repro.graph.stream_graph import StreamGraph
+from repro.graph.structure import (
+    Filt,
+    join_roundrobin,
+    pipeline,
+    roundrobin,
+    splitjoin,
+)
+
+#: maximum comparator lanes per stage (grouping keeps node counts sane
+#: while preserving the splitjoin-per-stage structure)
+MAX_LANES = 4
+#: independent sort instances batched per execution (vectorization)
+BATCH = 8
+
+
+def _stage(tag: str, n: int):
+    lanes = min(MAX_LANES, max(1, n // 2))
+    per_lane = BATCH * n // lanes
+    lane_filters = [
+        FilterSpec(
+            name=f"{tag}.cmp{i}",
+            pop=per_lane,
+            push=per_lane,
+            # well under one op per key moved (a compare-exchange is one
+            # predicated min/max pair over two keys): comparators move far
+            # more than they compute, which is what makes bitonic IO-bound
+            # and lets phase 3 merge its stages into a handful of
+            # partitions
+            work=0.75 * per_lane,
+            semantics="sort2",
+        )
+        for i in range(lanes)
+    ]
+    if lanes == 1:
+        return Filt(lane_filters[0])
+    return splitjoin(
+        roundrobin(*([per_lane] * lanes)),
+        lane_filters,
+        join_roundrobin(*([per_lane] * lanes)),
+        name=f"{tag}.sj",
+    )
+
+
+def build_bitonic(n: int) -> StreamGraph:
+    """Iterative bitonic sort of ``n`` keys (paper sweeps n = 2..64)."""
+    if n < 2 or n & (n - 1):
+        raise ValueError("bitonic size must be a power of two >= 2")
+    k = int(math.log2(n))
+    stages = []
+    for phase in range(1, k + 1):
+        for depth in range(phase):
+            stages.append(_stage(f"p{phase}d{depth}", n))
+    root = pipeline(
+        source("src", n, work=n),
+        *stages,
+        sink("snk", n, work=n),
+        name="bitonic",
+    )
+    return flatten(root, f"bitonic-n{n}")
+
+
+#: recursion cutoff: sizes at or below this become a single leaf filter
+_LEAF = 8
+
+
+def _merge(tag: str, n: int):
+    head = _stage(f"{tag}.x", n)
+    if n <= _LEAF:
+        return head
+    half = n // 2
+    rec = splitjoin(
+        roundrobin(half, half),
+        [_merge(f"{tag}.lo", half), _merge(f"{tag}.hi", half)],
+        join_roundrobin(half, half),
+        name=f"{tag}.rec",
+    )
+    return pipeline(head, rec, name=f"{tag}.merge")
+
+
+def _sort(tag: str, n: int):
+    if n <= _LEAF:
+        return Filt(
+            FilterSpec(
+                name=f"{tag}.leafsort", pop=n, push=n,
+                work=0.75 * n * max(1, int(math.log2(max(n, 2)))),
+                semantics="sort2",
+            )
+        )
+    half = n // 2
+    halves = splitjoin(
+        roundrobin(half, half),
+        [_sort(f"{tag}.asc", half), _sort(f"{tag}.desc", half)],
+        join_roundrobin(half, half),
+        name=f"{tag}.halves",
+    )
+    return pipeline(halves, _merge(tag, n), name=f"{tag}.sort")
+
+
+def build_bitonic_rec(n: int) -> StreamGraph:
+    """Recursive bitonic sort of ``n`` keys (paper sweeps n = 2..64)."""
+    if n < 2 or n & (n - 1):
+        raise ValueError("bitonic size must be a power of two >= 2")
+    root = pipeline(
+        source("src", n, work=n),
+        _sort("s", n),
+        sink("snk", n, work=n),
+        name="bitonic-rec",
+    )
+    return flatten(root, f"bitonicrec-n{n}")

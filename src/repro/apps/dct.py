@@ -1,0 +1,59 @@
+"""2D DCT on ``n`` x ``n`` blocks (StreamIt benchmark).
+
+Separable implementation: a split-join of ``n`` row 1D-DCTs, a transpose,
+and a split-join of ``n`` column 1D-DCTs.  Each 1D DCT is O(n^2) flops on
+n points, so the app is strongly compute-bound and its per-round fan-out
+width grows with n — the paper's most partition-hungry benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.graph.filters import FilterSpec, sink, source
+from repro.graph.flatten import flatten
+from repro.graph.stream_graph import StreamGraph
+from repro.graph.structure import join_roundrobin, pipeline, roundrobin, splitjoin
+
+
+def _lane(kind: str, index: int, n: int):
+    """One 1D-DCT lane: O(n^2) flops on an n-point row/column.
+
+    Lanes have tiny buffers (large W) while the pass splitter/joiner
+    stage the whole n x n block (small W); Try-Merge therefore refuses
+    to pull lanes into the mover partitions — which is how the paper's
+    DCT ends up with roughly 2n partitions.
+    """
+    return FilterSpec(
+        name=f"{kind}{index}.dct1d",
+        pop=n,
+        push=n,
+        work=4.0 * n * n,
+        semantics="opaque",
+    )
+
+
+def _pass(kind: str, n: int):
+    return splitjoin(
+        roundrobin(*([n] * n)),
+        [_lane(kind, i, n) for i in range(n)],
+        join_roundrobin(*([n] * n)),
+        name=f"{kind}pass",
+    )
+
+
+def build(n: int) -> StreamGraph:
+    """2D DCT with block edge ``n`` (paper sweeps n = 2..30)."""
+    if n < 2:
+        raise ValueError("DCT block edge must be >= 2")
+    block = n * n
+    root = pipeline(
+        source("src", block, work=block),
+        _pass("row", n),
+        FilterSpec(name="transpose", pop=block, push=block, work=1.0 * block,
+                   semantics="shuffle"),
+        _pass("col", n),
+        FilterSpec(name="scale", pop=block, push=block, work=2.0 * block,
+                   semantics="scale", params=(0.25,)),
+        sink("snk", block, work=block),
+        name="dct2d",
+    )
+    return flatten(root, f"dct-n{n}")

@@ -1,0 +1,104 @@
+"""DES block cipher (StreamIt benchmark).
+
+``n`` Feistel rounds over 64-bit blocks (one stream element = one bit
+word here).  Each round splits the block into left/right halves, runs the
+right half through expand -> key-xor -> S-boxes -> P-box, then crosses and
+xors the halves.  S-boxes dominate the work: DES is firmly compute-bound,
+and its rounds are deep pipelines — the best case for partition phase 1.
+"""
+
+from __future__ import annotations
+
+from repro.graph.filters import FilterSpec, sink, source
+from repro.graph.flatten import flatten
+from repro.graph.stream_graph import StreamGraph
+from repro.graph.structure import (
+    join_roundrobin,
+    pipeline,
+    roundrobin,
+    splitjoin,
+)
+
+#: streamed words per cipher block-batch; sized so one round's buffers are
+#: a meaningful fraction of the 48 KB shared memory (a round partition
+#: runs at W ~ 2 and merging two rounds would halve W — the force that
+#: keeps compute-bound rounds in separate partitions, Section 4.0.3)
+BLOCK = 512
+HALF = BLOCK // 2
+EXPANDED = 3 * BLOCK // 4
+
+
+def _round(index: int):
+    # Fine-grained (few-word) firings mirror StreamIt's bit-level DES:
+    # firing rates range from 64 to 384, so the kernel-parameter search
+    # has a real S knob and the paper's thread-sharing tension appears.
+    right_path = pipeline(
+        FilterSpec(
+            name=f"r{index}.expand",
+            pop=4,
+            push=6,
+            work=48.0,
+            semantics="shuffle",
+        ),
+        FilterSpec(
+            name=f"r{index}.keyxor",
+            pop=2,
+            push=2,
+            work=24.0,
+            semantics="xor_const",
+            params=(0x3F ^ index,),
+        ),
+        FilterSpec(
+            name=f"r{index}.sbox",
+            pop=6,
+            push=4,
+            work=720.0,  # table lookups dominate DES
+            semantics="opaque",
+        ),
+        FilterSpec(
+            name=f"r{index}.pbox",
+            pop=4,
+            push=4,
+            work=32.0,
+            semantics="shuffle",
+        ),
+        name=f"r{index}.f",
+    )
+    left_path = FilterSpec(
+        name=f"r{index}.left",
+        pop=4,
+        push=4,
+        work=8.0,
+        semantics="identity",
+    )
+    halves = splitjoin(
+        roundrobin(HALF, HALF),
+        [left_path, right_path],
+        join_roundrobin(HALF, HALF),
+        name=f"r{index}.halves",
+    )
+    crossxor = FilterSpec(
+        name=f"r{index}.crossxor",
+        pop=8,
+        push=8,
+        work=64.0,
+        semantics="opaque",
+    )
+    return pipeline(halves, crossxor, name=f"r{index}")
+
+
+def build(n: int) -> StreamGraph:
+    """DES with ``n`` rounds (paper sweeps n = 4..32)."""
+    if n < 1:
+        raise ValueError("DES needs at least one round")
+    stages = [source("src", BLOCK, work=BLOCK)]
+    stages.append(
+        FilterSpec(name="ip", pop=4, push=4, work=16.0, semantics="shuffle")
+    )
+    for index in range(n):
+        stages.append(_round(index))
+    stages.append(
+        FilterSpec(name="fp", pop=4, push=4, work=16.0, semantics="shuffle")
+    )
+    stages.append(sink("snk", BLOCK, work=BLOCK))
+    return flatten(pipeline(*stages, name="des"), f"des-n{n}")

@@ -1,0 +1,67 @@
+"""FFT of size ``n`` (StreamIt benchmark, FFT5-like structure).
+
+Bit-reversal reordering feeds two half-size butterfly pipelines inside a
+single split-join (Chapter V: "FFT only has one splitter and one joiner"),
+followed by the final cross-half combine stage.  log2(n) butterfly stages
+of ~5 flops per point make it compute-bound while still moving 2n points
+per execution.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.filters import FilterSpec, sink, source
+from repro.graph.flatten import flatten
+from repro.graph.stream_graph import StreamGraph
+from repro.graph.structure import join_roundrobin, pipeline, roundrobin, splitjoin
+
+
+#: independent transforms batched per steady-state execution — the
+#: vectorization StreamIt applies to fill GPU threads; also scales stage
+#: buffers so large-n instances split into many partitions (Fig. 4.2's
+#: FFT partition counts grow 1 -> 20 over the n sweep)
+BATCH = 4
+
+
+def build(n: int) -> StreamGraph:
+    """FFT of size ``n`` (power of two; paper sweeps n = 8..1024)."""
+    if n < 4 or n & (n - 1):
+        raise ValueError("FFT size must be a power of two >= 4")
+    n = n * BATCH
+    half = n // 2
+    stages = int(math.log2(n // BATCH))
+
+    def core(side: str):
+        return pipeline(
+            *[
+                FilterSpec(
+                    name=f"{side}.bf{s}",
+                    pop=half,
+                    push=half,
+                    work=5.0 * half,
+                    semantics="butterfly",
+                    params=(max(1, half >> (s + 1)),),
+                )
+                for s in range(stages - 1)
+            ],
+            name=f"{side}.core",
+        )
+
+    halves = splitjoin(
+        roundrobin(half, half),
+        [core("even"), core("odd")],
+        join_roundrobin(half, half),
+        name="halves",
+    )
+    root = pipeline(
+        source("src", n, work=n),
+        FilterSpec(name="reorder", pop=n, push=n, work=1.0 * n,
+                   semantics="shuffle"),
+        halves,
+        FilterSpec(name="combine", pop=n, push=n, work=5.0 * n,
+                   semantics="butterfly", params=(half,)),
+        sink("snk", n, work=n),
+        name="fft",
+    )
+    return flatten(root, f"fft-n{n}")

@@ -1,0 +1,78 @@
+"""FM radio with an ``n``-band equalizer (StreamIt benchmark).
+
+A sliding-window low-pass front end and demodulator feed an equalizer
+that fans out to ``n`` band-pass branches (each a peeking FIR plus gain),
+joined and summed.  FIR taps make it compute-bound; the peeking windows
+exercise the buffer model's history carry.
+"""
+
+from __future__ import annotations
+
+from repro.graph.filters import FilterSpec, sink, source
+from repro.graph.flatten import flatten
+from repro.graph.stream_graph import StreamGraph
+from repro.graph.structure import duplicate, join_roundrobin, pipeline, splitjoin
+
+TAPS = 64
+#: samples per steady-state execution: filters fire SAMPLES times per
+#: execution (exercising the S knob); the n-wide equalizer splitter
+#: stages n*SAMPLES samples, so its W is far below the bands' — which is
+#: what keeps bands in their own partitions (paper: ~45 partitions at
+#: n = 28).
+SAMPLES = 64
+
+
+#: front-end decimation: the low-pass filter keeps 1 of 4 samples, as in
+#: the StreamIt original — downstream traffic shrinks 4x
+DECIMATION = 4
+
+
+def _band(index: int):
+    return pipeline(
+        FilterSpec(
+            name=f"band{index}.bpf",
+            pop=1,
+            push=1,
+            peek=4 * TAPS,
+            # a band-pass section is two FIRs (low + high cutoff) of
+            # 2*TAPS taps each: heavy per-sample arithmetic is what lets
+            # the duplicated equalizer input amortize across GPUs
+            work=2.0 * 2 * (2 * TAPS),
+            semantics="opaque",
+        ),
+        FilterSpec(
+            name=f"band{index}.gain",
+            pop=1,
+            push=1,
+            work=8.0,
+            semantics="scale",
+            params=(1.0 + index * 0.1,),
+        ),
+        name=f"band{index}",
+    )
+
+
+def build(n: int) -> StreamGraph:
+    """FMRadio with ``n`` equalizer bands (paper sweeps n = 4..32)."""
+    if n < 1:
+        raise ValueError("FMRadio needs at least one band")
+    equalizer = splitjoin(
+        duplicate(1, n),
+        [_band(i) for i in range(n)],
+        join_roundrobin(*([1] * n)),
+        name="equalizer",
+    )
+    root = pipeline(
+        source("src", SAMPLES * DECIMATION, work=SAMPLES * DECIMATION),
+        FilterSpec(
+            name="lowpass", pop=DECIMATION, push=1, peek=TAPS,
+            work=2.0 * TAPS, semantics="dot",
+        ),
+        FilterSpec(name="demod", pop=1, push=1, peek=2, work=48.0,
+                   semantics="opaque"),
+        equalizer,
+        FilterSpec(name="sum", pop=n, push=1, work=2.0 * n, semantics="dot"),
+        sink("snk", 1, work=1.0),
+        name="fmradio",
+    )
+    return flatten(root, f"fmradio-n{n}")

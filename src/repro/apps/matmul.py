@@ -1,0 +1,91 @@
+"""Blocked matrix multiplication (StreamIt benchmarks MatMul2 / MatMul3).
+
+``MatMul2`` multiplies two matrices of ``n x n`` blocks: per execution the
+source emits a block-row of A and a block-column of B, a round-robin
+split-join fans block pairs out to ``n`` multiply lanes (O(b^3) flops per
+block pair), and an accumulator reduces the partial products —
+compute-bound.
+
+``MatMul3`` chains a third factor: the intermediate product is streamed
+through a second multiply layer.  It uses larger blocks with much lighter
+per-element work (the StreamIt version re-reads operands instead of
+caching them), so its communication-to-computation ratio is high —
+memory-bound, the paper's hardest case (SOSP ratio < 1 against [7]).
+"""
+
+from __future__ import annotations
+
+from repro.graph.filters import FilterSpec, sink, source
+from repro.graph.flatten import flatten
+from repro.graph.stream_graph import StreamGraph
+from repro.graph.structure import join_roundrobin, pipeline, roundrobin, splitjoin
+
+#: block edge for MatMul2 (block = BLOCK2^2 elements); sized so the
+#: distribution splitter's window stays inside shared memory even at the
+#: largest paper n (otherwise every mapping spills and degenerates)
+BLOCK2 = 12
+#: block edge for MatMul3 — same constraint, more lanes
+BLOCK3 = 12
+
+
+def _multiply_layer(tag: str, n: int, block_elems: int, work_per_lane: float):
+    lanes = [
+        FilterSpec(
+            name=f"{tag}.mm{i}",
+            pop=2 * block_elems,
+            push=block_elems,
+            work=work_per_lane,
+            semantics="opaque",
+        )
+        for i in range(n)
+    ]
+    return splitjoin(
+        roundrobin(*([2 * block_elems] * n)),
+        lanes,
+        join_roundrobin(*([block_elems] * n)),
+        name=f"{tag}.layer",
+    )
+
+
+def build_matmul2(n: int) -> StreamGraph:
+    """MatMul2 with ``n`` blocks per dimension (paper sweeps n = 2..9)."""
+    if n < 1:
+        raise ValueError("need at least one block")
+    block = BLOCK2 * BLOCK2
+    work = 2.0 * (BLOCK2 ** 3) * n  # n block-pair MACs per lane
+    root = pipeline(
+        source("src", 2 * block * n, work=block),
+        _multiply_layer("l1", n, block, work),
+        FilterSpec(
+            name="accum", pop=block * n, push=block * n, work=2.0 * block * n,
+            semantics="opaque",
+        ),
+        sink("snk", block * n, work=block),
+        name="matmul2",
+    )
+    return flatten(root, f"matmul2-n{n}")
+
+
+def build_matmul3(n: int) -> StreamGraph:
+    """MatMul3 with ``n`` blocks per dimension (paper sweeps n = 1..7)."""
+    if n < 1:
+        raise ValueError("need at least one block")
+    block = BLOCK3 * BLOCK3
+    # light per-lane work relative to the 2*block elements each lane moves
+    work = 3.0 * block
+    root = pipeline(
+        source("src", 2 * block * n, work=block),
+        _multiply_layer("ab", n, block, work),
+        FilterSpec(
+            name="stage", pop=block * n, push=2 * block * n,
+            work=1.0 * block * n, semantics="opaque",
+        ),
+        _multiply_layer("abc", n, block, work),
+        FilterSpec(
+            name="accum", pop=block * n, push=block * n, work=1.0 * block * n,
+            semantics="opaque",
+        ),
+        sink("snk", block * n, work=block),
+        name="matmul3",
+    )
+    return flatten(root, f"matmul3-n{n}")

@@ -1,0 +1,120 @@
+"""Catalogue of the benchmark applications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.apps import bitonic, dct, des, fft, fmradio, matmul
+from repro.graph.stream_graph import StreamGraph
+
+
+@dataclass(frozen=True)
+class AppInfo:
+    """Benchmark metadata.
+
+    ``paper_n`` are the N values on the x-axis of Figure 4.2;
+    ``compute_bound`` is the paper's classification (kernel count ratio
+    >= 3 vs <= 1.5); ``in_fig43`` marks the five apps whose multi-GPU
+    numbers [7] reports, used for the Figure 4.3 comparison.
+    """
+
+    name: str
+    build: Callable[[int], StreamGraph]
+    paper_n: Tuple[int, ...]
+    compute_bound: bool
+    in_fig43: bool
+    description: str
+
+
+APPS: Dict[str, AppInfo] = {
+    "DES": AppInfo(
+        name="DES",
+        build=des.build,
+        paper_n=(4, 8, 12, 16, 20, 24, 28, 32),
+        compute_bound=True,
+        in_fig43=True,
+        description="DES cipher, N rounds",
+    ),
+    "FMRadio": AppInfo(
+        name="FMRadio",
+        build=fmradio.build,
+        paper_n=(4, 8, 12, 16, 20, 24, 28, 32),
+        compute_bound=True,
+        in_fig43=False,
+        description="FM radio with N-band equalizer",
+    ),
+    "FFT": AppInfo(
+        name="FFT",
+        build=fft.build,
+        paper_n=(8, 16, 32, 64, 128, 256, 512, 1024),
+        compute_bound=True,
+        in_fig43=True,
+        description="size-N fast Fourier transform",
+    ),
+    "DCT": AppInfo(
+        name="DCT",
+        build=dct.build,
+        paper_n=(2, 6, 10, 14, 18, 22, 26, 30),
+        compute_bound=True,
+        in_fig43=True,
+        description="2D discrete cosine transform on NxN blocks",
+    ),
+    "MatMul2": AppInfo(
+        name="MatMul2",
+        build=matmul.build_matmul2,
+        paper_n=(2, 3, 4, 5, 6, 7, 8, 9),
+        compute_bound=True,
+        in_fig43=False,
+        description="two-matrix blocked multiplication",
+    ),
+    "MatMul3": AppInfo(
+        name="MatMul3",
+        build=matmul.build_matmul3,
+        paper_n=(1, 2, 3, 4, 5, 6, 7),
+        compute_bound=False,
+        in_fig43=True,
+        description="three-matrix blocked multiplication",
+    ),
+    "BitonicRec": AppInfo(
+        name="BitonicRec",
+        build=bitonic.build_bitonic_rec,
+        paper_n=(2, 4, 8, 16, 32, 64),
+        compute_bound=False,
+        in_fig43=False,
+        description="recursive bitonic sort of N keys",
+    ),
+    "Bitonic": AppInfo(
+        name="Bitonic",
+        build=bitonic.build_bitonic,
+        paper_n=(2, 4, 8, 16, 32, 64),
+        compute_bound=False,
+        in_fig43=True,
+        description="iterative bitonic sort of N keys",
+    ),
+}
+
+#: Figure 4.2 presents apps in decreasing kernel-count-ratio order.
+FIG42_ORDER = (
+    "DES", "FMRadio", "FFT", "DCT", "MatMul2", "MatMul3", "BitonicRec",
+    "Bitonic",
+)
+
+#: The five applications reported in [7], hence in Figure 4.3.
+FIG43_APPS = ("DES", "DCT", "FFT", "MatMul3", "Bitonic")
+
+
+def build_app(name: str, n: int) -> StreamGraph:
+    """Build benchmark ``name`` at size ``n``."""
+    try:
+        info = APPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown app {name!r}; known: {', '.join(sorted(APPS))}"
+        ) from None
+    return info.build(n)
+
+
+def paper_n_values(name: str) -> Tuple[int, ...]:
+    """The Figure 4.2 x-axis values for ``name``."""
+    return APPS[name].paper_n

@@ -1,0 +1,159 @@
+"""Command-line compiler front end.
+
+Mirrors how the paper's tool is used: take a stream graph (a bundled
+benchmark or a JSON file), run the mapping flow for a GPU count, and
+report the decisions — optionally emitting the generated CUDA source,
+a Graphviz rendering of the partitioned graph, and a Chrome trace of the
+simulated pipelined execution.
+
+Examples::
+
+    repro-map --app DES --n 8 --gpus 4
+    repro-map --graph mygraph.json --gpus 2 --mapper lpt --emit-cuda out.cu
+    repro-map --app Bitonic --n 32 --gpus 4 --dot parts.dot --trace t.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps.registry import APPS, build_app
+from repro.flow import MAPPERS, PARTITIONERS, map_stream_graph
+from repro.graph import json_io
+from repro.graph.dot import partition_map, to_dot
+from repro.gpu.codegen import generate_program
+from repro.gpu.specs import C2070, M2090
+from repro.runtime.trace import record_trace, to_chrome_trace
+
+_SPECS = {"M2090": M2090, "C2070": C2070}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-map",
+        description="Map a stream graph onto a (simulated) multi-GPU machine.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--app", choices=sorted(APPS), help="bundled benchmark application"
+    )
+    source.add_argument("--graph", help="stream graph JSON file")
+    source.add_argument(
+        "--stream", help="stream-language source file (see repro.frontend)"
+    )
+    parser.add_argument("--n", type=int, default=None,
+                        help="benchmark size parameter (with --app)")
+    parser.add_argument("--gpus", type=int, default=1, choices=(1, 2, 3, 4))
+    parser.add_argument("--spec", choices=sorted(_SPECS), default="M2090")
+    parser.add_argument("--partitioner", choices=PARTITIONERS, default="ours")
+    parser.add_argument("--mapper", choices=MAPPERS, default="ilp")
+    parser.add_argument("--no-p2p", action="store_true",
+                        help="route inter-GPU traffic through the host")
+    parser.add_argument("--emit-cuda", metavar="FILE",
+                        help="write the generated CUDA program")
+    parser.add_argument("--dot", metavar="FILE",
+                        help="write a Graphviz view of the partitioned graph")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write a Chrome trace of the simulated run")
+    parser.add_argument("--save-graph", metavar="FILE",
+                        help="write the flattened graph as JSON")
+    parser.add_argument("--report", action="store_true",
+                        help="print the full per-partition compiler report")
+    parser.add_argument("--gantt", action="store_true",
+                        help="print an ASCII Gantt chart of the simulated "
+                             "pipelined schedule")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.app:
+        if args.n is None:
+            parser.error("--app requires --n")
+        graph = build_app(args.app, args.n)
+    elif args.stream:
+        from repro.frontend import compile_stream
+
+        with open(args.stream) as fh:
+            graph = compile_stream(fh.read())
+    else:
+        graph = json_io.load(args.graph)
+
+    result = map_stream_graph(
+        graph,
+        num_gpus=args.gpus,
+        spec=_SPECS[args.spec],
+        partitioner=args.partitioner,
+        mapper=args.mapper,
+        peer_to_peer=not args.no_p2p,
+    )
+
+    if args.report:
+        from repro.perf.report import flow_report
+
+        print(flow_report(result))
+        print()
+    report = result.report
+    print(f"graph     : {graph.name} ({len(graph.nodes)} filters)")
+    print(f"partitions: {result.num_partitions} "
+          f"({sum(1 for e in map(result.engine.estimate, result.partitions) if e.is_compute_bound)} compute-bound)")
+    print(f"mapping   : {result.mapping.solver}, "
+          f"Tmax {result.mapping.tmax / 1e3:.1f} us/fragment, "
+          f"bottleneck {result.mapping.bottleneck}")
+    print(f"assignment: {list(result.mapping.assignment)}")
+    print(f"execution : beat {report.beat_ns / 1e3:.1f} us, "
+          f"throughput {report.throughput * 1e6:.1f} exec/ms over "
+          f"{args.gpus} GPU(s)")
+
+    if args.save_graph:
+        json_io.save(graph, args.save_graph)
+        print(f"wrote graph JSON to {args.save_graph}")
+    if args.dot:
+        mapping = partition_map(result.partitions)
+        with open(args.dot, "w") as fh:
+            fh.write(to_dot(graph, partition_of=mapping))
+        print(f"wrote Graphviz view to {args.dot}")
+    if args.emit_cuda:
+        configs = [
+            result.engine.estimate(members).config
+            for members in result.partitions
+        ]
+        program = generate_program(
+            graph, result.partitions, configs, result.mapping.assignment,
+            spec=_SPECS[args.spec], peer_to_peer=not args.no_p2p,
+        )
+        with open(args.emit_cuda, "w") as fh:
+            fh.write(program.full_source())
+        print(f"wrote CUDA program to {args.emit_cuda}")
+    if args.trace or args.gantt:
+        from repro.gpu.topology import default_topology
+
+        _, events = record_trace(
+            result.pdg,
+            result.mapping.assignment,
+            default_topology(args.gpus),
+            result.engine.simulator,
+            result.measurements,
+            peer_to_peer=not args.no_p2p,
+        )
+        if args.trace:
+            with open(args.trace, "w") as fh:
+                fh.write(to_chrome_trace(events))
+            print(f"wrote Chrome trace ({len(events)} events) to {args.trace}")
+        if args.gantt:
+            from repro.runtime.gantt import render_gantt
+
+            horizon = min(
+                report.makespan_ns, 6 * report.pipeline_fill_ns or report.makespan_ns
+            )
+            print()
+            print(render_gantt(events, width=96, until_ns=horizon))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

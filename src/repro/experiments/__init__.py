@@ -1,0 +1,18 @@
+"""Experiment harnesses regenerating every table and figure.
+
+One module per paper artifact:
+
+* :mod:`repro.experiments.fig4_1` — performance-model validation scatter,
+* :mod:`repro.experiments.fig4_2` — multi-GPU scalability per app per N,
+* :mod:`repro.experiments.fig4_3` — SOSP comparison against [7],
+* :mod:`repro.experiments.fig4_4` — SOSP cross-GPU validity,
+* :mod:`repro.experiments.table5_1` — splitter/joiner elimination,
+* :mod:`repro.experiments.ablations` — design-choice ablations.
+
+Run them via ``python -m repro.experiments <which>`` (``all`` works), with
+``--full`` for the complete paper-scale sweeps.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,79 @@
+"""Command-line entry point for the experiment harnesses.
+
+Usage::
+
+    python -m repro.experiments fig4.1 [--full]
+    python -m repro.experiments all [--full]
+    repro-experiments table5.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.experiments import (
+    ablations,
+    fig2_1,
+    fig3_2,
+    fig4_1,
+    fig4_2,
+    fig4_3,
+    fig4_4,
+    table5_1,
+)
+from repro.experiments.common import ExperimentResult
+
+_RUNNERS = {
+    "fig2.1": lambda quick: [fig2_1.run(quick)],
+    "fig3.2": lambda quick: [fig3_2.run(quick)],
+    "fig4.1": lambda quick: [fig4_1.run(quick)],
+    "fig4.2": lambda quick: [fig4_2.run(quick)],
+    "fig4.3": lambda quick: [fig4_3.run(quick)],
+    "fig4.4": lambda quick: [fig4_4.run(quick)],
+    "table5.1": lambda quick: [table5_1.run(quick)],
+    "ablation.mapping": lambda quick: [ablations.run_mapping(quick)],
+    "ablation.phases": lambda quick: [ablations.run_phases(quick)],
+    "ablation.comm": lambda quick: [ablations.run_comm(quick)],
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "which",
+        choices=sorted(_RUNNERS) + ["all", "ablations"],
+        help="experiment id (table/figure number) or 'all'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full paper-scale sweeps (default: 3-point quick sweeps)",
+    )
+    args = parser.parse_args(argv)
+    quick = not args.full
+
+    if args.which == "all":
+        names = sorted(_RUNNERS)
+    elif args.which == "ablations":
+        names = [n for n in sorted(_RUNNERS) if n.startswith("ablation")]
+    else:
+        names = [args.which]
+
+    for name in names:
+        start = time.time()
+        results: List[ExperimentResult] = _RUNNERS[name](quick)
+        for result in results:
+            print(result.render())
+            print(f"[{name} took {time.time() - start:.1f}s]")
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* ``mapping``  — ILP vs greedy-LPT vs round-robin vs contiguous on the
+  same partitions: isolates the Section 3.2 contribution.
+* ``phases``   — Algorithm 1 with later phases disabled: isolates the
+  merge phases of Section 3.1.2.
+* ``comm``     — the full ILP vs the ILP without link constraints:
+  isolates communication-awareness (the paper's core claim).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.registry import build_app
+from repro.experiments.common import ExperimentResult
+from repro.flow import map_stream_graph
+from repro.metrics.stats import geometric_mean
+from repro.partition.heuristic import partition_stream_graph
+from repro.perf.engine import PerformanceEstimationEngine
+
+#: representative instances: one compute-bound, one wide, one IO-bound
+DEFAULT_CASES = (("DES", 16), ("DCT", 18), ("Bitonic", 32))
+
+
+def run_mapping(
+    quick: bool = True,
+    cases: Sequence = DEFAULT_CASES,
+    num_gpus: int = 4,
+) -> ExperimentResult:
+    """Mapping-strategy ablation on fixed partitions."""
+    rows: List[Dict[str, object]] = []
+    advantages = []
+    for app, n in cases:
+        graph = build_app(app, n)
+        engine = PerformanceEstimationEngine(graph)
+        results = {}
+        for mapper in ("ilp", "lpt", "roundrobin"):
+            flow = map_stream_graph(
+                graph, num_gpus=num_gpus, mapper=mapper, engine=engine
+            )
+            results[mapper] = flow
+        row: Dict[str, object] = {"app": app, "N": n}
+        ilp_thr = results["ilp"].throughput
+        for mapper, flow in results.items():
+            row[f"{mapper} tmax(us)"] = flow.mapping.tmax / 1e3
+            row[f"{mapper} thr"] = flow.throughput / ilp_thr
+        rows.append(row)
+        advantages.append(ilp_thr / results["roundrobin"].throughput)
+    return ExperimentResult(
+        experiment="ablation.mapping",
+        description="ILP mapping vs communication-blind baselines",
+        rows=rows,
+        summary={
+            "geomean ILP advantage over round-robin": geometric_mean(advantages)
+        },
+    )
+
+
+def run_phases(
+    quick: bool = True,
+    cases: Sequence = DEFAULT_CASES,
+) -> ExperimentResult:
+    """Partitioning-phase ablation."""
+    variants = {
+        "full": (1, 2, 3, 4),
+        "no-phase4": (1, 2, 3),
+        "no-phase3/4": (1, 2),
+        "phase2-only": (2,),
+    }
+    rows: List[Dict[str, object]] = []
+    for app, n in cases:
+        graph = build_app(app, n)
+        engine = PerformanceEstimationEngine(graph)
+        row: Dict[str, object] = {"app": app, "N": n}
+        for label, phases in variants.items():
+            result = partition_stream_graph(graph, engine=engine, phases=phases)
+            row[f"{label} P"] = len(result)
+            row[f"{label} T(us)"] = result.total_t / 1e3
+        rows.append(row)
+    improves = sum(
+        1 for row in rows if row["full T(us)"] <= row["phase2-only T(us)"] + 1e-9
+    )
+    return ExperimentResult(
+        experiment="ablation.phases",
+        description="Algorithm 1 with merge phases disabled",
+        rows=rows,
+        summary={"cases where full <= phase2-only": f"{improves} / {len(rows)}"},
+    )
+
+
+def run_comm(
+    quick: bool = True,
+    cases: Sequence = DEFAULT_CASES,
+    num_gpus: int = 4,
+) -> ExperimentResult:
+    """Communication-awareness ablation of the ILP."""
+    rows: List[Dict[str, object]] = []
+    gains = []
+    for app, n in cases:
+        graph = build_app(app, n)
+        engine = PerformanceEstimationEngine(graph)
+        aware = map_stream_graph(
+            graph, num_gpus=num_gpus, mapper="ilp", engine=engine
+        )
+        blind = map_stream_graph(
+            graph, num_gpus=num_gpus, mapper="ilp-nocomm", engine=engine
+        )
+        gain = aware.throughput / blind.throughput
+        gains.append(gain)
+        rows.append(
+            {
+                "app": app,
+                "N": n,
+                "comm-aware thr/blind thr": gain,
+                "aware tmax(us)": aware.mapping.tmax / 1e3,
+                "blind eval tmax(us)": blind.mapping.tmax / 1e3,
+            }
+        )
+    return ExperimentResult(
+        experiment="ablation.comm",
+        description="ILP with vs without communication constraints",
+        rows=rows,
+        summary={"geomean gain from comm-awareness": geometric_mean(gains)},
+    )
+
+
+def run(quick: bool = True) -> List[ExperimentResult]:
+    """All ablations."""
+    return [run_mapping(quick), run_phases(quick), run_comm(quick)]

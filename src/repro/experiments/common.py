@@ -1,0 +1,81 @@
+"""Shared experiment infrastructure: result records and table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.registry import APPS
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform container for one experiment run.
+
+    ``rows`` is the regenerated table/figure data (one dict per row);
+    ``summary`` holds headline numbers compared against the paper's.
+    """
+
+    experiment: str
+    description: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    summary: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable report: a fixed-width table plus the summary."""
+        lines = [f"== {self.experiment}: {self.description} =="]
+        if self.rows:
+            lines.append(render_table(self.rows))
+        if self.summary:
+            lines.append("-- summary --")
+            for key, value in self.summary.items():
+                lines.append(f"  {key}: {_fmt(value)}")
+        return "\n".join(lines)
+
+
+def render_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    sep = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(r[i].ljust(widths[i]) for i in range(len(columns)))
+        for r in cells
+    ]
+    return "\n".join([header, sep] + body)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def sweep_n_values(app: str, quick: bool) -> Tuple[int, ...]:
+    """The N sweep for an app: full paper x-axis, or a 3-point subset."""
+    values = APPS[app].paper_n
+    if not quick or len(values) <= 3:
+        return values
+    return (values[0], values[len(values) // 2], values[-1])
+
+
+def gpu_counts(quick: bool) -> Tuple[int, ...]:
+    """GPU counts to evaluate."""
+    return (1, 2, 4) if quick else (1, 2, 3, 4)

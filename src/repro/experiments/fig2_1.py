@@ -1,0 +1,77 @@
+"""EXP-F2.1 — the two single-GPU mapping approaches (Figure 2.1).
+
+Figure 2.1 is the paper's background motivation: approach (b) creates one
+kernel per filter — simple, but all inter-filter traffic goes through
+global memory; approach (c) fuses the graph into one kernel communicating
+through shared memory, which "generates higher performance in general".
+This experiment quantifies the gap on the benchmark suite (single GPU),
+plus where the fused kernel stops paying off (SM overflow on large N —
+the opening for the paper's multi-partition technique).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.registry import build_app
+from repro.experiments.common import ExperimentResult
+from repro.flow import map_stream_graph
+from repro.metrics.stats import geometric_mean
+from repro.perf.engine import PerformanceEstimationEngine
+
+#: (app, small N, large N)
+DEFAULT_CASES = (
+    ("DES", 4, 20),
+    ("FFT", 16, 256),
+    ("Bitonic", 8, 32),
+)
+
+
+def run(quick: bool = True, cases: Sequence = DEFAULT_CASES) -> ExperimentResult:
+    """Compare one-kernel-per-filter vs one-kernel-for-graph vs ours."""
+    rows: List[Dict[str, object]] = []
+    fused_gains: List[float] = []
+    for app, small_n, large_n in cases:
+        for n in (small_n, large_n):
+            graph = build_app(app, n)
+            engine = PerformanceEstimationEngine(graph)
+            per_filter = map_stream_graph(
+                graph, num_gpus=1, partitioner="perfilter", engine=engine
+            )
+            fused = map_stream_graph(
+                graph, num_gpus=1, partitioner="single", engine=engine
+            )
+            ours = map_stream_graph(graph, num_gpus=1, engine=engine)
+            gain = fused.throughput / per_filter.throughput
+            rows.append(
+                {
+                    "app": app,
+                    "N": n,
+                    "per-filter beat (us)": per_filter.report.beat_ns / 1e3,
+                    "fused beat (us)": fused.report.beat_ns / 1e3,
+                    "fused/per-filter": gain,
+                    "ours/per-filter": ours.throughput / per_filter.throughput,
+                    "fused spills": bool(
+                        engine.estimate(fused.partitions[0]).spilled_bytes
+                    ),
+                }
+            )
+            if n == small_n:
+                fused_gains.append(gain)
+    small_wins = sum(
+        1 for row in rows
+        if not row["fused spills"] and row["fused/per-filter"] > 1.0
+    )
+    ours_always = all(row["ours/per-filter"] >= 1.0 for row in rows)
+    return ExperimentResult(
+        experiment="fig2.1",
+        description="one-kernel-per-filter vs one-kernel-for-graph (1 GPU)",
+        rows=rows,
+        summary={
+            "geomean fused gain while the graph fits SM": geometric_mean(
+                fused_gains
+            ),
+            "fused wins when it fits": small_wins,
+            "our multi-partition flow >= per-filter everywhere": ours_always,
+        },
+    )

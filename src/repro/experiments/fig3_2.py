@@ -1,0 +1,86 @@
+"""EXP-F3.2 — shared-memory behaviour of pipelines vs splits (Figure 3.2).
+
+Figure 3.2 motivates phase 1 of the partitioning heuristic: under a
+liveness analysis of the sequential firing schedule, a pipeline's buffers
+are short-lived (the peak is roughly two adjacent buffers), while a
+split structure keeps all branch buffers live simultaneously (the peak is
+their sum).  This experiment quantifies that contrast across structure
+widths/depths and reports the ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.common import ExperimentResult
+from repro.graph.filters import FilterSpec, sink, source
+from repro.graph.flatten import flatten
+from repro.graph.structure import (
+    duplicate,
+    join_roundrobin,
+    pipeline,
+    splitjoin,
+)
+from repro.gpu.memory import partition_memory
+
+
+def _pipeline_graph(depth: int, rate: int):
+    stages = [
+        FilterSpec(name=f"f{i}", pop=rate, push=rate, work=10.0)
+        for i in range(depth)
+    ]
+    return flatten(
+        pipeline(source("s", rate), *stages, sink("t", rate)),
+        f"pipe-d{depth}",
+    )
+
+
+def _split_graph(width: int, rate: int):
+    branches = [
+        FilterSpec(name=f"b{i}", pop=rate, push=rate, work=10.0)
+        for i in range(width)
+    ]
+    sj = splitjoin(
+        duplicate(rate, width), branches,
+        join_roundrobin(*([rate] * width)),
+    )
+    return flatten(
+        pipeline(source("s", rate), sj, sink("t", rate * width)),
+        f"split-w{width}",
+    )
+
+
+def run(quick: bool = True, rate: int = 64) -> ExperimentResult:
+    """Regenerate the Figure 3.2 contrast."""
+    sizes = (2, 4, 8) if quick else (2, 4, 8, 16)
+    rows: List[Dict[str, object]] = []
+    ratios = []
+    for size in sizes:
+        pipe = _pipeline_graph(size, rate)
+        split = _split_graph(size, rate)
+        pipe_live = partition_memory(pipe, policy="liveness").working_set
+        split_live = partition_memory(split, policy="liveness").working_set
+        pipe_static = partition_memory(pipe).working_set
+        split_static = partition_memory(split).working_set
+        ratios.append(split_live / pipe_live)
+        rows.append(
+            {
+                "size (depth/width)": size,
+                "pipeline live peak (B)": pipe_live,
+                "split live peak (B)": split_live,
+                "split/pipeline": split_live / pipe_live,
+                "pipeline static (B)": pipe_static,
+                "split static (B)": split_static,
+            }
+        )
+    return ExperimentResult(
+        experiment="fig3.2",
+        description="pipeline vs split shared-memory requirements",
+        rows=rows,
+        summary={
+            "split/pipeline live-peak ratio grows with width": (
+                ratios == sorted(ratios)
+            ),
+            "largest ratio": max(ratios),
+        },
+    )

@@ -1,0 +1,101 @@
+"""EXP-F4.1 — validation of the performance model (Figure 4.1).
+
+The paper takes every partition its heuristic selected (~350 across the
+benchmark suite), predicts its kernel runtime with the PEE, measures the
+generated kernel with the Nvidia profiler, and reports the scatter:
+R^2 = 0.972, with rare severe outliers whose measured time exceeds the
+prediction (SM bank conflicts).
+
+Here the simulator plays the profiler.  For every (app, N) instance we
+run the partitioning heuristic, predict T(p) per partition, "measure" the
+same kernel with the PEE-chosen parameters, and aggregate the scatter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.apps.registry import FIG42_ORDER, build_app
+from repro.experiments.common import ExperimentResult, sweep_n_values
+from repro.metrics.stats import r_squared
+from repro.partition.heuristic import partition_stream_graph
+from repro.perf.engine import PerformanceEstimationEngine
+
+#: the paper's headline correlation
+PAPER_R_SQUARED = 0.972
+
+
+def run(
+    quick: bool = True,
+    apps: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate the Figure 4.1 scatter."""
+    apps = list(apps) if apps is not None else list(FIG42_ORDER)
+    predicted: List[float] = []
+    measured: List[float] = []
+    outliers = 0
+    per_app_rows = []
+    for app in apps:
+        n_values = sweep_n_values(app, quick)
+        app_pred: List[float] = []
+        app_meas: List[float] = []
+        for n in n_values:
+            graph = build_app(app, n)
+            engine = PerformanceEstimationEngine(graph)
+            result = partition_stream_graph(graph, engine=engine)
+            for members in result.partitions:
+                estimate = engine.estimate(members)
+                measurement = engine.measure(members)
+                app_pred.append(estimate.estimate.t_exec)
+                app_meas.append(measurement.t_exec)
+                if measurement.t_exec > 1.3 * estimate.estimate.t_exec:
+                    outliers += 1
+        predicted.extend(app_pred)
+        measured.extend(app_meas)
+        per_app_rows.append(
+            {
+                "app": app,
+                "partitions": len(app_pred),
+                "r_squared": r_squared(app_pred, app_meas),
+            }
+        )
+
+    overall = r_squared(predicted, measured)
+    mean_ratio = sum(
+        m / p for p, m in zip(predicted, measured) if p > 0
+    ) / len(predicted)
+    result = ExperimentResult(
+        experiment="fig4.1",
+        description="accuracy of the GPU performance estimation engine",
+        rows=per_app_rows,
+        summary={
+            "total partitions validated": len(predicted),
+            "overall R^2 (paper: 0.972)": overall,
+            "mean measured/predicted ratio": mean_ratio,
+            "severe outliers (>30% underprediction)": outliers,
+            "outlier fraction": outliers / len(predicted),
+        },
+    )
+    result.summary["scatter"] = "see rows; points available via run_points()"
+    return result
+
+
+def run_points(
+    quick: bool = True, apps: Optional[Sequence[str]] = None
+) -> List[tuple]:
+    """The raw (predicted, measured) scatter points, for plotting."""
+    apps = list(apps) if apps is not None else list(FIG42_ORDER)
+    points = []
+    for app in apps:
+        for n in sweep_n_values(app, quick):
+            graph = build_app(app, n)
+            engine = PerformanceEstimationEngine(graph)
+            result = partition_stream_graph(graph, engine=engine)
+            for members in result.partitions:
+                estimate = engine.estimate(members)
+                measurement = engine.measure(members)
+                points.append(
+                    (app, n, estimate.estimate.t_exec, measurement.t_exec)
+                )
+    return points

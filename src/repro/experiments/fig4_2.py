@@ -1,0 +1,84 @@
+"""EXP-F4.2 — scalability of the mapping technique (Figure 4.2).
+
+For each application and size N, the paper builds ONE partitioning and
+maps it to 1..4 GPUs; the figure reports speedup over the 1-GPU
+multi-partition mapping, with the partition count annotated under each
+N.  Headline: with the largest N, 2/3/4 GPUs average 1.8x / 2.6x / 3.2x.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.apps.registry import FIG42_ORDER, build_app
+from repro.experiments.common import ExperimentResult, gpu_counts, sweep_n_values
+from repro.flow import map_stream_graph
+from repro.metrics.stats import geometric_mean
+from repro.perf.engine import PerformanceEstimationEngine
+
+#: the paper's average final-N speedups for 2/3/4 GPUs
+PAPER_FINAL_SPEEDUPS = {2: 1.8, 3: 2.6, 4: 3.2}
+
+
+def run(
+    quick: bool = True,
+    apps: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate the Figure 4.2 scalability sweep."""
+    apps = list(apps) if apps is not None else list(FIG42_ORDER)
+    gpus = gpu_counts(quick)
+    rows = []
+    final_speedups: Dict[int, list] = {g: [] for g in gpus if g > 1}
+    for app in apps:
+        n_values = sweep_n_values(app, quick)
+        for n in n_values:
+            graph = build_app(app, n)
+            engine = PerformanceEstimationEngine(graph)
+            baseline = map_stream_graph(graph, num_gpus=1, engine=engine)
+            row: Dict[str, object] = {
+                "app": app,
+                "N": n,
+                "partitions": baseline.num_partitions,
+            }
+            for g in gpus:
+                if g == 1:
+                    row["1-GPU"] = 1.0
+                    continue
+                mapped = map_stream_graph(graph, num_gpus=g, engine=engine)
+                speedup = mapped.throughput / baseline.throughput
+                row[f"{g}-GPU"] = speedup
+                if n == n_values[-1]:
+                    final_speedups[g].append(speedup)
+            rows.append(row)
+
+    summary: Dict[str, object] = {}
+    for g in sorted(final_speedups):
+        if final_speedups[g]:
+            ours = geometric_mean(final_speedups[g])
+            paper = PAPER_FINAL_SPEEDUPS.get(g)
+            summary[f"avg final-N speedup, {g} GPUs"] = (
+                f"{ours:.2f} (paper: {paper})"
+            )
+    grow = sum(
+        1
+        for app in apps
+        for g in sorted(final_speedups)
+        if _speedup_grows(rows, app, g)
+    )
+    summary["(app, G) series where speedup grows with N"] = (
+        f"{grow} / {len(apps) * len(final_speedups)}"
+    )
+    return ExperimentResult(
+        experiment="fig4.2",
+        description="multi-GPU scalability (speedup over 1-GPU mapping)",
+        rows=rows,
+        summary=summary,
+    )
+
+
+def _speedup_grows(rows, app: str, g: int) -> bool:
+    series = [
+        row[f"{g}-GPU"] for row in rows if row["app"] == app and f"{g}-GPU" in row
+    ]
+    return len(series) >= 2 and series[-1] >= series[0]

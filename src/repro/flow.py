@@ -1,0 +1,206 @@
+"""End-to-end mapping flow (Figure 3.1).
+
+``map_stream_graph`` chains the whole pipeline: profile -> partition ->
+PDG -> ILP mapping -> kernel measurement -> pipelined execution, and
+returns everything an experiment needs.  The strategy knobs select the
+paper's technique or the baselines it compares against:
+
+=================  ==========================  ===========================
+``partitioner``    ``"ours"``                  Algorithm 1 (default)
+                   ``"previous"``              [7]'s SM-threshold sweep
+                   ``"single"``                SPSG: whole graph, 1 kernel
+                   ``"perfilter"``             one kernel per filter [5]
+``mapper``         ``"ilp"``                   Section 3.2 ILP (default)
+                   ``"ilp-nocomm"``            ILP without link constraints
+                   ``"lpt"``                   workload-only balancing [7]
+                   ``"roundrobin"``            topological round-robin
+=================  ==========================  ===========================
+
+``peer_to_peer=False`` additionally reroutes all inter-GPU traffic through
+the host, matching [7]'s execution model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.graph.stream_graph import StreamGraph
+from repro.gpu.simulator import KernelMeasurement, KernelSimulator
+from repro.gpu.specs import GpuSpec, M2090
+from repro.gpu.topology import GpuTopology, default_topology
+from repro.mapping.greedy import (
+    contiguous_mapping,
+    lpt_mapping,
+    round_robin_mapping,
+)
+from repro.mapping.refine import refine_mapping
+from repro.mapping.problem import MappingProblem, build_mapping_problem
+from repro.mapping.result import MappingResult
+from repro.mapping.solver_milp import solve_milp
+from repro.partition.baseline import (
+    one_kernel_per_filter,
+    previous_work_partition,
+    single_partition,
+)
+from repro.partition.heuristic import PartitioningResult, partition_stream_graph
+from repro.partition.pdg import PartitionDependenceGraph, build_pdg
+from repro.perf.engine import PerformanceEstimationEngine
+from repro.runtime.executor import (
+    ExecutionReport,
+    PipelinedExecutor,
+    measure_partitions,
+)
+from repro.runtime.fragments import FragmentPlan
+
+PARTITIONERS = ("ours", "previous", "single", "perfilter")
+MAPPERS = ("ilp", "ilp-nocomm", "lpt", "roundrobin")
+
+
+@dataclass
+class FlowResult:
+    """Everything produced by one end-to-end mapping run."""
+
+    graph: StreamGraph
+    num_gpus: int
+    partitions: List[FrozenSet[int]]
+    partitioning: Optional[PartitioningResult]
+    pdg: PartitionDependenceGraph
+    mapping: MappingResult
+    measurements: List[KernelMeasurement]
+    report: ExecutionReport
+    engine: PerformanceEstimationEngine
+
+    @property
+    def throughput(self) -> float:
+        return self.report.throughput
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+
+def map_stream_graph(
+    graph: StreamGraph,
+    num_gpus: int = 1,
+    spec: GpuSpec = M2090,
+    partitioner: str = "ours",
+    mapper: str = "ilp",
+    peer_to_peer: bool = True,
+    topology: Optional[GpuTopology] = None,
+    plan: Optional[FragmentPlan] = None,
+    engine: Optional[PerformanceEstimationEngine] = None,
+    executions_per_fragment: int = 128,
+    static_workload_balance: bool = False,
+    gpu_slowdown: Optional[Sequence[float]] = None,
+    seed: int = 0,
+) -> FlowResult:
+    """Run the full mapping flow and simulate the pipelined execution.
+
+    ``static_workload_balance`` makes the LPT mapper balance static work
+    (Σ firing · work) instead of PEE times — the previous work has no
+    performance model, so its emulation sets this.
+
+    ``gpu_slowdown`` activates the heterogeneous extension of the ILP
+    (Section 3.2.2): one factor per GPU, applied to partition times at
+    mapping time.  The runtime simulator remains homogeneous (kernels are
+    measured on ``spec``), so with slowdowns the mapping is exercised but
+    the reported execution assumes uniform devices.
+    """
+    if partitioner not in PARTITIONERS:
+        raise ValueError(f"unknown partitioner {partitioner!r}")
+    if mapper not in MAPPERS:
+        raise ValueError(f"unknown mapper {mapper!r}")
+    engine = engine or PerformanceEstimationEngine(
+        graph, spec=spec, simulator=KernelSimulator(spec, seed=seed)
+    )
+    topology = topology or default_topology(num_gpus)
+
+    partitioning: Optional[PartitioningResult] = None
+    if partitioner == "ours":
+        partitioning = partition_stream_graph(graph, engine=engine, spec=spec)
+        partitions = partitioning.partitions
+        estimates = partitioning.estimates
+    elif partitioner == "previous":
+        partitions = previous_work_partition(graph, spec=spec)
+        estimates = None
+    elif partitioner == "perfilter":
+        partitions = one_kernel_per_filter(graph)
+        estimates = None
+    else:
+        partitions = single_partition(graph)
+        estimates = None
+
+    pdg = build_pdg(
+        graph,
+        partitions,
+        engine,
+        executions_per_fragment=executions_per_fragment,
+        estimates=estimates,
+    )
+    problem = build_mapping_problem(
+        pdg, num_gpus, topology=topology, peer_to_peer=peer_to_peer,
+        gpu_slowdown=list(gpu_slowdown) if gpu_slowdown else None,
+    )
+    mapping = _solve(
+        problem, mapper, graph, partitions, static_workload_balance, pdg
+    )
+
+    simulator = engine.simulator
+    measurements = measure_partitions(pdg, simulator, engine)
+    executor = PipelinedExecutor(
+        pdg,
+        mapping.assignment,
+        topology,
+        simulator,
+        measurements,
+        peer_to_peer=peer_to_peer,
+    )
+    report = executor.run(plan)
+    return FlowResult(
+        graph=graph,
+        num_gpus=num_gpus,
+        partitions=list(partitions),
+        partitioning=partitioning,
+        pdg=pdg,
+        mapping=mapping,
+        measurements=measurements,
+        report=report,
+        engine=engine,
+    )
+
+
+def _solve(
+    problem: MappingProblem,
+    mapper: str,
+    graph: StreamGraph,
+    partitions: Sequence[FrozenSet[int]],
+    static_workload_balance: bool,
+    pdg: PartitionDependenceGraph,
+) -> MappingResult:
+    if mapper == "ilp":
+        result = solve_milp(problem)
+        if not result.optimal:
+            # the solver hit its time limit; never return worse than the
+            # cheap heuristics (greedy balance, contiguous chain split),
+            # then polish the winner with local search
+            for fallback in (
+                lpt_mapping(problem),
+                contiguous_mapping(problem, pdg.topological_order()),
+            ):
+                if fallback.tmax < result.tmax:
+                    result = fallback
+            refined = refine_mapping(
+                problem, result.assignment, max_steps=64, use_swaps=False
+            )
+            if refined.tmax < result.tmax:
+                result = refined
+        return result
+    if mapper == "ilp-nocomm":
+        return solve_milp(problem, include_comm=False)
+    if mapper == "lpt":
+        workloads = None
+        if static_workload_balance:
+            workloads = [graph.total_work(members) for members in partitions]
+        return lpt_mapping(problem, workloads=workloads)
+    return round_robin_mapping(problem)

@@ -1,0 +1,27 @@
+"""Textual front end: a StreamIt-like stream language.
+
+The paper's toolchain consumes StreamIt programs; this package provides
+the equivalent entry point for the reproduction — a small declarative
+language describing filters and their composition::
+
+    pipeline Main {
+        filter src(push=64, role=source);
+        filter lowpass(pop=1, push=1, peek=64, work=128);
+        splitjoin {
+            split duplicate(1, 2);
+            pipeline { filter band0(pop=1, push=1, work=256); }
+            pipeline { filter band1(pop=1, push=1, work=256); }
+            join roundrobin(1, 1);
+        }
+        filter sum(pop=2, push=1, work=4, semantics=dot);
+        filter snk(pop=1, role=sink);
+    }
+
+``parse_stream`` produces the structure tree; ``compile_stream`` flattens
+it into a mapped-ready :class:`~repro.graph.stream_graph.StreamGraph`.
+"""
+
+from repro.frontend.parser import ParseError, compile_stream, parse_stream
+from repro.frontend.printer import print_stream
+
+__all__ = ["ParseError", "compile_stream", "parse_stream", "print_stream"]

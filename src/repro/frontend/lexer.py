@@ -1,0 +1,76 @@
+"""Tokenizer for the stream language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+#: token kinds and their regular expressions, in priority order
+_TOKEN_SPEC = (
+    ("COMMENT", r"//[^\n]*|/\*.*?\*/"),
+    ("NUMBER", r"\d+\.\d+|\d+"),
+    ("IDENT", r"[A-Za-z_][A-Za-z_0-9.]*"),
+    ("STRING", r'"[^"]*"'),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("SEMI", r";"),
+    ("EQUALS", r"="),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+    ("MISMATCH", r"."),
+)
+
+_MASTER = re.compile(
+    "|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC),
+    re.DOTALL,
+)
+
+
+class LexError(ValueError):
+    """Raised on an unrecognized character."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.text!r}, L{self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; comments and whitespace are dropped."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    for match in _MASTER.finditer(source):
+        kind = match.lastgroup or "MISMATCH"
+        text = match.group()
+        column = match.start() - line_start + 1
+        if kind == "NEWLINE":
+            line += 1
+            line_start = match.end()
+            continue
+        if kind in ("SKIP",):
+            continue
+        if kind == "COMMENT":
+            line += text.count("\n")
+            if "\n" in text:
+                line_start = match.start() + text.rfind("\n") + 1
+            continue
+        if kind == "MISMATCH":
+            raise LexError(
+                f"line {line}: unexpected character {text!r}"
+            )
+        tokens.append(Token(kind, text, line, column))
+    tokens.append(Token("EOF", "", line, 0))
+    return tokens

@@ -1,0 +1,316 @@
+"""Recursive-descent parser for the stream language.
+
+Grammar (EBNF)::
+
+    program     := pipeline_decl
+    pipeline_decl := "pipeline" IDENT? "{" item+ "}"
+    item        := filter_decl | splitjoin_decl | feedback_decl
+                 | pipeline_decl
+    filter_decl := "filter" IDENT "(" kv ("," kv)* ")" ";"
+    kv          := IDENT "=" value
+    splitjoin_decl := "splitjoin" IDENT? "{" split_stmt item+ join_stmt "}"
+    split_stmt  := "split" ("duplicate" | "roundrobin") "(" ints ")" ";"
+    join_stmt   := "join" "roundrobin" "(" ints ")" ";"
+    feedback_decl := "feedbackloop" IDENT? "{"
+                         join_stmt "body" item "loop" item split_stmt
+                         ("delay" NUMBER ";")?
+                     "}"
+
+Filter keys: ``pop push peek work role semantics stateful params``; role
+is one of source/sink/compute; params is a parenthesized tuple.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.frontend.lexer import LexError, Token, tokenize
+from repro.graph.filters import FilterRole, FilterSpec
+from repro.graph.flatten import flatten
+from repro.graph.stream_graph import StreamGraph
+from repro.graph.structure import (
+    FeedbackLoop,
+    Filt,
+    JoinSpec,
+    Pipeline,
+    SplitJoin,
+    SplitKind,
+    SplitSpec,
+    StreamNode,
+)
+
+_ROLES = {
+    "source": FilterRole.SOURCE,
+    "sink": FilterRole.SINK,
+    "compute": FilterRole.COMPUTE,
+}
+
+
+class ParseError(ValueError):
+    """Raised on syntax or semantic errors, with the source line."""
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    _SYMBOLS = {
+        "LBRACE": "{", "RBRACE": "}", "LPAREN": "(", "RPAREN": ")",
+        "COMMA": ",", "SEMI": ";", "EQUALS": "=", "EOF": "end of input",
+        "NUMBER": "a number", "IDENT": "a name",
+    }
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or self._SYMBOLS.get(kind, kind.lower())
+            raise ParseError(
+                f"line {token.line}: expected {want!r}, found {token.text!r}"
+            )
+        return self.advance()
+
+    def peek_keyword(self, *words: str) -> bool:
+        return self.current.kind == "IDENT" and self.current.text in words
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse_program(self) -> Pipeline:
+        node = self.parse_pipeline()
+        self.expect("EOF")
+        return node
+
+    def parse_pipeline(self) -> Pipeline:
+        self.expect("IDENT", "pipeline")
+        name = "pipeline"
+        if self.current.kind == "IDENT":
+            name = self.advance().text
+        items = self.parse_block()
+        return Pipeline(tuple(items), name=name)
+
+    def parse_block(self) -> List[StreamNode]:
+        self.expect("LBRACE")
+        items: List[StreamNode] = []
+        while self.current.kind != "RBRACE":
+            items.append(self.parse_item())
+        self.expect("RBRACE")
+        if not items:
+            raise ParseError(
+                f"line {self.current.line}: empty composition block"
+            )
+        return items
+
+    def parse_item(self) -> StreamNode:
+        if self.peek_keyword("filter"):
+            return self.parse_filter()
+        if self.peek_keyword("pipeline"):
+            return self.parse_pipeline()
+        if self.peek_keyword("splitjoin"):
+            return self.parse_splitjoin()
+        if self.peek_keyword("feedbackloop"):
+            return self.parse_feedback()
+        token = self.current
+        raise ParseError(
+            f"line {token.line}: expected filter/pipeline/splitjoin/"
+            f"feedbackloop, found {token.text!r}"
+        )
+
+    # -- filters --------------------------------------------------------
+    def parse_filter(self) -> Filt:
+        self.expect("IDENT", "filter")
+        name = self.expect("IDENT").text
+        line = self.current.line
+        self.expect("LPAREN")
+        fields = {}
+        while self.current.kind != "RPAREN":
+            key = self.expect("IDENT").text
+            self.expect("EQUALS")
+            fields[key] = self.parse_value()
+            if self.current.kind == "COMMA":
+                self.advance()
+        self.expect("RPAREN")
+        self.expect("SEMI")
+        return Filt(self._build_spec(name, fields, line))
+
+    def parse_value(self) -> Union[float, int, str, Tuple]:
+        token = self.current
+        if token.kind == "NUMBER":
+            self.advance()
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "IDENT":
+            self.advance()
+            return token.text
+        if token.kind == "STRING":
+            self.advance()
+            return token.text[1:-1]
+        if token.kind == "LPAREN":
+            self.advance()
+            values = []
+            while self.current.kind != "RPAREN":
+                values.append(self.parse_value())
+                if self.current.kind == "COMMA":
+                    self.advance()
+            self.expect("RPAREN")
+            return tuple(values)
+        raise ParseError(f"line {token.line}: expected a value, found {token.text!r}")
+
+    def _build_spec(self, name: str, fields: dict, line: int) -> FilterSpec:
+        known = {"pop", "push", "peek", "work", "role", "semantics",
+                 "stateful", "params"}
+        unknown = set(fields) - known
+        if unknown:
+            raise ParseError(
+                f"line {line}: unknown filter attribute(s) "
+                f"{', '.join(sorted(unknown))}"
+            )
+        role_name = fields.get("role", "compute")
+        if role_name not in _ROLES:
+            raise ParseError(
+                f"line {line}: unknown role {role_name!r} "
+                f"(expected source/sink/compute)"
+            )
+        role = _ROLES[role_name]
+        semantics = fields.get(
+            "semantics", "source" if role is FilterRole.SOURCE
+            else "sink" if role is FilterRole.SINK else "opaque"
+        )
+        params = fields.get("params", ())
+        if not isinstance(params, tuple):
+            params = (params,)
+        try:
+            return FilterSpec(
+                name=name,
+                pop=int(fields.get("pop", 0)),
+                push=int(fields.get("push", 0)),
+                peek=int(fields.get("peek", 0)),
+                work=float(fields.get("work", 1.0)),
+                role=role,
+                semantics=str(semantics),
+                params=params,
+                stateful=bool(fields.get("stateful", 0)),
+            )
+        except ValueError as exc:
+            raise ParseError(f"line {line}: {exc}") from exc
+
+    # -- split-join ------------------------------------------------------
+    def parse_splitjoin(self) -> SplitJoin:
+        self.expect("IDENT", "splitjoin")
+        name = "splitjoin"
+        if self.current.kind == "IDENT":
+            name = self.advance().text
+        self.expect("LBRACE")
+        split = self.parse_split_stmt()
+        branches: List[StreamNode] = []
+        while not self.peek_keyword("join"):
+            if self.current.kind == "RBRACE":
+                raise ParseError(
+                    f"line {self.current.line}: splitjoin missing join"
+                )
+            branches.append(self.parse_item())
+        join = self.parse_join_stmt()
+        self.expect("RBRACE")
+        try:
+            return SplitJoin(split, tuple(branches), join, name=name)
+        except ValueError as exc:
+            raise ParseError(f"splitjoin {name}: {exc}") from exc
+
+    def parse_split_stmt(self) -> SplitSpec:
+        self.expect("IDENT", "split")
+        kind_token = self.expect("IDENT")
+        values = self.parse_int_list()
+        self.expect("SEMI")
+        if kind_token.text == "duplicate":
+            if len(values) != 2:
+                raise ParseError(
+                    f"line {kind_token.line}: duplicate takes "
+                    "(weight, branches)"
+                )
+            weight, count = values
+            return SplitSpec(SplitKind.DUPLICATE, tuple([weight] * count))
+        if kind_token.text == "roundrobin":
+            return SplitSpec(SplitKind.ROUNDROBIN, tuple(values))
+        raise ParseError(
+            f"line {kind_token.line}: unknown splitter {kind_token.text!r}"
+        )
+
+    def parse_join_stmt(self) -> JoinSpec:
+        self.expect("IDENT", "join")
+        kind = self.expect("IDENT")
+        if kind.text != "roundrobin":
+            raise ParseError(
+                f"line {kind.line}: only roundrobin joiners exist"
+            )
+        values = self.parse_int_list()
+        self.expect("SEMI")
+        return JoinSpec(tuple(values))
+
+    def parse_int_list(self) -> List[int]:
+        self.expect("LPAREN")
+        values: List[int] = []
+        while self.current.kind != "RPAREN":
+            token = self.expect("NUMBER")
+            if "." in token.text:
+                raise ParseError(f"line {token.line}: expected an integer")
+            values.append(int(token.text))
+            if self.current.kind == "COMMA":
+                self.advance()
+        self.expect("RPAREN")
+        return values
+
+    # -- feedback ---------------------------------------------------------
+    def parse_feedback(self) -> FeedbackLoop:
+        self.expect("IDENT", "feedbackloop")
+        name = "feedbackloop"
+        if self.current.kind == "IDENT":
+            name = self.advance().text
+        self.expect("LBRACE")
+        join = self.parse_join_stmt()
+        self.expect("IDENT", "body")
+        body = self.parse_item()
+        self.expect("IDENT", "loop")
+        loopback = self.parse_item()
+        split = self.parse_split_stmt()
+        delay = 0
+        if self.peek_keyword("delay"):
+            self.advance()
+            delay = int(self.expect("NUMBER").text)
+            self.expect("SEMI")
+        self.expect("RBRACE")
+        try:
+            return FeedbackLoop(
+                body=body, loopback=loopback, join=join, split=split,
+                delay=delay, name=name,
+            )
+        except ValueError as exc:
+            raise ParseError(f"feedbackloop {name}: {exc}") from exc
+
+
+def parse_stream(source: str) -> Pipeline:
+    """Parse a stream-language program into a structure tree."""
+    try:
+        tokens = tokenize(source)
+    except LexError as exc:
+        raise ParseError(str(exc)) from exc
+    return _Parser(tokens).parse_program()
+
+
+def compile_stream(source: str, name: Optional[str] = None) -> StreamGraph:
+    """Parse and flatten a stream-language program.
+
+    The graph name defaults to the root pipeline's name.
+    """
+    root = parse_stream(source)
+    return flatten(root, name or root.name)

@@ -1,0 +1,132 @@
+"""Pretty-printer: structure trees back to stream-language source.
+
+Together with :mod:`repro.frontend.parser` this gives a round trip
+(`parse(print(tree)) == tree`), which the property tests exploit, and a
+way to save programmatically-built applications as editable source.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.filters import FilterRole
+from repro.graph.structure import (
+    FeedbackLoop,
+    Filt,
+    Pipeline,
+    SplitJoin,
+    SplitKind,
+    StreamNode,
+)
+
+_ROLE_NAMES = {
+    FilterRole.SOURCE: "source",
+    FilterRole.SINK: "sink",
+    FilterRole.COMPUTE: "compute",
+}
+
+
+def print_stream(node: StreamNode, indent: int = 0) -> str:
+    """Render a structure tree as stream-language source."""
+    if isinstance(node, Pipeline):
+        return _print_pipeline(node, indent)
+    # wrap bare items in an anonymous pipeline so output always parses
+    return _print_pipeline(Pipeline((node,), name="Main"), indent)
+
+
+def _pad(indent: int) -> str:
+    return "    " * indent
+
+
+def _print_pipeline(node: Pipeline, indent: int) -> str:
+    lines = [f"{_pad(indent)}pipeline {node.name} {{"]
+    for child in node.children:
+        lines.append(_print_item(child, indent + 1))
+    lines.append(f"{_pad(indent)}}}")
+    return "\n".join(lines)
+
+
+def _print_item(node: StreamNode, indent: int) -> str:
+    if isinstance(node, Filt):
+        return _print_filter(node, indent)
+    if isinstance(node, Pipeline):
+        return _print_pipeline(node, indent)
+    if isinstance(node, SplitJoin):
+        return _print_splitjoin(node, indent)
+    if isinstance(node, FeedbackLoop):
+        return _print_feedback(node, indent)
+    raise TypeError(f"unknown structure node: {node!r}")
+
+
+def _print_filter(node: Filt, indent: int) -> str:
+    spec = node.spec
+    fields: List[str] = []
+    if spec.pop:
+        fields.append(f"pop={spec.pop}")
+    if spec.push:
+        fields.append(f"push={spec.push}")
+    if spec.peek:
+        fields.append(f"peek={spec.peek}")
+    fields.append(f"work={_num(spec.work)}")
+    if spec.role is not FilterRole.COMPUTE:
+        fields.append(f"role={_ROLE_NAMES[spec.role]}")
+    default_sem = (
+        "source" if spec.role is FilterRole.SOURCE
+        else "sink" if spec.role is FilterRole.SINK else "opaque"
+    )
+    if spec.semantics != default_sem:
+        fields.append(f"semantics={spec.semantics}")
+    if spec.params:
+        inner = ", ".join(_num(v) for v in spec.params)
+        fields.append(f"params=({inner})")
+    if spec.stateful:
+        fields.append("stateful=1")
+    return f"{_pad(indent)}filter {spec.name}({', '.join(fields)});"
+
+
+def _print_splitjoin(node: SplitJoin, indent: int) -> str:
+    lines = [f"{_pad(indent)}splitjoin {node.name} {{"]
+    if node.split.kind is SplitKind.DUPLICATE:
+        lines.append(
+            f"{_pad(indent + 1)}split duplicate"
+            f"({node.split.weights[0]}, {len(node.split.weights)});"
+        )
+    else:
+        weights = ", ".join(str(w) for w in node.split.weights)
+        lines.append(f"{_pad(indent + 1)}split roundrobin({weights});")
+    for branch in node.branches:
+        lines.append(_print_item(branch, indent + 1))
+    weights = ", ".join(str(w) for w in node.join.weights)
+    lines.append(f"{_pad(indent + 1)}join roundrobin({weights});")
+    lines.append(f"{_pad(indent)}}}")
+    return "\n".join(lines)
+
+
+def _print_feedback(node: FeedbackLoop, indent: int) -> str:
+    lines = [f"{_pad(indent)}feedbackloop {node.name} {{"]
+    weights = ", ".join(str(w) for w in node.join.weights)
+    lines.append(f"{_pad(indent + 1)}join roundrobin({weights});")
+    lines.append(f"{_pad(indent + 1)}body {_print_item(node.body, 0).strip()}"
+                 if isinstance(node.body, Filt)
+                 else f"{_pad(indent + 1)}body\n{_print_item(node.body, indent + 1)}")
+    lines.append(f"{_pad(indent + 1)}loop {_print_item(node.loopback, 0).strip()}"
+                 if isinstance(node.loopback, Filt)
+                 else f"{_pad(indent + 1)}loop\n{_print_item(node.loopback, indent + 1)}")
+    if node.split.kind is SplitKind.DUPLICATE:
+        lines.append(
+            f"{_pad(indent + 1)}split duplicate"
+            f"({node.split.weights[0]}, {len(node.split.weights)});"
+        )
+    else:
+        weights = ", ".join(str(w) for w in node.split.weights)
+        lines.append(f"{_pad(indent + 1)}split roundrobin({weights});")
+    if node.delay:
+        lines.append(f"{_pad(indent + 1)}delay {node.delay};")
+    lines.append(f"{_pad(indent)}}}")
+    return "\n".join(lines)
+
+
+def _num(value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

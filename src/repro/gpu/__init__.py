@@ -1,0 +1,40 @@
+"""GPU platform substrate.
+
+The paper evaluates on real Fermi-class hardware (Nvidia C2070 / M2090 on a
+PCIe switch tree).  This package provides the simulated equivalent:
+
+* :mod:`repro.gpu.specs` -- device and link specifications,
+* :mod:`repro.gpu.topology` -- the PCIe tree of Figure 3.3, routing and the
+  ``dtlist(l)`` rule used by the ILP,
+* :mod:`repro.gpu.memory` -- liveness-based shared-memory requirements
+  (Figure 3.2 semantics) and buffer allocation,
+* :mod:`repro.gpu.kernel` -- kernel parameterization (S, W, F),
+* :mod:`repro.gpu.simulator` -- the detailed kernel-level timing simulator
+  that stands in for hardware measurements,
+* :mod:`repro.gpu.codegen` -- CUDA-C source emission,
+* :mod:`repro.gpu.functional` -- a functional VM executing stream graphs on
+  data for end-to-end correctness checks.
+"""
+
+from repro.gpu.kernel import KernelConfig
+from repro.gpu.memory import PartitionMemory, partition_memory
+from repro.gpu.simulator import KernelMeasurement, KernelSimulator, SimCosts
+from repro.gpu.specs import C2070, M2090, GpuSpec, LinkSpec, PCIE_GEN2_X16
+from repro.gpu.topology import GpuTopology, Link, default_topology
+
+__all__ = [
+    "C2070",
+    "GpuSpec",
+    "GpuTopology",
+    "KernelConfig",
+    "KernelMeasurement",
+    "KernelSimulator",
+    "Link",
+    "LinkSpec",
+    "M2090",
+    "PCIE_GEN2_X16",
+    "PartitionMemory",
+    "SimCosts",
+    "default_topology",
+    "partition_memory",
+]

@@ -1,0 +1,319 @@
+"""Functional stream-graph VM.
+
+Executes a flat :class:`StreamGraph` on actual data, firing filters in
+steady-state order with per-channel FIFO queues.  Its purpose is
+*semantic* validation — above all, proving that the Chapter V
+splitter/joiner elimination transforms a graph without changing its
+output stream.  The timing substrate lives in
+:mod:`repro.gpu.simulator`; this VM is deliberately timing-free.
+
+Two extensions support transformed graphs:
+
+* **Sliced channels** (:attr:`Channel.slice_period` etc.): after a
+  round-robin splitter is eliminated, each consumer reads a strided
+  slice of the producer's output block instead of a private copy
+  (Figure 5.1c).
+* **Interleaved inputs** (node meta ``interleave``): after a round-robin
+  joiner is eliminated, the consumer itself reassembles its input window
+  from multiple upstream channels — the "fragmentation problem" of
+  Figure 5.2c — using a persistent round-robin cursor.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.filters import FilterRole
+from repro.graph.stream_graph import Channel, StreamGraph
+
+
+class FunctionalError(RuntimeError):
+    """Raised when a graph cannot be executed functionally."""
+
+
+class FunctionalVM:
+    """Run a stream graph on data.
+
+    Parameters
+    ----------
+    graph:
+        Flat, rate-annotated stream graph.
+    source_fn:
+        Optional generator for primary inputs: called as
+        ``source_fn(node_name, index)`` for the ``index``-th element the
+        named source produces.  Defaults to a deterministic arithmetic
+        sequence so runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        graph: StreamGraph,
+        source_fn: Optional[Callable[[str, int], float]] = None,
+    ) -> None:
+        self.graph = graph
+        self.source_fn = source_fn or _default_source
+        self.queues: Dict[int, deque] = {
+            idx: deque() for idx in range(len(graph.channels))
+        }
+        self._source_counts: Dict[int, int] = {}
+        self._interleave_cursor: Dict[int, Tuple[int, int]] = {}
+        self.outputs: Dict[str, List[float]] = {}
+        self._in_chans: Dict[int, List[int]] = {}
+        self._out_chans: Dict[int, List[int]] = {}
+        for idx, ch in enumerate(graph.channels):
+            self._out_chans.setdefault(ch.src, []).append(idx)
+            self._in_chans.setdefault(ch.dst, []).append(idx)
+            for _ in range(ch.delay):
+                self.queues[idx].append(0.0)
+            # peeking consumers need their sliding-window history before
+            # the steady state starts — StreamIt's init schedule fills it;
+            # we pre-roll zeros (the same elements the delay of a feedback
+            # loop would contribute)
+            for _ in range(max(0, ch.effective_peek - ch.dst_pop)):
+                self.queues[idx].append(0.0)
+
+    # ------------------------------------------------------------------
+    def run(self, iterations: int = 1) -> Dict[str, List[float]]:
+        """Execute ``iterations`` steady-state iterations; returns the
+        per-sink output streams."""
+        order = self.graph.topological_order()
+        for _ in range(iterations):
+            for nid in order:
+                node = self.graph.nodes[nid]
+                for _ in range(node.firing):
+                    self._fire(nid)
+        return self.outputs
+
+    def output_stream(self) -> List[float]:
+        """All sink outputs concatenated in sink-name order."""
+        out: List[float] = []
+        for name in sorted(self.outputs):
+            out.extend(self.outputs[name])
+        return out
+
+    # ------------------------------------------------------------------
+    def _fire(self, nid: int) -> None:
+        node = self.graph.nodes[nid]
+        spec = node.spec
+        window = self._collect_window(nid)
+        produced = _SEMANTICS[spec.semantics](spec, window)
+        if spec.role is FilterRole.SINK or not self._out_chans.get(nid):
+            if spec.pop:  # collect what a sink consumed
+                self.outputs.setdefault(spec.name, []).extend(window)
+            return
+        self._deliver(nid, produced)
+
+    def _collect_window(self, nid: int) -> List[float]:
+        node = self.graph.nodes[nid]
+        spec = node.spec
+        in_chans = self._in_chans.get(nid, [])
+        if not in_chans:
+            if spec.role is FilterRole.SOURCE:
+                return self._generate(nid, spec.push)
+            return self._generate(nid, spec.pop)
+        meta = getattr(node, "meta", None) or {}
+        if "interleave" in meta:
+            return self._collect_interleaved(nid, meta["interleave"])
+        if len(in_chans) > 1:
+            # a joiner: params are per-branch weights in channel order
+            weights = node.spec.params or tuple([1] * len(in_chans))
+            window: List[float] = []
+            for chan_idx, weight in zip(in_chans, weights):
+                window.extend(self._take(chan_idx, weight))
+            return window
+        chan_idx = in_chans[0]
+        ch = self.graph.channels[chan_idx]
+        peek = ch.effective_peek
+        queue = self.queues[chan_idx]
+        if len(queue) < peek:
+            raise FunctionalError(
+                f"{spec.name}: needs {peek} elements, has {len(queue)}"
+            )
+        window = [queue[i] for i in range(peek)]
+        for _ in range(ch.dst_pop):
+            queue.popleft()
+        return window
+
+    def _collect_interleaved(self, nid: int, pattern: Sequence[Tuple[int, int]]):
+        """Reassemble the window from several channels (joiner-eliminated
+        consumer).  ``pattern`` lists (channel index, weight) rounds; a
+        persistent cursor carries partial rounds across firings."""
+        spec = self.graph.nodes[nid].spec
+        needed = spec.pop
+        window: List[float] = []
+        round_idx, used = self._interleave_cursor.get(nid, (0, 0))
+        while len(window) < needed:
+            chan_idx, weight = pattern[round_idx]
+            take = min(weight - used, needed - len(window))
+            window.extend(self._take(chan_idx, take))
+            used += take
+            if used == weight:
+                round_idx = (round_idx + 1) % len(pattern)
+                used = 0
+        self._interleave_cursor[nid] = (round_idx, used)
+        return window
+
+    def _take(self, chan_idx: int, count: int) -> List[float]:
+        queue = self.queues[chan_idx]
+        if len(queue) < count:
+            ch = self.graph.channels[chan_idx]
+            raise FunctionalError(
+                f"channel {self.graph.nodes[ch.src].name}->"
+                f"{self.graph.nodes[ch.dst].name}: needs {count}, has {len(queue)}"
+            )
+        return [queue.popleft() for _ in range(count)]
+
+    def _generate(self, nid: int, count: int) -> List[float]:
+        start = self._source_counts.get(nid, 0)
+        self._source_counts[nid] = start + count
+        name = self.graph.nodes[nid].spec.name
+        return [self.source_fn(name, start + i) for i in range(count)]
+
+    def _deliver(self, nid: int, block: List[float]) -> None:
+        node = self.graph.nodes[nid]
+        out_chans = self._out_chans[nid]
+        if node.spec.role is FilterRole.SPLITTER and len(out_chans) > 1:
+            if node.spec.semantics == "duplicate":
+                for chan_idx in out_chans:
+                    self.queues[chan_idx].extend(block)
+                return
+            # round-robin splitter: deal by weights in channel order
+            weights = node.spec.params or tuple([1] * len(out_chans))
+            cursor = 0
+            for chan_idx, weight in zip(out_chans, weights):
+                self.queues[chan_idx].extend(block[cursor : cursor + weight])
+                cursor += weight
+            return
+        for chan_idx in out_chans:
+            ch = self.graph.channels[chan_idx]
+            if ch.slice_period:
+                self.queues[chan_idx].extend(_slice_block(ch, block))
+            else:
+                self.queues[chan_idx].extend(block)
+
+
+def _slice_block(ch: Channel, block: List[float]) -> List[float]:
+    period = ch.slice_period
+    if len(block) % period:
+        raise FunctionalError(
+            f"sliced channel expects blocks divisible by {period}, got {len(block)}"
+        )
+    out: List[float] = []
+    for base in range(0, len(block), period):
+        out.extend(block[base + ch.slice_offset : base + ch.slice_offset + ch.slice_width])
+    return out
+
+
+def _default_source(name: str, index: int) -> float:
+    return float((index * 7 + len(name)) % 1009)
+
+
+# ----------------------------------------------------------------------
+# filter semantics: (spec, window) -> produced block
+# ----------------------------------------------------------------------
+def _sem_source(spec, window):
+    return window
+
+
+def _sem_sink(spec, window):
+    return []
+
+
+def _sem_identity(spec, window):
+    return list(window[: spec.push]) if spec.push != spec.pop else list(window)
+
+
+def _sem_passthrough(spec, window):
+    return list(window)
+
+
+def _sem_add(spec, window):
+    pop, push = spec.pop, spec.push
+    group = max(1, pop // max(push, 1))
+    return [sum(window[j * group : (j + 1) * group]) for j in range(push)]
+
+
+def _sem_sub(spec, window):
+    pop, push = spec.pop, spec.push
+    group = max(1, pop // max(push, 1))
+    out = []
+    for j in range(push):
+        chunk = window[j * group : (j + 1) * group]
+        out.append(chunk[0] - sum(chunk[1:]))
+    return out
+
+
+def _sem_scale(spec, window):
+    factor = spec.params[0] if spec.params else 2.0
+    return [factor * v for v in window[: spec.pop]][: spec.push] + [
+        0.0
+    ] * max(0, spec.push - spec.pop)
+
+
+def _sem_xor_const(spec, window):
+    key = int(spec.params[0]) if spec.params else 0x5A
+    out = [float(int(v) ^ key) for v in window[: spec.pop]]
+    if spec.push <= spec.pop:
+        return out[: spec.push]
+    return out + [float(key)] * (spec.push - spec.pop)
+
+
+def _sem_butterfly(spec, window):
+    m = int(spec.params[0]) if spec.params else max(1, spec.pop // 2)
+    data = list(window[: spec.pop])
+    out = list(data)
+    span = 2 * m
+    for base in range(0, len(data) - span + 1, span):
+        for j in range(m):
+            a, b = data[base + j], data[base + j + m]
+            out[base + j] = a + b
+            out[base + j + m] = a - b
+    return out[: spec.push]
+
+
+def _sem_sort2(spec, window):
+    return sorted(window[: spec.pop])[: spec.push]
+
+
+def _sem_dot(spec, window):
+    coeffs = spec.params or (1.0,)
+    pop, push = spec.pop, spec.push
+    group = max(1, pop // max(push, 1))
+    out = []
+    for j in range(push):
+        chunk = window[j * group : (j + 1) * group]
+        out.append(sum(v * coeffs[i % len(coeffs)] for i, v in enumerate(chunk)))
+    return out
+
+
+def _sem_shuffle(spec, window):
+    data = list(window[: spec.pop])
+    out = list(reversed(data))
+    if spec.push <= len(out):
+        return out[: spec.push]
+    return out + [0.0] * (spec.push - len(out))
+
+
+def _sem_opaque(spec, window):
+    total = math.fsum(window)
+    return [0.5 * total + j for j in range(spec.push)]
+
+
+_SEMANTICS = {
+    "source": _sem_source,
+    "sink": _sem_sink,
+    "identity": _sem_identity,
+    "duplicate": _sem_passthrough,
+    "roundrobin": _sem_passthrough,
+    "add": _sem_add,
+    "sub": _sem_sub,
+    "scale": _sem_scale,
+    "xor_const": _sem_xor_const,
+    "butterfly": _sem_butterfly,
+    "sort2": _sem_sort2,
+    "dot": _sem_dot,
+    "shuffle": _sem_shuffle,
+    "opaque": _sem_opaque,
+}

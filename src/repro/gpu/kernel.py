@@ -1,0 +1,78 @@
+"""Kernel parameterization.
+
+The one-kernel-for-graph approach (Section 2.1.3) launches, per partition,
+a single CUDA block per SM whose threads split into two roles:
+
+* ``W * S`` *compute threads* — ``W`` concurrent executions of the
+  partition's steady state, each driven by ``S`` threads that
+  data-parallelize filter firings (a filter with firing rate ``f_i`` can
+  use at most ``min(f_i, S)`` of them),
+* ``F`` *data-transfer threads* — stream boundary I/O between global and
+  shared memory through the double buffer.
+
+Choosing (S, W, F) is the optimization the Performance Estimation Engine
+performs and the code generator replays (static-discrepancy minimization,
+Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.memory import PartitionMemory
+from repro.gpu.specs import GpuSpec
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """A concrete (S, W, F) choice for one partition's kernel."""
+
+    compute_threads_per_execution: int  # S
+    executions_per_kernel: int  # W
+    transfer_threads: int  # F
+
+    def __post_init__(self) -> None:
+        if self.compute_threads_per_execution < 1:
+            raise ValueError("S must be >= 1")
+        if self.executions_per_kernel < 1:
+            raise ValueError("W must be >= 1")
+        if self.transfer_threads < 0:
+            raise ValueError("F must be >= 0")
+
+    @property
+    def s(self) -> int:
+        return self.compute_threads_per_execution
+
+    @property
+    def w(self) -> int:
+        return self.executions_per_kernel
+
+    @property
+    def f(self) -> int:
+        return self.transfer_threads
+
+    @property
+    def compute_threads(self) -> int:
+        """Total compute threads ``W * S``."""
+        return self.w * self.s
+
+    @property
+    def total_threads(self) -> int:
+        """Block size ``W * S + F``."""
+        return self.compute_threads + self.f
+
+    def fits(self, spec: GpuSpec, memory: PartitionMemory) -> bool:
+        """Whether this configuration satisfies the thread and SM limits."""
+        if self.total_threads > spec.max_threads_per_block:
+            return False
+        return memory.smem_for(self.w) <= spec.shared_mem_bytes
+
+    def describe(self) -> str:
+        return f"S={self.s} W={self.w} F={self.f} (threads={self.total_threads})"
+
+
+#: Conservative default used when a caller needs *some* valid config
+#: before running the parameter search.
+DEFAULT_CONFIG = KernelConfig(
+    compute_threads_per_execution=1, executions_per_kernel=1, transfer_threads=32
+)

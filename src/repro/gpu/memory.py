@@ -1,0 +1,255 @@
+"""Shared-memory requirements of stream-graph partitions (Figure 3.2).
+
+In the one-kernel-for-graph execution style, inter-filter channels of a
+partition live in the SM's shared memory.  Filters fire sequentially (in
+topological order) within one *execution* of the partition, so a channel's
+buffer is only live from its producer's first firing to its consumer's last
+firing.  That is why pipelines are cheap (adjacent short-lived buffers,
+Fig. 3.2a) while split/join structures are expensive (all branch buffers
+overlap, Fig. 3.2b) — the structural fact phase 1 of the partitioning
+heuristic exploits.
+
+The partition's kernel additionally stages its boundary I/O through shared
+memory with double buffering: one I/O buffer is used by the compute threads
+while the data-transfer threads fill/drain the other.  A kernel running
+``W`` concurrent executions therefore needs::
+
+    W * (working_set + 2 * io_bytes)  <=  shared_mem_bytes
+
+which bounds ``W`` (Section 2.1.3's "only a limited number of executions
+may run concurrently per SM").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graph.stream_graph import Channel, StreamGraph
+
+
+@dataclass(frozen=True)
+class PartitionMemory:
+    """Shared-memory footprint of one execution of a partition.
+
+    All sizes in bytes.  ``working_set`` covers the *internal* channel
+    buffers; boundary traffic is staged separately and counted twice by
+    :meth:`smem_for` — once in the working-set copy the compute threads
+    read/write, once in the double buffer the transfer threads fill/drain
+    (the WS/DB pair that Eq. III.11 swaps).
+    """
+
+    working_set: int
+    io_in: int
+    io_out: int
+    #: bytes actually moved per execution (excludes resident peek
+    #: history, which stays in shared memory across executions)
+    io_in_traffic: int = 0
+    io_out_traffic: int = 0
+
+    @property
+    def io_bytes(self) -> int:
+        """Staged I/O buffer bytes (what occupies the WS/DB pair)."""
+        return self.io_in + self.io_out
+
+    @property
+    def io_traffic_bytes(self) -> int:
+        """Bytes the transfer threads move per execution."""
+        return self.io_in_traffic + self.io_out_traffic
+
+    def smem_for(self, executions: int) -> int:
+        """Shared memory needed by ``executions`` concurrent executions."""
+        return executions * (self.working_set + 2 * self.io_bytes)
+
+    def max_executions(self, shared_mem_bytes: int) -> int:
+        """Largest ``W`` fitting in ``shared_mem_bytes`` (0 if none)."""
+        per_exec = self.working_set + 2 * self.io_bytes
+        if per_exec <= 0:
+            return shared_mem_bytes  # degenerate, no memory needed
+        return shared_mem_bytes // per_exec
+
+
+def partition_memory(
+    graph: StreamGraph,
+    members: Optional[Iterable[int]] = None,
+    policy: str = "static",
+) -> PartitionMemory:
+    """Compute the per-execution footprint of a node set (default: all).
+
+    Two allocation policies:
+
+    * ``"static"`` (default) — every internal buffer is resident for the
+      whole execution.  This matches the underlying runtime of [4]/[7]:
+      compute threads of all filters coexist (software pipelining across
+      the double-buffer swap), so buffers cannot be time-multiplexed.
+      Static allocation is what throttles ``W`` as partitions grow and
+      therefore what stops Try-Merge on compute-bound regions — without
+      it, pipeline merges would be free and every chain would collapse
+      into one kernel.
+    * ``"liveness"`` — buffers live only from producer to consumer under
+      the sequential firing schedule.  This is the analysis behind
+      Figure 3.2's pipeline-vs-split contrast and is exposed for study
+      (see the ``fig3_2`` example), and it is the lower bound a smarter
+      code generator could approach.
+
+    Channels sharing an ``alias_group`` (splitter/joiner elimination) are
+    charged once per group under either policy.
+    """
+    if policy not in ("static", "liveness"):
+        raise ValueError(f"unknown allocation policy {policy!r}")
+    mset = set(members) if members is not None else {n.node_id for n in graph.nodes}
+    order = [nid for nid in graph.topological_order() if nid in mset]
+    position = {nid: idx for idx, nid in enumerate(order)}
+    last = len(order) - 1 if order else 0
+
+    intervals: List[Tuple[int, int, int]] = []  # (start, end, bytes)
+    seen_groups: Dict[int, Tuple[int, int, int]] = {}
+    io_in = io_out = io_in_traffic = io_out_traffic = 0
+    for ch in graph.channels:
+        src_in = ch.src in mset
+        dst_in = ch.dst in mset
+        if not src_in and not dst_in:
+            continue
+        size = graph.channel_bytes(ch)
+        if src_in and dst_in:
+            start, end = position[ch.src], position[ch.dst]
+            if policy == "static":
+                start, end = 0, last
+        elif dst_in:
+            # boundary input: staged through the WS/DB pair, not an
+            # internal buffer — accounted by smem_for's 2*io term.  The
+            # consumer keeps any peek history, so the buffer includes it
+            # but the per-execution traffic does not.
+            io_in += size
+            io_in_traffic += graph.channel_traffic_bytes(ch)
+            continue
+        else:
+            # boundary output: the producer stages only what it writes;
+            # the consumer's peek history is the consumer's problem
+            traffic = graph.channel_traffic_bytes(ch)
+            io_out += traffic
+            io_out_traffic += traffic
+            continue
+        if ch.alias_group is not None:
+            prev = seen_groups.get(ch.alias_group)
+            if prev is not None:
+                # widen the group's live interval; charge its size once
+                merged = (min(prev[0], start), max(prev[1], end), max(prev[2], size))
+                seen_groups[ch.alias_group] = merged
+                continue
+            seen_groups[ch.alias_group] = (start, end, size)
+            continue
+        intervals.append((start, end, size))
+    intervals.extend(seen_groups.values())
+
+    # primary I/O of member nodes also stages through the WS/DB pair
+    for nid in mset:
+        pin = graph.primary_input_elems(nid) * graph.elem_bytes
+        pout = graph.primary_output_elems(nid) * graph.elem_bytes
+        io_in += pin
+        io_out += pout
+        io_in_traffic += pin
+        io_out_traffic += pout
+
+    peak = _peak_overlap(intervals, len(order))
+    return PartitionMemory(
+        working_set=peak,
+        io_in=io_in,
+        io_out=io_out,
+        io_in_traffic=io_in_traffic,
+        io_out_traffic=io_out_traffic,
+    )
+
+
+def _peak_overlap(intervals: Sequence[Tuple[int, int, int]], steps: int) -> int:
+    """Peak total size over positions 0..steps-1 of closed intervals."""
+    if not intervals:
+        return 0
+    deltas = [0] * (steps + 1)
+    for start, end, size in intervals:
+        deltas[start] += size
+        deltas[end + 1 if end + 1 <= steps else steps] -= size
+    peak = cur = 0
+    for step in range(steps):
+        cur += deltas[step]
+        peak = max(peak, cur)
+    return peak
+
+
+@dataclass(frozen=True)
+class BufferPlacement:
+    """Where a channel's buffer lives in the generated kernel."""
+
+    channel_index: int
+    offset: int
+    size: int
+    in_shared: bool
+
+
+def allocate_buffers(
+    graph: StreamGraph,
+    members: Iterable[int],
+    shared_mem_bytes: int,
+    reserve_bytes: int = 0,
+    policy: str = "static",
+) -> List[BufferPlacement]:
+    """Assign shared-memory offsets to a partition's internal buffers.
+
+    Greedy linear-scan over the buffers' live intervals (all-resident
+    under the default ``"static"`` policy; producer-to-consumer under
+    ``"liveness"``, where offsets are reused once a buffer dies).
+    Buffers that do not fit below ``shared_mem_bytes - reserve_bytes``
+    spill to global memory (``in_shared=False``) — the regime that makes
+    single-partition mappings of large graphs slow
+    (see :mod:`repro.gpu.simulator`).
+    """
+    if policy not in ("static", "liveness"):
+        raise ValueError(f"unknown allocation policy {policy!r}")
+    mset = set(members)
+    order = [nid for nid in graph.topological_order() if nid in mset]
+    position = {nid: idx for idx, nid in enumerate(order)}
+    last = len(order) - 1 if order else 0
+
+    requests: List[Tuple[int, int, int, int]] = []  # (start, end, size, chan idx)
+    grouped: Dict[int, int] = {}
+    for idx, ch in enumerate(graph.channels):
+        src_in = ch.src in mset
+        dst_in = ch.dst in mset
+        if not src_in and not dst_in:
+            continue
+        if policy == "static":
+            start, end = 0, last
+        else:
+            start = position[ch.src] if src_in else 0
+            end = position[ch.dst] if dst_in else last
+        size = graph.channel_bytes(ch)
+        if ch.alias_group is not None and ch.alias_group in grouped:
+            continue  # placed with the first channel of its group
+        if ch.alias_group is not None:
+            grouped[ch.alias_group] = idx
+        requests.append((start, end, size, idx))
+
+    requests.sort()
+    budget = shared_mem_bytes - reserve_bytes
+    live: List[Tuple[int, int, int]] = []  # (end, offset, size)
+    placements: List[BufferPlacement] = []
+    for start, end, size, idx in requests:
+        live = [entry for entry in live if entry[0] >= start]
+        offset = _first_fit(live, size)
+        if offset + size <= budget:
+            live.append((end, offset, size))
+            placements.append(BufferPlacement(idx, offset, size, True))
+        else:
+            placements.append(BufferPlacement(idx, 0, size, False))
+    return placements
+
+
+def _first_fit(live: List[Tuple[int, int, int]], size: int) -> int:
+    """Lowest offset not overlapping any live allocation."""
+    taken = sorted((offset, offset + sz) for _, offset, sz in live)
+    cursor = 0
+    for lo, hi in taken:
+        if cursor + size <= lo:
+            return cursor
+        cursor = max(cursor, hi)
+    return cursor

@@ -1,0 +1,111 @@
+"""Device and interconnect specifications.
+
+All times in the reproduction are expressed in **nanoseconds** and data in
+4-byte stream elements unless stated otherwise.  The two Fermi-class parts
+from the paper are predefined: the C2070 ("G1" in Figure 4.4, used by the
+previous work [7]) and the M2090 ("G2", the paper's testbed).  The M2090 is
+a scaled-up C2070 — same architecture and shared-memory size, higher core
+clock, memory clock, and streaming-multiprocessor count — which is exactly
+the property the SOSP-validity argument of Section 4.0.5 relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a GPU device.
+
+    Attributes
+    ----------
+    name:
+        Marketing name.
+    sm_count:
+        Number of streaming multiprocessors; one resident block per SM in
+        the one-kernel-for-graph execution style (the kernel's shared
+        memory footprint fills the SM), so this bounds fragment-level
+        parallelism.
+    clock_ghz:
+        Core clock; per-operation latency scales inversely with it.
+    shared_mem_bytes:
+        Shared-memory (scratchpad) capacity per SM.  48 KB on both parts,
+        which is why the previous work's partitioning is identical across
+        them (Section 4.0.5).
+    mem_bandwidth_gbps:
+        Off-chip memory bandwidth in GB/s; data-transfer-thread throughput
+        scales with it.
+    max_threads_per_block:
+        Upper bound on ``W*S + F``.
+    warp_size:
+        SIMT width; thread counts are rounded up to warps by the
+        simulator.
+    compute_capability:
+        CUDA compute capability (2.0 for both Fermi parts).
+    """
+
+    name: str
+    sm_count: int
+    clock_ghz: float
+    shared_mem_bytes: int = 48 * 1024
+    mem_bandwidth_gbps: float = 150.0
+    max_threads_per_block: int = 1024
+    warp_size: int = 32
+    compute_capability: str = "2.0"
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0 or self.clock_ghz <= 0:
+            raise ValueError("sm_count and clock_ghz must be positive")
+        if self.max_threads_per_block % self.warp_size:
+            raise ValueError("max threads per block must be warp aligned")
+
+    @property
+    def compute_scale(self) -> float:
+        """Per-thread compute-time scale relative to a 1 GHz reference."""
+        return 1.0 / self.clock_ghz
+
+    @property
+    def bandwidth_scale(self) -> float:
+        """Data-transfer-time scale relative to the M2090's bandwidth."""
+        return M2090.mem_bandwidth_gbps / self.mem_bandwidth_gbps
+
+    @property
+    def peak_throughput_proxy(self) -> float:
+        """Aggregate compute-throughput proxy (SM count x clock).
+
+        The M2090/C2070 ratio of this proxy is ~1.29, matching the 29%
+        compute-power gap quoted in Section 4.0.5.
+        """
+        return self.sm_count * self.clock_ghz
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A full-duplex PCI Express link (one direction's parameters).
+
+    ``bandwidth_bytes_per_ns`` is the sustained unidirectional bandwidth;
+    ``latency_ns`` the initial transfer latency (the ``Lat`` term of
+    Eq. III.3).
+    """
+
+    bandwidth_bytes_per_ns: float
+    latency_ns: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_ns <= 0 or self.latency_ns < 0:
+            raise ValueError("invalid link spec")
+
+    def transfer_ns(self, nbytes: float) -> float:
+        """Latency + bandwidth cost of moving ``nbytes`` over the link."""
+        return self.latency_ns + nbytes / self.bandwidth_bytes_per_ns
+
+
+#: Tesla C2070: 14 SMs @ 1.15 GHz, 144 GB/s ("G1" of Figure 4.4).
+C2070 = GpuSpec(name="C2070", sm_count=14, clock_ghz=1.15, mem_bandwidth_gbps=144.0)
+
+#: Tesla M2090: 16 SMs @ 1.30 GHz, 177 GB/s ("G2", the paper's testbed).
+M2090 = GpuSpec(name="M2090", sm_count=16, clock_ghz=1.30, mem_bandwidth_gbps=177.0)
+
+#: PCIe 2.0 x16: ~6 GB/s sustained per direction, ~10 us setup latency.
+PCIE_GEN2_X16 = LinkSpec(bandwidth_bytes_per_ns=6.0, latency_ns=10_000.0)

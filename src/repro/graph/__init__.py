@@ -1,0 +1,52 @@
+"""Stream-graph intermediate representation.
+
+This package is the StreamIt-like front end of the reproduction: it provides
+
+* :mod:`repro.graph.filters` -- filter declarations (rates, work, roles),
+* :mod:`repro.graph.structure` -- hierarchical composition operators
+  (pipeline, split-join, feedback loop),
+* :mod:`repro.graph.flatten` -- flattening a hierarchy into a flat
+  :class:`~repro.graph.stream_graph.StreamGraph`,
+* :mod:`repro.graph.scheduling` -- steady-state scheduling (repetition
+  vector via the SDF balance equations),
+* :mod:`repro.graph.validate` -- structural validation,
+* :mod:`repro.graph.dot` -- Graphviz export for debugging.
+
+The mapping flow (partitioning, ILP mapping, code generation) consumes the
+flat, rate-annotated :class:`~repro.graph.stream_graph.StreamGraph`.
+"""
+
+from repro.graph.filters import FilterRole, FilterSpec
+from repro.graph.structure import (
+    FeedbackLoop,
+    Filt,
+    JoinSpec,
+    Pipeline,
+    SplitJoin,
+    SplitKind,
+    SplitSpec,
+)
+from repro.graph.stream_graph import Channel, FilterNode, StreamGraph
+from repro.graph.flatten import flatten
+from repro.graph.scheduling import RateConsistencyError, solve_repetition_vector
+from repro.graph.validate import GraphValidationError, validate_graph
+
+__all__ = [
+    "Channel",
+    "FeedbackLoop",
+    "Filt",
+    "FilterNode",
+    "FilterRole",
+    "FilterSpec",
+    "GraphValidationError",
+    "JoinSpec",
+    "Pipeline",
+    "RateConsistencyError",
+    "SplitJoin",
+    "SplitKind",
+    "SplitSpec",
+    "StreamGraph",
+    "flatten",
+    "solve_repetition_vector",
+    "validate_graph",
+]

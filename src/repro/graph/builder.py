@@ -1,0 +1,137 @@
+"""Small DSL for building stream graphs programmatically.
+
+The benchmark generators in :mod:`repro.apps` and user code build graphs
+through this module; it re-exports the structure constructors plus a
+``GraphBuilder`` for ad-hoc flat graphs (used heavily in tests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.graph.filters import FilterRole, FilterSpec, sink, source
+from repro.graph.scheduling import solve_repetition_vector
+from repro.graph.stream_graph import StreamGraph
+from repro.graph.structure import (
+    duplicate,
+    join_roundrobin,
+    pipeline,
+    roundrobin,
+    splitjoin,
+)
+
+__all__ = [
+    "FilterSpec",
+    "FilterRole",
+    "GraphBuilder",
+    "duplicate",
+    "join_roundrobin",
+    "linear_pipeline_graph",
+    "pipeline",
+    "roundrobin",
+    "sink",
+    "source",
+    "splitjoin",
+]
+
+
+class GraphBuilder:
+    """Imperative builder for flat stream graphs.
+
+    Example
+    -------
+    >>> b = GraphBuilder("tiny")
+    >>> s = b.filter("src", pop=0, push=4, role=FilterRole.SOURCE)
+    >>> f = b.filter("work", pop=4, push=4, work=10.0)
+    >>> t = b.filter("snk", pop=4, push=0, role=FilterRole.SINK)
+    >>> b.connect(s, f)
+    >>> b.connect(f, t)
+    >>> g = b.build()
+    >>> [n.firing for n in g.nodes]
+    [1, 1, 1]
+    """
+
+    def __init__(self, name: str, elem_bytes: int = 4) -> None:
+        self.graph = StreamGraph(name, elem_bytes=elem_bytes)
+
+    def filter(
+        self,
+        name: str,
+        pop: int,
+        push: int,
+        peek: int = 0,
+        work: float = 1.0,
+        role: FilterRole = FilterRole.COMPUTE,
+        semantics: str = "opaque",
+        params: tuple = (),
+        stateful: bool = False,
+    ) -> int:
+        """Add a filter node; returns its node id."""
+        spec = FilterSpec(
+            name=name,
+            pop=pop,
+            push=push,
+            peek=peek,
+            work=work,
+            role=role,
+            semantics=semantics,
+            params=params,
+            stateful=stateful,
+        )
+        return self.graph.add_node(spec).node_id
+
+    def connect(
+        self,
+        src: int,
+        dst: int,
+        src_push: Optional[int] = None,
+        dst_pop: Optional[int] = None,
+        dst_peek: Optional[int] = None,
+        delay: int = 0,
+    ) -> None:
+        """Connect two nodes; rates/peek default to the specs' values."""
+        push = src_push if src_push is not None else self.graph.nodes[src].spec.push
+        pop = dst_pop if dst_pop is not None else self.graph.nodes[dst].spec.pop
+        if dst_peek is None:
+            declared = self.graph.nodes[dst].spec.peek
+            dst_peek = declared if declared > pop else 0
+        self.graph.add_channel(src, dst, push, pop, dst_peek, delay)
+
+    def mark_pipeline(self, node_ids: List[int]) -> None:
+        """Record an innermost-pipeline segment (phase-1 input)."""
+        seg_id = len(self.graph.pipelines)
+        self.graph.pipelines.append(list(node_ids))
+        for nid in node_ids:
+            self.graph.nodes[nid].pipeline_id = seg_id
+
+    def build(self, solve_rates: bool = True) -> StreamGraph:
+        """Finish the graph (solves the repetition vector by default)."""
+        if solve_rates:
+            solve_repetition_vector(self.graph)
+        return self.graph
+
+
+def linear_pipeline_graph(
+    name: str,
+    stages: int,
+    rate: int = 16,
+    work: float = 8.0,
+    mark_segment: bool = True,
+) -> StreamGraph:
+    """A source -> N compute stages -> sink chain (testing workhorse)."""
+    builder = GraphBuilder(name)
+    src = builder.filter(
+        "src", pop=0, push=rate, role=FilterRole.SOURCE, semantics="source"
+    )
+    prev = src
+    stage_ids = []
+    for i in range(stages):
+        nid = builder.filter(f"stage{i}", pop=rate, push=rate, work=work)
+        builder.connect(prev, nid)
+        stage_ids.append(nid)
+        prev = nid
+    snk = builder.filter("snk", pop=rate, push=0, role=FilterRole.SINK, semantics="sink")
+    builder.connect(prev, snk)
+    if mark_segment and len(stage_ids) >= 2:
+        builder.mark_pipeline(stage_ids)
+    return builder.build()

@@ -1,0 +1,68 @@
+"""Graphviz (DOT) export of stream graphs and partitioned graphs."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.graph.filters import FilterRole
+from repro.graph.stream_graph import StreamGraph
+
+_ROLE_SHAPE = {
+    FilterRole.SOURCE: "invtriangle",
+    FilterRole.SINK: "triangle",
+    FilterRole.COMPUTE: "box",
+    FilterRole.SPLITTER: "diamond",
+    FilterRole.JOINER: "diamond",
+}
+
+
+def to_dot(
+    graph: StreamGraph,
+    partition_of: Optional[Dict[int, int]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``graph`` as a DOT digraph.
+
+    ``partition_of`` optionally maps node id -> partition index; nodes are
+    then grouped into clusters, which is handy for eyeballing the
+    partitioning heuristic's output.
+    """
+    lines = [f'digraph "{title or graph.name}" {{', "  rankdir=TB;"]
+    if partition_of:
+        by_part: Dict[int, list] = {}
+        for nid, pid in partition_of.items():
+            by_part.setdefault(pid, []).append(nid)
+        for pid in sorted(by_part):
+            lines.append(f"  subgraph cluster_{pid} {{")
+            lines.append(f'    label="P{pid}";')
+            for nid in sorted(by_part[pid]):
+                lines.append(f"    {_node_line(graph, nid)}")
+            lines.append("  }")
+        rendered = set(partition_of)
+    else:
+        rendered = set()
+    for node in graph.nodes:
+        if node.node_id not in rendered:
+            lines.append(f"  {_node_line(graph, node.node_id)}")
+    for ch in graph.channels:
+        elems = graph.channel_elems(ch) if graph.nodes[ch.src].firing else "?"
+        style = ' style=dashed' if ch.delay else ""
+        lines.append(f'  n{ch.src} -> n{ch.dst} [label="{elems}"{style}];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _node_line(graph: StreamGraph, nid: int) -> str:
+    node = graph.nodes[nid]
+    shape = _ROLE_SHAPE[node.spec.role]
+    label = f"{node.spec.name}\\nf={node.firing}" if node.firing else node.spec.name
+    return f'n{nid} [shape={shape} label="{label}"];'
+
+
+def partition_map(assignments: Sequence[Sequence[int]]) -> Dict[int, int]:
+    """Build the node->partition map from a list of member lists."""
+    mapping: Dict[int, int] = {}
+    for pid, members in enumerate(assignments):
+        for nid in members:
+            mapping[nid] = pid
+    return mapping

@@ -1,0 +1,149 @@
+"""Filter declarations for stream graphs.
+
+A *filter* (StreamIt terminology; also called an *actor*) is the unit of
+computation in a stream graph.  Each firing of a filter pops a fixed number
+of elements from its input channel, peeks at most ``peek`` elements, and
+pushes a fixed number of elements to its output channel.
+
+Filters carry an abstract *work* estimate (arithmetic operations per firing)
+that the profiling substrate (:mod:`repro.perf.profiling`) converts into a
+GPU execution-time annotation ``t_i``, and an optional *semantics* tag that
+lets the functional VM (:mod:`repro.gpu.functional`) actually execute the
+filter on data for end-to-end correctness checks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FilterRole(enum.Enum):
+    """Structural role of a filter inside a stream graph.
+
+    ``SPLITTER`` and ``JOINER`` are the synthetic data-distribution /
+    consolidation filters introduced when flattening a split-join; the
+    Chapter V optimization (:mod:`repro.opt.splitjoin_elim`) targets exactly
+    these roles because they move data without transforming it.
+    """
+
+    SOURCE = "source"
+    SINK = "sink"
+    COMPUTE = "compute"
+    SPLITTER = "splitter"
+    JOINER = "joiner"
+
+    @property
+    def is_data_movement(self) -> bool:
+        """Whether the role only rearranges data (splitter/joiner)."""
+        return self in (FilterRole.SPLITTER, FilterRole.JOINER)
+
+
+#: Semantics tags understood by the functional VM.  ``opaque`` filters are
+#: executable too (they copy/reduce input deterministically) so every graph
+#: can run end to end.
+KNOWN_SEMANTICS = (
+    "opaque",
+    "identity",
+    "duplicate",
+    "roundrobin",
+    "add",
+    "sub",
+    "scale",
+    "xor_const",
+    "butterfly",
+    "sort2",
+    "dot",
+    "shuffle",
+    "source",
+    "sink",
+)
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """Immutable declaration of a stream filter.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name; needs not be globally unique (flattening
+        assigns unique node ids).
+    pop:
+        Elements consumed from the input channel per firing.  ``0`` for
+        sources.
+    push:
+        Elements produced on the output channel per firing.  ``0`` for
+        sinks.
+    peek:
+        Elements inspected per firing (``peek >= pop``); ``0`` means
+        "same as pop".  A sliding-window FIR filter peeks more than it
+        pops.
+    work:
+        Abstract arithmetic operations per firing.  This is the knob the
+        benchmark generators use to make an app compute-bound or
+        IO-bound.
+    role:
+        Structural role, see :class:`FilterRole`.
+    semantics:
+        Tag for the functional VM; must be one of :data:`KNOWN_SEMANTICS`.
+    params:
+        Semantics-specific constants (e.g. the scale factor).
+    stateful:
+        Stateful filters cannot be data-parallelized across firings, so
+        the kernel parameter search clamps their per-execution thread
+        count ``S`` contribution to 1.
+    """
+
+    name: str
+    pop: int
+    push: int
+    peek: int = 0
+    work: float = 1.0
+    role: FilterRole = FilterRole.COMPUTE
+    semantics: str = "opaque"
+    params: tuple = field(default=())
+    stateful: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pop < 0 or self.push < 0:
+            raise ValueError(f"{self.name}: rates must be non-negative")
+        if self.peek and self.peek < self.pop:
+            raise ValueError(f"{self.name}: peek ({self.peek}) < pop ({self.pop})")
+        if self.work < 0:
+            raise ValueError(f"{self.name}: work must be non-negative")
+        if self.semantics not in KNOWN_SEMANTICS:
+            raise ValueError(f"{self.name}: unknown semantics {self.semantics!r}")
+
+    @property
+    def effective_peek(self) -> int:
+        """Peek window size (defaults to ``pop`` when not set)."""
+        return self.peek if self.peek else self.pop
+
+    def renamed(self, name: str) -> "FilterSpec":
+        """Return a copy of this spec under a different name."""
+        return FilterSpec(
+            name=name,
+            pop=self.pop,
+            push=self.push,
+            peek=self.peek,
+            work=self.work,
+            role=self.role,
+            semantics=self.semantics,
+            params=self.params,
+            stateful=self.stateful,
+        )
+
+
+def source(name: str, push: int, work: float = 1.0) -> FilterSpec:
+    """Convenience constructor for a primary-input filter."""
+    return FilterSpec(
+        name=name, pop=0, push=push, work=work, role=FilterRole.SOURCE, semantics="source"
+    )
+
+
+def sink(name: str, pop: int, work: float = 1.0) -> FilterSpec:
+    """Convenience constructor for a primary-output filter."""
+    return FilterSpec(
+        name=name, pop=pop, push=0, work=work, role=FilterRole.SINK, semantics="sink"
+    )

@@ -1,0 +1,240 @@
+"""Lowering the hierarchical structure tree to a flat stream graph.
+
+Split-join splitters and joiners materialize as filter nodes with roles
+``SPLITTER``/``JOINER`` (they rearrange data in shared memory, which is why
+Chapter V of the paper can later eliminate them).  Pipelines contribute the
+*innermost pipeline segments* that phase 1 of the partitioning heuristic
+iterates (Algorithm 1, lines 2–10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.graph.filters import FilterRole, FilterSpec
+from repro.graph.scheduling import solve_repetition_vector
+from repro.graph.stream_graph import StreamGraph
+from repro.graph.structure import (
+    FeedbackLoop,
+    Filt,
+    Pipeline,
+    SplitJoin,
+    SplitKind,
+    StreamNode,
+)
+
+#: Abstract work charged to a splitter/joiner per element it moves.  Their
+#: runtime contribution is "significant" per Chapter V; this constant makes
+#: the Table 5.1 experiment meaningful.
+MOVER_WORK_PER_ELEM = 0.5
+
+
+@dataclass
+class _Port:
+    """Endpoint of a flattened subtree: node id plus its external rate."""
+
+    node_id: int
+    rate: int
+    peek: int = 0
+
+
+class _Flattener:
+    def __init__(self, graph: StreamGraph, mover_work_per_elem: float) -> None:
+        self.graph = graph
+        self.mover_work = mover_work_per_elem
+        self._uid = 0
+
+    def fresh(self, base: str) -> str:
+        self._uid += 1
+        return f"{base}#{self._uid}"
+
+    # ------------------------------------------------------------------
+    def lower(self, node: StreamNode) -> Tuple[Optional[_Port], Optional[_Port]]:
+        """Lower ``node``; return (input port, output port).
+
+        A port is ``None`` when the subtree has no external connection on
+        that side (rate 0, e.g. a source pipeline).
+        """
+        if isinstance(node, Filt):
+            return self._lower_filter(node)
+        if isinstance(node, Pipeline):
+            return self._lower_pipeline(node)
+        if isinstance(node, SplitJoin):
+            return self._lower_splitjoin(node)
+        if isinstance(node, FeedbackLoop):
+            return self._lower_feedback(node)
+        raise TypeError(f"unknown structure node: {node!r}")
+
+    def _lower_filter(self, node: Filt) -> Tuple[Optional[_Port], Optional[_Port]]:
+        fnode = self.graph.add_node(node.spec)
+        inp = (
+            _Port(fnode.node_id, node.spec.pop, node.spec.effective_peek)
+            if node.spec.pop
+            else None
+        )
+        out = _Port(fnode.node_id, node.spec.push) if node.spec.push else None
+        return inp, out
+
+    def _lower_pipeline(
+        self, node: Pipeline
+    ) -> Tuple[Optional[_Port], Optional[_Port]]:
+        first_in: Optional[_Port] = None
+        prev_out: Optional[_Port] = None
+        leaf_run: List[int] = []
+
+        def close_run() -> None:
+            if len(leaf_run) >= 2:
+                seg_id = len(self.graph.pipelines)
+                self.graph.pipelines.append(list(leaf_run))
+                for nid in leaf_run:
+                    self.graph.nodes[nid].pipeline_id = seg_id
+            leaf_run.clear()
+
+        for index, child in enumerate(node):
+            child_in, child_out = self.lower(child)
+            if index == 0:
+                first_in = child_in
+            else:
+                if prev_out is None or child_in is None:
+                    raise ValueError(
+                        f"{node.name}: cannot connect child {index} "
+                        "(missing output or input rate)"
+                    )
+                self.graph.add_channel(
+                    prev_out.node_id,
+                    child_in.node_id,
+                    src_push=prev_out.rate,
+                    dst_pop=child_in.rate,
+                    dst_peek=child_in.peek,
+                )
+            prev_out = child_out
+            if isinstance(child, Filt):
+                # child_in/child_out reference the same node id
+                nid = (child_in or child_out).node_id
+                leaf_run.append(nid)
+            else:
+                close_run()
+        close_run()
+        return first_in, prev_out
+
+    def _lower_splitjoin(
+        self, node: SplitJoin
+    ) -> Tuple[Optional[_Port], Optional[_Port]]:
+        split, join = node.split, node.join
+        k = len(node.branches)
+        total_out = sum(split.weights)
+        splitter_spec = FilterSpec(
+            name=self.fresh(f"{node.name}.split"),
+            pop=split.pop_per_firing,
+            push=total_out,
+            work=self.mover_work * (split.pop_per_firing + total_out),
+            role=FilterRole.SPLITTER,
+            semantics="duplicate" if split.kind is SplitKind.DUPLICATE else "roundrobin",
+            params=tuple(split.weights),
+        )
+        total_in = sum(join.weights)
+        joiner_spec = FilterSpec(
+            name=self.fresh(f"{node.name}.join"),
+            pop=total_in,
+            push=join.push_per_firing,
+            work=self.mover_work * (total_in + join.push_per_firing),
+            role=FilterRole.JOINER,
+            semantics="roundrobin",
+            params=tuple(join.weights),
+        )
+        splitter = self.graph.add_node(splitter_spec)
+        joiner = self.graph.add_node(joiner_spec)
+        for branch_idx in range(k):
+            b_in, b_out = self.lower(node.branches[branch_idx])
+            if b_in is None or b_out is None:
+                raise ValueError(
+                    f"{node.name}: branch {branch_idx} must both consume and produce"
+                )
+            self.graph.add_channel(
+                splitter.node_id,
+                b_in.node_id,
+                src_push=split.push_to(branch_idx),
+                dst_pop=b_in.rate,
+                dst_peek=b_in.peek,
+            )
+            self.graph.add_channel(
+                b_out.node_id,
+                joiner.node_id,
+                src_push=b_out.rate,
+                dst_pop=join.pop_from(branch_idx),
+            )
+        inp = _Port(splitter.node_id, split.pop_per_firing)
+        out = _Port(joiner.node_id, join.push_per_firing)
+        return inp, out
+
+    def _lower_feedback(
+        self, node: FeedbackLoop
+    ) -> Tuple[Optional[_Port], Optional[_Port]]:
+        join, split = node.join, node.split
+        joiner_spec = FilterSpec(
+            name=self.fresh(f"{node.name}.join"),
+            pop=sum(join.weights),
+            push=join.push_per_firing,
+            work=self.mover_work * 2 * sum(join.weights),
+            role=FilterRole.JOINER,
+            semantics="roundrobin",
+            params=tuple(join.weights),
+        )
+        splitter_spec = FilterSpec(
+            name=self.fresh(f"{node.name}.split"),
+            pop=split.pop_per_firing,
+            push=sum(split.weights),
+            work=self.mover_work * 2 * split.pop_per_firing,
+            role=FilterRole.SPLITTER,
+            semantics="duplicate" if split.kind is SplitKind.DUPLICATE else "roundrobin",
+            params=tuple(split.weights),
+        )
+        joiner = self.graph.add_node(joiner_spec)
+        splitter = self.graph.add_node(splitter_spec)
+
+        b_in, b_out = self.lower(node.body)
+        if b_in is None or b_out is None:
+            raise ValueError(f"{node.name}: body must both consume and produce")
+        self.graph.add_channel(
+            joiner.node_id, b_in.node_id, join.push_per_firing, b_in.rate, b_in.peek
+        )
+        self.graph.add_channel(
+            b_out.node_id, splitter.node_id, b_out.rate, split.pop_per_firing
+        )
+        l_in, l_out = self.lower(node.loopback)
+        if l_in is None or l_out is None:
+            raise ValueError(f"{node.name}: loopback must both consume and produce")
+        self.graph.add_channel(
+            splitter.node_id, l_in.node_id, split.push_to(1), l_in.rate, l_in.peek
+        )
+        self.graph.add_channel(
+            l_out.node_id,
+            joiner.node_id,
+            l_out.rate,
+            join.pop_from(1),
+            delay=node.delay,
+        )
+        inp = _Port(joiner.node_id, join.pop_from(0))
+        out = _Port(splitter.node_id, split.push_to(0))
+        return inp, out
+
+
+def flatten(
+    root: StreamNode,
+    name: str = "stream",
+    elem_bytes: int = 4,
+    mover_work_per_elem: float = MOVER_WORK_PER_ELEM,
+    solve_rates: bool = True,
+) -> StreamGraph:
+    """Flatten a structure tree into a :class:`StreamGraph`.
+
+    When ``solve_rates`` is true (default) the repetition vector is solved
+    and the graph is returned fully annotated, ready for the mapping flow.
+    """
+    graph = StreamGraph(name, elem_bytes=elem_bytes)
+    flattener = _Flattener(graph, mover_work_per_elem)
+    flattener.lower(root)
+    if solve_rates:
+        solve_repetition_vector(graph)
+    return graph

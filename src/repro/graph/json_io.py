@@ -1,0 +1,123 @@
+"""JSON serialization of stream graphs.
+
+Lets graphs travel between tools (the CLI, external front ends, saved
+benchmark instances).  The format is a direct transcription of the flat
+IR: filters with their specs, channels with their rates, pipeline
+segments, and (optionally) the solved firing rates.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.graph.filters import FilterRole, FilterSpec
+from repro.graph.scheduling import solve_repetition_vector
+from repro.graph.stream_graph import StreamGraph
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: StreamGraph) -> Dict[str, Any]:
+    """Serialize a stream graph to plain data."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "elem_bytes": graph.elem_bytes,
+        "nodes": [
+            {
+                "name": node.spec.name,
+                "pop": node.spec.pop,
+                "push": node.spec.push,
+                "peek": node.spec.peek,
+                "work": node.spec.work,
+                "role": node.spec.role.value,
+                "semantics": node.spec.semantics,
+                "params": list(node.spec.params),
+                "stateful": node.spec.stateful,
+                "firing": node.firing,
+                "pipeline_id": node.pipeline_id,
+            }
+            for node in graph.nodes
+        ],
+        "channels": [
+            {
+                "src": ch.src,
+                "dst": ch.dst,
+                "src_push": ch.src_push,
+                "dst_pop": ch.dst_pop,
+                "dst_peek": ch.dst_peek,
+                "delay": ch.delay,
+                "alias_group": ch.alias_group,
+                "slice": [ch.slice_offset, ch.slice_period, ch.slice_width],
+            }
+            for ch in graph.channels
+        ],
+        "pipelines": [list(seg) for seg in graph.pipelines],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> StreamGraph:
+    """Deserialize a stream graph; re-solves firing rates if absent."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported stream-graph format version {version!r}")
+    graph = StreamGraph(data["name"], elem_bytes=data.get("elem_bytes", 4))
+    for entry in data["nodes"]:
+        spec = FilterSpec(
+            name=entry["name"],
+            pop=entry["pop"],
+            push=entry["push"],
+            peek=entry.get("peek", 0),
+            work=entry.get("work", 1.0),
+            role=FilterRole(entry.get("role", "compute")),
+            semantics=entry.get("semantics", "opaque"),
+            params=tuple(entry.get("params", ())),
+            stateful=entry.get("stateful", False),
+        )
+        node = graph.add_node(spec)
+        node.firing = entry.get("firing", 0)
+        node.pipeline_id = entry.get("pipeline_id")
+    for entry in data["channels"]:
+        channel = graph.add_channel(
+            entry["src"],
+            entry["dst"],
+            entry["src_push"],
+            entry["dst_pop"],
+            entry.get("dst_peek", 0),
+            entry.get("delay", 0),
+        )
+        channel.alias_group = entry.get("alias_group")
+        offset, period, width = entry.get("slice", [0, 0, 0])
+        channel.slice_offset = offset
+        channel.slice_period = period
+        channel.slice_width = width
+    graph.pipelines = [list(seg) for seg in data.get("pipelines", [])]
+    for seg_id, seg in enumerate(graph.pipelines):
+        for nid in seg:
+            graph.nodes[nid].pipeline_id = seg_id
+    if any(node.firing <= 0 for node in graph.nodes):
+        solve_repetition_vector(graph)
+    return graph
+
+
+def dumps(graph: StreamGraph, indent: int = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+def loads(text: str) -> StreamGraph:
+    """Deserialize from a JSON string."""
+    return graph_from_dict(json.loads(text))
+
+
+def save(graph: StreamGraph, path: str) -> None:
+    """Write a graph to a JSON file."""
+    with open(path, "w") as fh:
+        fh.write(dumps(graph))
+
+
+def load(path: str) -> StreamGraph:
+    """Read a graph from a JSON file."""
+    with open(path) as fh:
+        return loads(fh.read())

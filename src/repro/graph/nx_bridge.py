@@ -1,0 +1,95 @@
+"""NetworkX interoperability.
+
+Exports flat stream graphs (and partition quotients) as
+:class:`networkx.MultiDiGraph` / :class:`networkx.DiGraph` so users can
+apply the wider graph-algorithm ecosystem — and so the test suite can
+cross-check our hand-rolled reachability/convexity against an independent
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Sequence
+
+import networkx as nx
+
+from repro.graph.stream_graph import StreamGraph
+from repro.partition.pdg import PartitionDependenceGraph
+
+
+def to_networkx(graph: StreamGraph) -> "nx.MultiDiGraph":
+    """Flat stream graph -> MultiDiGraph with spec attributes.
+
+    Nodes carry ``name``, ``role``, ``work`` and ``firing``; edges carry
+    the rates, ``delay`` and per-execution ``traffic_bytes``.
+    """
+    out = nx.MultiDiGraph(name=graph.name, elem_bytes=graph.elem_bytes)
+    for node in graph.nodes:
+        out.add_node(
+            node.node_id,
+            name=node.spec.name,
+            role=node.spec.role.value,
+            work=node.spec.work,
+            firing=node.firing,
+        )
+    for ch in graph.channels:
+        out.add_edge(
+            ch.src,
+            ch.dst,
+            src_push=ch.src_push,
+            dst_pop=ch.dst_pop,
+            delay=ch.delay,
+            traffic_bytes=graph.channel_traffic_bytes(ch)
+            if graph.nodes[ch.src].firing
+            else None,
+        )
+    return out
+
+
+def forward_dag(graph: StreamGraph) -> "nx.DiGraph":
+    """The delay-free dependence DAG (what orders the pipeline)."""
+    out = nx.DiGraph(name=graph.name)
+    out.add_nodes_from(node.node_id for node in graph.nodes)
+    for ch in graph.channels:
+        if ch.delay == 0:
+            out.add_edge(ch.src, ch.dst)
+    return out
+
+
+def pdg_to_networkx(pdg: PartitionDependenceGraph) -> "nx.DiGraph":
+    """Partition dependence graph -> DiGraph with fragment weights."""
+    out = nx.DiGraph(name=f"{pdg.graph.name}-pdg")
+    for node in pdg.nodes:
+        out.add_node(
+            node.index,
+            t_fragment=node.t_fragment,
+            compute_bound=node.is_compute_bound,
+            size=len(node.members),
+        )
+    for (src, dst), nbytes in pdg.edges.items():
+        out.add_edge(src, dst, bytes_per_execution=nbytes, feedback=False)
+    for (src, dst), nbytes in pdg.feedback_edges.items():
+        if out.has_edge(src, dst):
+            out[src][dst]["bytes_per_execution"] += nbytes
+        else:
+            out.add_edge(src, dst, bytes_per_execution=nbytes, feedback=True)
+    return out
+
+
+def quotient_graph(
+    graph: StreamGraph, partitions: Sequence[FrozenSet[int]]
+) -> "nx.DiGraph":
+    """Contract each partition to a node (forward edges only)."""
+    assignment: Dict[int, int] = {}
+    for pid, members in enumerate(partitions):
+        for nid in members:
+            assignment[nid] = pid
+    out = nx.DiGraph()
+    out.add_nodes_from(range(len(partitions)))
+    for ch in graph.channels:
+        if ch.delay:
+            continue
+        a, b = assignment[ch.src], assignment[ch.dst]
+        if a != b:
+            out.add_edge(a, b)
+    return out

@@ -1,0 +1,48 @@
+"""Steady-state schedule utilities.
+
+SDF graphs admit a *single-appearance schedule*: each filter appears once,
+annotated with its repetition count, in topological order.  The generated
+kernels execute exactly this schedule per execution (compute threads walk
+the filters in order), so the schedule string doubles as a readable
+summary of what a partition's kernel does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.graph.stream_graph import StreamGraph
+
+
+def steady_state_schedule(
+    graph: StreamGraph, members: Optional[Iterable[int]] = None
+) -> List[Tuple[str, int]]:
+    """(filter name, firings) in execution order for a node set."""
+    mset = (
+        set(members) if members is not None else {n.node_id for n in graph.nodes}
+    )
+    out: List[Tuple[str, int]] = []
+    for nid in graph.topological_order():
+        if nid in mset:
+            node = graph.nodes[nid]
+            out.append((node.spec.name, node.firing))
+    return out
+
+
+def schedule_string(
+    graph: StreamGraph, members: Optional[Iterable[int]] = None
+) -> str:
+    """Human-readable single-appearance schedule, e.g. ``src 3(f0) 2(f1)``."""
+    parts = []
+    for name, firings in steady_state_schedule(graph, members):
+        parts.append(name if firings == 1 else f"{firings}({name})")
+    return " ".join(parts)
+
+
+def executions_for_elements(graph: StreamGraph, elements: int) -> int:
+    """Steady-state executions needed to consume ``elements`` primary
+    inputs (rounded up)."""
+    inp, _ = graph.io_elems()
+    if inp <= 0:
+        raise ValueError("graph consumes no primary input")
+    return -(-elements // inp)

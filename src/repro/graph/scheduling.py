@@ -1,0 +1,131 @@
+"""Steady-state scheduling: solving the SDF balance equations.
+
+For every channel ``(i, j)`` the steady state requires
+
+    firing(i) * src_push == firing(j) * dst_pop
+
+The smallest positive integer solution (the *repetition vector*) gives each
+filter's firing rate, which the paper uses both in the compute-time model
+(Eq. III.9, the ``min(f_i, S)`` term) and for channel buffer sizes.
+
+We solve by propagating rational ratios over the connected components of
+the graph and normalizing with lcm/gcd — exact arithmetic, no floating
+point.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, List
+
+from repro.graph.stream_graph import StreamGraph
+
+
+class RateConsistencyError(ValueError):
+    """Raised when the balance equations have no positive solution
+    (mismatched split-join weights, inconsistent rates, ...)."""
+
+
+def solve_repetition_vector(graph: StreamGraph) -> List[int]:
+    """Solve the balance equations and annotate ``graph`` in place.
+
+    Returns the repetition vector indexed by node id.  Raises
+    :class:`RateConsistencyError` on inconsistent rates.
+    """
+    n = len(graph.nodes)
+    if n == 0:
+        return []
+    ratio: Dict[int, Fraction] = {}
+
+    # Union of both directions as an undirected adjacency over channels.
+    adjacency: Dict[int, List[int]] = {i: [] for i in range(n)}
+    for idx, ch in enumerate(graph.channels):
+        adjacency[ch.src].append(idx)
+        adjacency[ch.dst].append(idx)
+
+    for root in range(n):
+        if root in ratio:
+            continue
+        ratio[root] = Fraction(1)
+        stack = [root]
+        while stack:
+            nid = stack.pop()
+            for ci in adjacency[nid]:
+                ch = graph.channels[ci]
+                if ch.src == nid:
+                    other = ch.dst
+                    # r_other = r_nid * push / pop
+                    implied = ratio[nid] * Fraction(ch.src_push, ch.dst_pop)
+                else:
+                    other = ch.src
+                    implied = ratio[nid] * Fraction(ch.dst_pop, ch.src_push)
+                if other in ratio:
+                    if ratio[other] != implied:
+                        raise RateConsistencyError(
+                            f"{graph.name}: inconsistent rates on channel "
+                            f"{graph.nodes[ch.src].name} -> {graph.nodes[ch.dst].name}"
+                        )
+                else:
+                    ratio[other] = implied
+                    stack.append(other)
+
+    # Normalize each connected component independently: multiply by the
+    # lcm of denominators, divide by the gcd of numerators.
+    firings = _normalize(graph, ratio)
+    for node in graph.nodes:
+        node.firing = firings[node.node_id]
+    return firings
+
+
+def _normalize(graph: StreamGraph, ratio: Dict[int, Fraction]) -> List[int]:
+    n = len(graph.nodes)
+    component = _components(graph)
+    firings = [0] * n
+    for comp in component:
+        denominators = [ratio[nid].denominator for nid in comp]
+        lcm = 1
+        for d in denominators:
+            lcm = lcm * d // math.gcd(lcm, d)
+        scaled = {nid: ratio[nid] * lcm for nid in comp}
+        numerators = [int(scaled[nid]) for nid in comp]
+        g = 0
+        for v in numerators:
+            g = math.gcd(g, v)
+        for nid in comp:
+            firings[nid] = int(scaled[nid]) // g
+        if any(firings[nid] <= 0 for nid in comp):
+            raise RateConsistencyError(f"{graph.name}: non-positive repetition count")
+    return firings
+
+
+def _components(graph: StreamGraph) -> List[List[int]]:
+    """Undirected connected components of the graph."""
+    n = len(graph.nodes)
+    seen = [False] * n
+    comps: List[List[int]] = []
+    for root in range(n):
+        if seen[root]:
+            continue
+        comp = [root]
+        seen[root] = True
+        stack = [root]
+        while stack:
+            nid = stack.pop()
+            for other in graph.neighbors(nid):
+                if not seen[other]:
+                    seen[other] = True
+                    comp.append(other)
+                    stack.append(other)
+        comps.append(comp)
+    return comps
+
+
+def steady_state_is_consistent(graph: StreamGraph) -> bool:
+    """Check the already-annotated firing rates against every channel."""
+    for ch in graph.channels:
+        produced = graph.nodes[ch.src].firing * ch.src_push
+        consumed = graph.nodes[ch.dst].firing * ch.dst_pop
+        if produced != consumed:
+            return False
+    return all(node.firing > 0 for node in graph.nodes)

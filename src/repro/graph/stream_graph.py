@@ -1,0 +1,371 @@
+"""Flat stream graph: the IR consumed by the mapping flow.
+
+A :class:`StreamGraph` is a directed graph whose nodes are filter instances
+(:class:`FilterNode`) and whose edges are FIFO channels (:class:`Channel`)
+annotated with per-firing production/consumption rates.  After steady-state
+scheduling each node carries its *firing rate* (repetition count per graph
+execution) and each channel its buffer size in elements/bytes — exactly the
+annotation the paper's Figure 3.1 flow expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.filters import FilterRole, FilterSpec
+
+#: Size of one stream element in bytes (32-bit words, as in StreamIt's
+#: float/int streams).
+ELEM_BYTES = 4
+
+
+@dataclass
+class FilterNode:
+    """A filter instance in the flat graph.
+
+    Attributes
+    ----------
+    node_id:
+        Dense integer id, index into :attr:`StreamGraph.nodes`.
+    spec:
+        The immutable filter declaration.
+    firing:
+        Firing rate (repetitions per steady-state graph execution); filled
+        by :func:`repro.graph.scheduling.solve_repetition_vector`.
+    pipeline_id:
+        Id of the innermost pipeline segment this node belongs to, or
+        ``None``.  Phase 1 of the partitioning heuristic iterates these
+        segments.
+    """
+
+    node_id: int
+    spec: FilterSpec
+    firing: int = 0
+    pipeline_id: Optional[int] = None
+    #: extension metadata (e.g. the ``interleave`` pattern a consumer
+    #: uses after joiner elimination); absent from equality semantics
+    meta: Optional[Dict[str, object]] = field(default=None, compare=False)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def role(self) -> FilterRole:
+        return self.spec.role
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FilterNode({self.node_id}, {self.spec.name!r}, f={self.firing})"
+
+
+@dataclass
+class Channel:
+    """A FIFO channel between two filters.
+
+    ``src_push`` elements enter per source firing; ``dst_pop`` elements
+    leave per destination firing (``dst_peek >= dst_pop`` for sliding
+    windows).  ``delay`` elements pre-populate the channel (feedback
+    loops).
+
+    ``alias_group`` marks channels that share one physical shared-memory
+    buffer after the Chapter V splitter/joiner elimination: consumers read
+    slices of the producer's output block instead of private copies, so
+    the memory model charges the group once.  ``slice_*`` describe the
+    strided view a consumer gets of the producer's output after a
+    round-robin splitter was eliminated: of every ``slice_period``
+    produced elements, the channel carries ``slice_width`` starting at
+    ``slice_offset``.
+    """
+
+    src: int
+    dst: int
+    src_push: int
+    dst_pop: int
+    dst_peek: int = 0
+    delay: int = 0
+    alias_group: Optional[int] = None
+    slice_offset: int = 0
+    slice_period: int = 0
+    slice_width: int = 0
+
+    def __post_init__(self) -> None:
+        if self.src_push <= 0 or self.dst_pop <= 0:
+            raise ValueError("channel rates must be positive")
+        if self.dst_peek and self.dst_peek < self.dst_pop:
+            raise ValueError("channel peek < pop")
+
+    @property
+    def effective_peek(self) -> int:
+        return self.dst_peek if self.dst_peek else self.dst_pop
+
+
+class StreamGraph:
+    """Flat, rate-annotated stream graph.
+
+    The graph owns its nodes and channels and provides the structural
+    queries used throughout the flow: topological order, reachability,
+    per-steady-state buffer sizes, and primary I/O volumes.
+    """
+
+    def __init__(self, name: str, elem_bytes: int = ELEM_BYTES) -> None:
+        self.name = name
+        self.elem_bytes = elem_bytes
+        self.nodes: List[FilterNode] = []
+        self.channels: List[Channel] = []
+        self._succ: Dict[int, List[int]] = {}
+        self._pred: Dict[int, List[int]] = {}
+        #: innermost pipeline segments (ordered node-id lists), phase-1 input
+        self.pipelines: List[List[int]] = []
+        self._topo_cache: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, spec: FilterSpec) -> FilterNode:
+        """Append a filter node and return it."""
+        node = FilterNode(node_id=len(self.nodes), spec=spec)
+        self.nodes.append(node)
+        self._succ[node.node_id] = []
+        self._pred[node.node_id] = []
+        self._topo_cache = None
+        return node
+
+    def add_channel(
+        self,
+        src: int,
+        dst: int,
+        src_push: int,
+        dst_pop: int,
+        dst_peek: int = 0,
+        delay: int = 0,
+    ) -> Channel:
+        """Append a channel ``src -> dst`` and return it."""
+        if not (0 <= src < len(self.nodes)) or not (0 <= dst < len(self.nodes)):
+            raise ValueError(f"channel endpoints out of range: {src}->{dst}")
+        channel = Channel(src, dst, src_push, dst_pop, dst_peek, delay)
+        self.channels.append(channel)
+        self._succ[src].append(len(self.channels) - 1)
+        self._pred[dst].append(len(self.channels) - 1)
+        self._topo_cache = None
+        return channel
+
+    # ------------------------------------------------------------------
+    # structural queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def out_channels(self, node_id: int) -> List[Channel]:
+        """Channels leaving ``node_id``."""
+        return [self.channels[i] for i in self._succ[node_id]]
+
+    def in_channels(self, node_id: int) -> List[Channel]:
+        """Channels entering ``node_id``."""
+        return [self.channels[i] for i in self._pred[node_id]]
+
+    def successors(self, node_id: int) -> List[int]:
+        """Distinct successor node ids."""
+        seen, out = set(), []
+        for ch in self.out_channels(node_id):
+            if ch.dst not in seen:
+                seen.add(ch.dst)
+                out.append(ch.dst)
+        return out
+
+    def predecessors(self, node_id: int) -> List[int]:
+        """Distinct predecessor node ids."""
+        seen, out = set(), []
+        for ch in self.in_channels(node_id):
+            if ch.src not in seen:
+                seen.add(ch.src)
+                out.append(ch.src)
+        return out
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """Union of predecessors and successors."""
+        out = self.predecessors(node_id)
+        seen = set(out)
+        for succ in self.successors(node_id):
+            if succ not in seen:
+                out.append(succ)
+        return out
+
+    def sources(self) -> List[int]:
+        """Nodes with no incoming channels (primary inputs)."""
+        return [n.node_id for n in self.nodes if not self._pred[n.node_id]]
+
+    def sinks(self) -> List[int]:
+        """Nodes with no outgoing channels (primary outputs)."""
+        return [n.node_id for n in self.nodes if not self._succ[n.node_id]]
+
+    def topological_order(self) -> List[int]:
+        """Topological order of node ids (Kahn); raises on cycles.
+
+        Feedback-loop back edges (``delay > 0``) are ignored for ordering,
+        mirroring how an SDF schedule breaks delay edges.
+        """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        indeg = {n.node_id: 0 for n in self.nodes}
+        for ch in self.channels:
+            if ch.delay == 0:
+                indeg[ch.dst] += 1
+        ready = sorted(nid for nid, d in indeg.items() if d == 0)
+        order: List[int] = []
+        queue = list(ready)
+        while queue:
+            nid = queue.pop(0)
+            order.append(nid)
+            for ci in self._succ[nid]:
+                ch = self.channels[ci]
+                if ch.delay:
+                    continue
+                indeg[ch.dst] -= 1
+                if indeg[ch.dst] == 0:
+                    queue.append(ch.dst)
+        if len(order) != len(self.nodes):
+            raise ValueError(
+                f"{self.name}: graph has a cycle not broken by delay edges"
+            )
+        self._topo_cache = order
+        return list(order)
+
+    def is_dag(self) -> bool:
+        """Whether the graph (ignoring delay edges) is acyclic."""
+        try:
+            self.topological_order()
+            return True
+        except ValueError:
+            return False
+
+    # ------------------------------------------------------------------
+    # steady-state quantities (valid once firings are set)
+    # ------------------------------------------------------------------
+    def channel_elems(self, channel: Channel) -> int:
+        """Buffer elements ``channel`` needs per steady-state execution.
+
+        This is the data produced per execution plus the sliding-window
+        history a peeking consumer keeps alive across executions.
+        """
+        firing = self.nodes[channel.src].firing
+        if firing <= 0:
+            raise ValueError("firing rates not solved yet")
+        window_carry = max(0, channel.effective_peek - channel.dst_pop)
+        return firing * channel.src_push + window_carry
+
+    def channel_traffic_elems(self, channel: Channel) -> int:
+        """Elements *communicated* through ``channel`` per execution
+        (excludes the resident peek window, which never moves)."""
+        firing = self.nodes[channel.src].firing
+        if firing <= 0:
+            raise ValueError("firing rates not solved yet")
+        return firing * channel.src_push
+
+    def channel_bytes(self, channel: Channel) -> int:
+        """Buffer bytes ``channel`` needs per steady-state execution."""
+        return self.channel_elems(channel) * self.elem_bytes
+
+    def channel_traffic_bytes(self, channel: Channel) -> int:
+        """Bytes communicated through ``channel`` per execution."""
+        return self.channel_traffic_elems(channel) * self.elem_bytes
+
+    def primary_input_elems(self, node_id: int) -> int:
+        """Primary-input elements consumed by ``node_id`` per execution
+        (non-zero only for nodes with no predecessors that still pop)."""
+        node = self.nodes[node_id]
+        if self._pred[node_id]:
+            return 0
+        if node.spec.role is FilterRole.SOURCE:
+            # Sources synthesize `push` elements per firing from the host
+            # input stream: the host feeds them what they emit.
+            return node.firing * node.spec.push
+        return node.firing * node.spec.pop
+
+    def primary_output_elems(self, node_id: int) -> int:
+        """Primary-output elements produced by ``node_id`` per execution."""
+        node = self.nodes[node_id]
+        if self._succ[node_id]:
+            return 0
+        if node.spec.role is FilterRole.SINK:
+            return node.firing * node.spec.pop
+        return node.firing * node.spec.push
+
+    def io_elems(self, node_ids: Optional[Iterable[int]] = None) -> Tuple[int, int]:
+        """(input, output) element volume per execution for a node set.
+
+        Counts channels crossing the boundary of the set plus primary
+        I/O of member nodes.  With ``node_ids=None`` the whole graph is
+        used, so only primary I/O counts.
+        """
+        members: Set[int] = (
+            set(node_ids) if node_ids is not None else {n.node_id for n in self.nodes}
+        )
+        inp = out = 0
+        for ch in self.channels:
+            if ch.dst in members and ch.src not in members:
+                inp += self.channel_traffic_elems(ch)
+            elif ch.src in members and ch.dst not in members:
+                out += self.channel_traffic_elems(ch)
+        for nid in members:
+            inp += self.primary_input_elems(nid)
+            out += self.primary_output_elems(nid)
+        return inp, out
+
+    def total_work(self, node_ids: Optional[Iterable[int]] = None) -> float:
+        """Abstract work per execution (Σ firing · work) for a node set."""
+        members = set(node_ids) if node_ids is not None else None
+        total = 0.0
+        for node in self.nodes:
+            if members is None or node.node_id in members:
+                total += node.firing * node.spec.work
+        return total
+
+    # ------------------------------------------------------------------
+    # reachability (used by convexity checks)
+    # ------------------------------------------------------------------
+    def reachable_from(self, node_ids: Iterable[int]) -> Set[int]:
+        """All nodes reachable from the set (including the set)."""
+        seen = set(node_ids)
+        stack = list(seen)
+        while stack:
+            nid = stack.pop()
+            for succ in self.successors(nid):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def reaching(self, node_ids: Iterable[int]) -> Set[int]:
+        """All nodes that can reach the set (including the set)."""
+        seen = set(node_ids)
+        stack = list(seen)
+        while stack:
+            nid = stack.pop()
+            for pred in self.predecessors(nid):
+                if pred not in seen:
+                    seen.add(pred)
+                    stack.append(pred)
+        return seen
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def node_by_name(self, name: str) -> FilterNode:
+        """First node whose spec has the given name (testing aid)."""
+        for node in self.nodes:
+            if node.spec.name == name:
+                return node
+        raise KeyError(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"StreamGraph({self.name!r}, nodes={len(self.nodes)}, "
+            f"channels={len(self.channels)})"
+        )
+
+
+def induced_channels(graph: StreamGraph, members: Sequence[int]) -> List[Channel]:
+    """Channels with both endpoints inside ``members``."""
+    mset = set(members)
+    return [ch for ch in graph.channels if ch.src in mset and ch.dst in mset]

@@ -1,0 +1,245 @@
+"""Hierarchical stream-graph composition operators.
+
+StreamIt composes programs from three operators (Section 2.1.1 of the
+paper): *pipeline* (sequential composition), *split-join* (fan-out /
+fan-in), and *feedback loop*.  This module defines the corresponding
+declaration tree; :mod:`repro.graph.flatten` lowers the tree into a flat
+:class:`~repro.graph.stream_graph.StreamGraph`.
+
+Every structure node knows its external ``pop``/``push`` signature so that
+rate errors are caught at construction time rather than during steady-state
+scheduling.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Union
+
+from repro.graph.filters import FilterSpec
+
+
+class SplitKind(enum.Enum):
+    """Splitter flavour of a split-join."""
+
+    DUPLICATE = "duplicate"
+    ROUNDROBIN = "roundrobin"
+
+
+@dataclass(frozen=True)
+class SplitSpec:
+    """Splitter declaration.
+
+    ``DUPLICATE`` copies each consumed window to all branches; weights give
+    the elements delivered to each branch per firing (they must be equal
+    for duplicate splitters).  ``ROUNDROBIN`` deals ``weights[i]`` elements
+    to branch ``i`` in order.
+    """
+
+    kind: SplitKind
+    weights: tuple
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("splitter needs at least one branch weight")
+        if any(w <= 0 for w in self.weights):
+            raise ValueError("splitter weights must be positive")
+        if self.kind is SplitKind.DUPLICATE and len(set(self.weights)) != 1:
+            raise ValueError("duplicate splitter weights must be identical")
+
+    @property
+    def pop_per_firing(self) -> int:
+        """Elements the splitter consumes per firing."""
+        if self.kind is SplitKind.DUPLICATE:
+            return self.weights[0]
+        return sum(self.weights)
+
+    def push_to(self, branch: int) -> int:
+        """Elements pushed to ``branch`` per firing."""
+        return self.weights[branch]
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """Round-robin joiner declaration: collects ``weights[i]`` elements from
+    branch ``i`` per firing and emits them in branch order."""
+
+    weights: tuple
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("joiner needs at least one branch weight")
+        if any(w <= 0 for w in self.weights):
+            raise ValueError("joiner weights must be positive")
+
+    @property
+    def push_per_firing(self) -> int:
+        """Elements the joiner produces per firing."""
+        return sum(self.weights)
+
+    def pop_from(self, branch: int) -> int:
+        """Elements popped from ``branch`` per firing."""
+        return self.weights[branch]
+
+
+def duplicate(weight: int, branches: int) -> SplitSpec:
+    """Duplicate splitter delivering ``weight`` elements to each of
+    ``branches`` branches per firing."""
+    return SplitSpec(SplitKind.DUPLICATE, tuple([weight] * branches))
+
+
+def roundrobin(*weights: int) -> SplitSpec:
+    """Round-robin splitter with the given per-branch weights."""
+    return SplitSpec(SplitKind.ROUNDROBIN, tuple(weights))
+
+
+def join_roundrobin(*weights: int) -> JoinSpec:
+    """Round-robin joiner with the given per-branch weights."""
+    return JoinSpec(tuple(weights))
+
+
+@dataclass(frozen=True)
+class Filt:
+    """Leaf of the structure tree: a single filter instance."""
+
+    spec: FilterSpec
+
+    @property
+    def pop_rate(self) -> int:
+        return self.spec.pop
+
+    @property
+    def push_rate(self) -> int:
+        return self.spec.push
+
+    def __iter__(self) -> Iterator["StreamNode"]:
+        return iter(())
+
+
+@dataclass(frozen=True)
+class Pipeline:
+    """Sequential composition of stream nodes."""
+
+    children: tuple
+    name: str = "pipeline"
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise ValueError("pipeline must have at least one child")
+
+    @property
+    def pop_rate(self) -> int:
+        return self.children[0].pop_rate
+
+    @property
+    def push_rate(self) -> int:
+        return self.children[-1].push_rate
+
+    def __iter__(self) -> Iterator["StreamNode"]:
+        return iter(self.children)
+
+
+@dataclass(frozen=True)
+class SplitJoin:
+    """Fan-out/fan-in composition: splitter, parallel branches, joiner."""
+
+    split: SplitSpec
+    branches: tuple
+    join: JoinSpec
+    name: str = "splitjoin"
+
+    def __post_init__(self) -> None:
+        if not self.branches:
+            raise ValueError("split-join must have at least one branch")
+        if len(self.branches) != len(self.split.weights):
+            raise ValueError(
+                f"{self.name}: {len(self.branches)} branches but "
+                f"{len(self.split.weights)} splitter weights"
+            )
+        if len(self.branches) != len(self.join.weights):
+            raise ValueError(
+                f"{self.name}: {len(self.branches)} branches but "
+                f"{len(self.join.weights)} joiner weights"
+            )
+
+    @property
+    def pop_rate(self) -> int:
+        return self.split.pop_per_firing
+
+    @property
+    def push_rate(self) -> int:
+        return self.join.push_per_firing
+
+    def __iter__(self) -> Iterator["StreamNode"]:
+        return iter(self.branches)
+
+
+@dataclass(frozen=True)
+class FeedbackLoop:
+    """Cyclic composition: ``body`` output feeds both downstream and, via
+    ``loopback``, back into the joiner that precedes the body.
+
+    ``delay`` initial elements pre-populate the loopback channel so the
+    steady state is well defined.
+    """
+
+    body: "StreamNode"
+    loopback: "StreamNode"
+    join: JoinSpec
+    split: SplitSpec
+    delay: int = 0
+    name: str = "feedbackloop"
+
+    def __post_init__(self) -> None:
+        if len(self.join.weights) != 2 or len(self.split.weights) != 2:
+            raise ValueError(f"{self.name}: feedback join/split must be binary")
+        if self.delay < 0:
+            raise ValueError(f"{self.name}: delay must be non-negative")
+
+    @property
+    def pop_rate(self) -> int:
+        return self.join.pop_from(0)
+
+    @property
+    def push_rate(self) -> int:
+        return self.split.push_to(0)
+
+    def __iter__(self) -> Iterator["StreamNode"]:
+        return iter((self.body, self.loopback))
+
+
+StreamNode = Union[Filt, Pipeline, SplitJoin, FeedbackLoop]
+
+
+def pipeline(*children: StreamNode, name: str = "pipeline") -> Pipeline:
+    """Convenience constructor accepting varargs children.
+
+    Bare :class:`~repro.graph.filters.FilterSpec` values are wrapped in
+    :class:`Filt` automatically.
+    """
+    return Pipeline(tuple(_wrap(c) for c in children), name=name)
+
+
+def splitjoin(
+    split: SplitSpec,
+    branches: Sequence[StreamNode],
+    join: JoinSpec,
+    name: str = "splitjoin",
+) -> SplitJoin:
+    """Convenience constructor wrapping bare filter specs in branches."""
+    return SplitJoin(split, tuple(_wrap(b) for b in branches), join, name=name)
+
+
+def _wrap(node) -> StreamNode:
+    if isinstance(node, FilterSpec):
+        return Filt(node)
+    return node
+
+
+def count_filters(node: StreamNode) -> int:
+    """Number of leaf filters in a structure tree (splitters/joiners of
+    split-joins are not counted; they materialize during flattening)."""
+    if isinstance(node, Filt):
+        return 1
+    return sum(count_filters(child) for child in node)

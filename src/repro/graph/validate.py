@@ -1,0 +1,59 @@
+"""Structural validation of flat stream graphs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.scheduling import steady_state_is_consistent
+from repro.graph.stream_graph import StreamGraph
+
+
+class GraphValidationError(ValueError):
+    """Raised when a stream graph violates a structural invariant."""
+
+
+def validate_graph(graph: StreamGraph) -> None:
+    """Validate a flat stream graph; raises :class:`GraphValidationError`.
+
+    Checks: non-empty, weak connectivity, solved and balanced firing
+    rates, acyclicity modulo delay edges, and positive channel rates
+    (enforced at construction, re-checked here for safety).
+    """
+    problems = collect_problems(graph)
+    if problems:
+        raise GraphValidationError(
+            f"{graph.name}: " + "; ".join(problems)
+        )
+
+
+def collect_problems(graph: StreamGraph) -> List[str]:
+    """Return a list of human-readable invariant violations (empty = valid)."""
+    problems: List[str] = []
+    if not graph.nodes:
+        return ["graph is empty"]
+    if any(node.firing <= 0 for node in graph.nodes):
+        problems.append("firing rates not solved (run solve_repetition_vector)")
+    elif not steady_state_is_consistent(graph):
+        problems.append("firing rates violate balance equations")
+    if not graph.is_dag():
+        problems.append("cycle not broken by a delay edge")
+    if not _weakly_connected(graph):
+        problems.append("graph is not weakly connected")
+    for ch in graph.channels:
+        if ch.src == ch.dst:
+            problems.append(f"self loop on node {ch.src}")
+    return problems
+
+
+def _weakly_connected(graph: StreamGraph) -> bool:
+    if len(graph.nodes) <= 1:
+        return True
+    seen = {0}
+    stack = [0]
+    while stack:
+        nid = stack.pop()
+        for other in graph.neighbors(nid):
+            if other not in seen:
+                seen.add(other)
+                stack.append(other)
+    return len(seen) == len(graph.nodes)

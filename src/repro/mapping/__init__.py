@@ -1,0 +1,34 @@
+"""Communication-aware partition-to-GPU mapping (Section 3.2).
+
+* :mod:`repro.mapping.problem` -- the mapping problem (Eqs. III.1-III.7)
+  and the shared assignment evaluator,
+* :mod:`repro.mapping.solver_milp` -- MILP backend (scipy / HiGHS),
+* :mod:`repro.mapping.solver_bb` -- from-scratch branch-and-bound backend,
+* :mod:`repro.mapping.greedy` -- communication-unaware baselines (the
+  previous work's workload balancing, round-robin),
+* :mod:`repro.mapping.result` -- mapping results and their breakdowns.
+"""
+
+from repro.mapping.greedy import (
+    contiguous_mapping,
+    lpt_mapping,
+    round_robin_mapping,
+)
+from repro.mapping.problem import Broadcast, MappingProblem, build_mapping_problem
+from repro.mapping.refine import refine_mapping
+from repro.mapping.result import MappingResult
+from repro.mapping.solver_bb import solve_branch_and_bound
+from repro.mapping.solver_milp import solve_milp
+
+__all__ = [
+    "Broadcast",
+    "MappingProblem",
+    "MappingResult",
+    "build_mapping_problem",
+    "contiguous_mapping",
+    "lpt_mapping",
+    "refine_mapping",
+    "round_robin_mapping",
+    "solve_branch_and_bound",
+    "solve_milp",
+]

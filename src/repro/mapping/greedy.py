@@ -1,0 +1,102 @@
+"""Communication-unaware mapping baselines.
+
+``lpt_mapping`` is the previous work's style of multi-GPU mapping:
+balance workload across GPUs (longest-processing-time list scheduling)
+with no model of inter-GPU communication.  Combined with
+``peer_to_peer=False`` in the problem (all traffic through the host, as
+[7] executes) this reproduces the baseline the paper compares against.
+
+``round_robin_mapping`` deals partitions out in topological order — the
+crudest pipeline mapping, used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.mapping.problem import MappingProblem
+from repro.mapping.result import MappingResult, make_result
+
+
+def lpt_mapping(
+    problem: MappingProblem,
+    workloads: Optional[Sequence[float]] = None,
+) -> MappingResult:
+    """Longest-processing-time workload balancing (communication-blind).
+
+    ``workloads`` overrides the balance key — the previous work balances
+    *static* workload (it has no performance model), so callers pass
+    static work estimates to emulate it; the default balances the PEE
+    fragment times.
+    """
+    weights = list(workloads) if workloads is not None else list(problem.times)
+    if len(weights) != problem.num_partitions:
+        raise ValueError("workload vector length mismatch")
+    slowdown = problem.gpu_slowdown or [1.0] * problem.num_gpus
+    order = sorted(range(problem.num_partitions), key=lambda p: -weights[p])
+    loads = [0.0] * problem.num_gpus
+    assignment = [0] * problem.num_partitions
+    for pid in order:
+        gpu = min(
+            range(problem.num_gpus),
+            key=lambda j: loads[j] + weights[pid] * slowdown[j],
+        )
+        assignment[pid] = gpu
+        loads[gpu] += weights[pid] * slowdown[gpu]
+    return make_result(problem, assignment, "greedy-lpt", optimal=False)
+
+
+def round_robin_mapping(problem: MappingProblem) -> MappingResult:
+    """Deal partitions to GPUs in index (topological) order."""
+    assignment = [
+        pid % problem.num_gpus for pid in range(problem.num_partitions)
+    ]
+    return make_result(problem, assignment, "round-robin", optimal=False)
+
+
+def contiguous_mapping(
+    problem: MappingProblem,
+    order: Optional[Sequence[int]] = None,
+) -> MappingResult:
+    """Split a topological order into contiguous per-GPU blocks.
+
+    For chain-shaped PDGs (DES, FFT, ...) contiguous blocks minimize the
+    number of cut edges — exactly G-1 — so this is a strong seed/fallback
+    when the MILP times out on hundreds of partitions.  The block
+    boundary threshold is found by binary search on the bottleneck block
+    time (the classic linear-partitioning argument).
+    """
+    order = list(order) if order is not None else list(range(problem.num_partitions))
+    if sorted(order) != list(range(problem.num_partitions)):
+        raise ValueError("order must be a permutation of all partitions")
+    gpus = problem.num_gpus
+    times = [problem.times[pid] for pid in order]
+    lo = max(times) if times else 0.0
+    hi = sum(times)
+
+    def blocks_needed(threshold: float) -> int:
+        blocks, acc = 1, 0.0
+        for t in times:
+            if acc + t > threshold:
+                blocks += 1
+                acc = t
+            else:
+                acc += t
+        return blocks
+
+    for _ in range(48):  # bisection to float precision
+        mid = (lo + hi) / 2
+        if blocks_needed(mid) <= gpus:
+            hi = mid
+        else:
+            lo = mid
+    threshold = hi
+    assignment = [0] * problem.num_partitions
+    gpu, acc = 0, 0.0
+    for pid, t in zip(order, times):
+        if acc + t > threshold and gpu + 1 < gpus:
+            gpu += 1
+            acc = 0.0
+        assignment[pid] = gpu
+        acc += t
+    return make_result(problem, assignment, "contiguous", optimal=False)

@@ -1,0 +1,214 @@
+"""The multi-GPU mapping problem (Section 3.2.2).
+
+Minimize ``Tmax``, the largest of
+
+* per-GPU compute time   ``T_gpu_j  = Σ_i n_ij · T_i``        (III.4)
+* per-link transfer time ``T_comm_l = Lat + D_l / BW``        (III.3)
+
+where ``D_l`` accumulates, per Eq. III.7, the PDG edge traffic whose
+(source GPU, destination GPU) pair is in ``dtlist(l)`` — plus (beyond the
+paper's letter, but physically present) the primary I/O each partition
+exchanges with the host.
+
+All quantities are at *fragment* granularity: ``T_i`` is the time
+partition ``i`` needs to process one input fragment and ``D_ij`` the bytes
+it forwards per fragment.  In the pipelined execution of Section 3.2.3 the
+steady-state beat — and hence application throughput — is set by exactly
+this bottleneck, which is why minimizing ``Tmax`` maximizes throughput.
+
+This module owns the problem record and the *evaluator* that scores a
+concrete assignment; every solver (MILP, branch-and-bound, greedy) is
+validated against the same evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gpu.topology import GpuTopology, default_topology
+from repro.partition.pdg import PartitionDependenceGraph
+
+
+@dataclass(frozen=True)
+class CommBreakdown:
+    """Per-link loads and times for one evaluated assignment."""
+
+    link_bytes: Tuple[float, ...]
+    link_times: Tuple[float, ...]
+
+    @property
+    def bottleneck_time(self) -> float:
+        return max(self.link_times, default=0.0)
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """Identical data from partition ``src`` to many partitions: one copy
+    per destination *GPU* (peer-to-peer copies cannot multicast, but they
+    need not be repeated per partition on the same device)."""
+
+    src: int
+    nbytes: float
+    destinations: Tuple[int, ...]
+
+
+@dataclass
+class MappingProblem:
+    """All inputs of the ILP formulation."""
+
+    times: List[float]  # T_i, fragment time per partition (ns)
+    edges: Dict[Tuple[int, int], float]  # (i, j) -> bytes per fragment
+    host_io: List[Tuple[float, float]]  # (input, output) bytes per fragment
+    topology: GpuTopology
+    #: peer-to-peer transfers (ours); False routes via the host as in [7]
+    peer_to_peer: bool = True
+    #: charge host primary I/O onto the links (physically real; can be
+    #: disabled to match the paper's formulation to the letter)
+    include_host_io: bool = True
+    #: duplicate fan-outs, deduplicated per destination GPU
+    broadcasts: List[Broadcast] = field(default_factory=list)
+    #: per-GPU slowdown factors for heterogeneous machines (Section 3.2.2:
+    #: "our ILP formulation can also be extended to heterogeneous cases");
+    #: T_i on GPU j costs times[i] * gpu_slowdown[j].  None = homogeneous.
+    gpu_slowdown: Optional[List[float]] = None
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.host_io):
+            raise ValueError("times and host_io must align")
+        if self.gpu_slowdown is not None:
+            if len(self.gpu_slowdown) != self.topology.num_gpus:
+                raise ValueError("one slowdown factor per GPU required")
+            if any(s <= 0 for s in self.gpu_slowdown):
+                raise ValueError("slowdown factors must be positive")
+        for (i, j) in self.edges:
+            if not (0 <= i < len(self.times) and 0 <= j < len(self.times)):
+                raise ValueError(f"edge ({i},{j}) out of range")
+        for group in self.broadcasts:
+            if not (0 <= group.src < len(self.times)):
+                raise ValueError("broadcast source out of range")
+            if any(not (0 <= d < len(self.times)) for d in group.destinations):
+                raise ValueError("broadcast destination out of range")
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.times)
+
+    @property
+    def num_gpus(self) -> int:
+        return self.topology.num_gpus
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def time_on(self, pid: int, gpu: int) -> float:
+        """Fragment time of partition ``pid`` when run on ``gpu``."""
+        if self.gpu_slowdown is None:
+            return self.times[pid]
+        return self.times[pid] * self.gpu_slowdown[gpu]
+
+    def gpu_times(self, assignment: Sequence[int]) -> List[float]:
+        """Eq. III.4 for a concrete assignment."""
+        loads = [0.0] * self.num_gpus
+        for pid, gpu in enumerate(assignment):
+            loads[gpu] += self.time_on(pid, gpu)
+        return loads
+
+    def link_loads(self, assignment: Sequence[int]) -> List[float]:
+        """Eq. III.7 (plus host I/O and broadcasts) for an assignment."""
+        loads = [0.0] * self.topology.num_links
+        for (i, j), nbytes in self.edges.items():
+            src, dst = assignment[i], assignment[j]
+            if src == dst:
+                continue
+            route = (
+                self.topology.route(src, dst)
+                if self.peer_to_peer
+                else self.topology.route_via_host(src, dst)
+            )
+            for link in route:
+                loads[link] += nbytes
+        for group in self.broadcasts:
+            src = assignment[group.src]
+            dest_gpus = {assignment[j] for j in group.destinations}
+            dest_gpus.discard(src)
+            for dst in sorted(dest_gpus):
+                route = (
+                    self.topology.route(src, dst)
+                    if self.peer_to_peer
+                    else self.topology.route_via_host(src, dst)
+                )
+                for link in route:
+                    loads[link] += group.nbytes
+        if self.include_host_io:
+            for pid, (inp, out) in enumerate(self.host_io):
+                gpu = assignment[pid]
+                if inp:
+                    for link in self.topology.route_from_host(gpu):
+                        loads[link] += inp
+                if out:
+                    for link in self.topology.route_to_host(gpu):
+                        loads[link] += out
+        return loads
+
+    def comm_breakdown(self, assignment: Sequence[int]) -> CommBreakdown:
+        """Eq. III.3 per link; latency is charged only on used links."""
+        spec = self.topology.link_spec
+        loads = self.link_loads(assignment)
+        times = tuple(
+            (spec.latency_ns + load / spec.bandwidth_bytes_per_ns) if load else 0.0
+            for load in loads
+        )
+        return CommBreakdown(link_bytes=tuple(loads), link_times=times)
+
+    def tmax(self, assignment: Sequence[int]) -> float:
+        """The objective value of an assignment."""
+        gpu_side = max(self.gpu_times(assignment), default=0.0)
+        comm_side = self.comm_breakdown(assignment).bottleneck_time
+        return max(gpu_side, comm_side)
+
+
+def build_mapping_problem(
+    pdg: PartitionDependenceGraph,
+    num_gpus: int,
+    topology: Optional[GpuTopology] = None,
+    peer_to_peer: bool = True,
+    include_host_io: bool = True,
+    gpu_slowdown: Optional[List[float]] = None,
+) -> MappingProblem:
+    """Assemble a :class:`MappingProblem` from a PDG."""
+    topology = topology or default_topology(num_gpus)
+    if topology.num_gpus != num_gpus:
+        raise ValueError("topology size disagrees with num_gpus")
+    times = [node.t_fragment for node in pdg.nodes]
+    edges = {
+        edge: float(pdg.edge_fragment_bytes(edge)) for edge in pdg.edges
+    }
+    # feedback (delay-edge) traffic loads links exactly like forward
+    # traffic; only the pipeline ordering differs, which the ILP does not
+    # model anyway
+    for edge, nbytes in pdg.feedback_edges.items():
+        scaled = float(nbytes * pdg.executions_per_fragment)
+        edges[edge] = edges.get(edge, 0.0) + scaled
+    host_io = [
+        tuple(float(v) for v in pdg.host_fragment_bytes(i))
+        for i in range(len(pdg))
+    ]
+    broadcasts = [
+        Broadcast(
+            src=group.src,
+            nbytes=float(group.bytes_per_execution * pdg.executions_per_fragment),
+            destinations=group.destinations,
+        )
+        for group in pdg.broadcasts
+    ]
+    return MappingProblem(
+        times=times,
+        edges=edges,
+        host_io=host_io,
+        topology=topology,
+        peer_to_peer=peer_to_peer,
+        include_host_io=include_host_io,
+        broadcasts=broadcasts,
+        gpu_slowdown=list(gpu_slowdown) if gpu_slowdown else None,
+    )

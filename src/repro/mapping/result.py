@@ -1,0 +1,55 @@
+"""Mapping results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.mapping.problem import MappingProblem
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """A solved partition-to-GPU assignment with its score breakdown."""
+
+    assignment: Tuple[int, ...]
+    tmax: float
+    gpu_times: Tuple[float, ...]
+    link_times: Tuple[float, ...]
+    solver: str
+    optimal: bool
+    solve_stats: Tuple[Tuple[str, float], ...] = ()
+
+    @property
+    def bottleneck(self) -> str:
+        """Whether compute or communication limits the throughput."""
+        gpu_side = max(self.gpu_times, default=0.0)
+        comm_side = max(self.link_times, default=0.0)
+        return "compute" if gpu_side >= comm_side else "communication"
+
+    def gpus_used(self) -> List[int]:
+        return sorted(set(self.assignment))
+
+
+def make_result(
+    problem: MappingProblem,
+    assignment: List[int],
+    solver: str,
+    optimal: bool,
+    stats: Tuple[Tuple[str, float], ...] = (),
+) -> MappingResult:
+    """Score ``assignment`` with the shared evaluator and wrap it."""
+    comm = problem.comm_breakdown(assignment)
+    gpu_times = tuple(problem.gpu_times(assignment))
+    tmax = max(
+        max(gpu_times, default=0.0), comm.bottleneck_time
+    )
+    return MappingResult(
+        assignment=tuple(assignment),
+        tmax=tmax,
+        gpu_times=gpu_times,
+        link_times=comm.link_times,
+        solver=solver,
+        optimal=optimal,
+        solve_stats=stats,
+    )

@@ -1,0 +1,211 @@
+"""From-scratch branch-and-bound solver for the mapping problem.
+
+A depth-first search over partition-to-GPU assignments (partitions visited
+in descending workload order) with three admissible lower bounds:
+
+* *monotonicity*: GPU times and link loads only grow as the assignment is
+  extended, so the current bottleneck already bounds the final one,
+* *balance*: the final bottleneck is at least the total workload divided
+  by the GPU count,
+* *indivisibility*: every unassigned partition must land somewhere, so the
+  largest remaining fragment time is a bound too.
+
+The incumbent starts from the greedy LPT solution.  For the paper-scale
+instances (P up to ~130 partitions) the MILP backend is the workhorse;
+branch-and-bound serves as the independent cross-check on small/medium
+instances and as the no-scipy fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.mapping.greedy import lpt_mapping
+from repro.mapping.problem import MappingProblem
+from repro.mapping.result import MappingResult, make_result
+
+
+def solve_branch_and_bound(
+    problem: MappingProblem,
+    max_nodes: int = 2_000_000,
+) -> MappingResult:
+    """Exact DFS branch-and-bound; returns the best assignment found.
+
+    ``optimal`` is False in the (rare) event the node budget is
+    exhausted first.
+    """
+    parts = problem.num_partitions
+    gpus = problem.num_gpus
+    if gpus == 1 or parts == 0:
+        return make_result(problem, [0] * parts, "branch-and-bound", True)
+
+    incumbent = list(lpt_mapping(problem).assignment)
+    best = problem.tmax(incumbent)
+    order = sorted(range(parts), key=lambda p: -problem.times[p])
+    # admissible even for heterogeneous GPUs: every partition runs at
+    # least as fast as on the fastest (lowest-slowdown) device
+    fastest = (
+        min(problem.gpu_slowdown) if problem.gpu_slowdown is not None else 1.0
+    )
+    balance_bound = sum(problem.times) * fastest / gpus
+
+    search = _Search(problem, order, balance_bound, max_nodes)
+    search.run(incumbent, best)
+    return make_result(
+        problem,
+        search.best_assignment,
+        "branch-and-bound",
+        optimal=not search.exhausted_budget,
+        stats=(("nodes", float(search.nodes)),),
+    )
+
+
+class _Search:
+    def __init__(
+        self,
+        problem: MappingProblem,
+        order: Sequence[int],
+        balance_bound: float,
+        max_nodes: int,
+    ) -> None:
+        self.problem = problem
+        self.order = order
+        self.balance_bound = balance_bound
+        self.max_nodes = max_nodes
+        self.nodes = 0
+        self.exhausted_budget = False
+        self.best_assignment: List[int] = []
+        self.best = float("inf")
+        self.assignment: List[Optional[int]] = [None] * problem.num_partitions
+        self.gpu_times = [0.0] * problem.num_gpus
+        # adjacency of the PDG restricted to assigned neighbours
+        self._in_edges: List[List[tuple]] = [[] for _ in range(problem.num_partitions)]
+        self._out_edges: List[List[tuple]] = [[] for _ in range(problem.num_partitions)]
+        for (i, j), nbytes in problem.edges.items():
+            self._out_edges[i].append((j, nbytes))
+            self._in_edges[j].append((i, nbytes))
+        self.link_loads = [0.0] * problem.topology.num_links
+        # broadcast bookkeeping: per group, how many placed destinations
+        # sit on each GPU (the route is charged on the 0 -> 1 transition)
+        self._bcast_by_src: List[List[int]] = [[] for _ in range(problem.num_partitions)]
+        self._bcast_by_dst: List[List[int]] = [[] for _ in range(problem.num_partitions)]
+        for g_idx, group in enumerate(problem.broadcasts):
+            self._bcast_by_src[group.src].append(g_idx)
+            for j in set(group.destinations):
+                self._bcast_by_dst[j].append(g_idx)
+        self._bcast_counts: List[Dict[int, int]] = [
+            {} for _ in problem.broadcasts
+        ]
+
+    # ------------------------------------------------------------------
+    def run(self, incumbent: List[int], best: float) -> None:
+        self.best_assignment = list(incumbent)
+        self.best = best
+        self._dfs(0)
+
+    def _dfs(self, depth: int) -> None:
+        if self.exhausted_budget:
+            return
+        self.nodes += 1
+        if self.nodes > self.max_nodes:
+            self.exhausted_budget = True
+            return
+        if depth == len(self.order):
+            tmax = self._current_bottleneck()
+            if tmax < self.best:
+                self.best = tmax
+                self.best_assignment = [g for g in self.assignment]  # type: ignore
+            return
+        pid = self.order[depth]
+        fastest = (
+            min(self.problem.gpu_slowdown)
+            if self.problem.gpu_slowdown is not None
+            else 1.0
+        )
+        remaining_max = fastest * max(
+            (self.problem.times[p] for p in self.order[depth:]), default=0.0
+        )
+        for gpu in range(self.problem.num_gpus):
+            delta_links = self._place(pid, gpu)
+            bound = max(
+                self._current_bottleneck(), self.balance_bound, remaining_max
+            )
+            if bound < self.best:
+                self._dfs(depth + 1)
+            self._unplace(pid, gpu, delta_links)
+
+    # ------------------------------------------------------------------
+    def _place(self, pid: int, gpu: int) -> List[tuple]:
+        self.assignment[pid] = gpu
+        self.gpu_times[gpu] += self.problem.time_on(pid, gpu)
+        deltas: List[tuple] = []
+        topo = self.problem.topology
+
+        def add(route, nbytes):
+            for link in route:
+                self.link_loads[link] += nbytes
+                deltas.append((link, nbytes))
+
+        for other, nbytes in self._out_edges[pid]:
+            dst = self.assignment[other]
+            if dst is not None and dst != gpu:
+                add(self._route(gpu, dst), nbytes)
+        for other, nbytes in self._in_edges[pid]:
+            src = self.assignment[other]
+            if src is not None and src != gpu:
+                add(self._route(src, gpu), nbytes)
+        # broadcasts where pid is the source: charge one copy per GPU
+        # already hosting a destination
+        for g_idx in self._bcast_by_src[pid]:
+            group = self.problem.broadcasts[g_idx]
+            dest_gpus = {
+                self.assignment[j]
+                for j in group.destinations
+                if self.assignment[j] is not None
+            }
+            dest_gpus.discard(gpu)
+            for dst in dest_gpus:
+                add(self._route(gpu, dst), group.nbytes)
+        # broadcasts where pid is a destination: charge the route only on
+        # this GPU's first destination of the group
+        for g_idx in self._bcast_by_dst[pid]:
+            group = self.problem.broadcasts[g_idx]
+            counts = self._bcast_counts[g_idx]
+            counts[gpu] = counts.get(gpu, 0) + 1
+            src_gpu = self.assignment[group.src]
+            if counts[gpu] == 1 and src_gpu is not None and src_gpu != gpu:
+                add(self._route(src_gpu, gpu), group.nbytes)
+        if self.problem.include_host_io:
+            inp, out = self.problem.host_io[pid]
+            if inp:
+                add(topo.route_from_host(gpu), inp)
+            if out:
+                add(topo.route_to_host(gpu), out)
+        return deltas
+
+    def _route(self, src: int, dst: int):
+        topo = self.problem.topology
+        if self.problem.peer_to_peer:
+            return topo.route(src, dst)
+        return topo.route_via_host(src, dst)
+
+    def _unplace(self, pid: int, gpu: int, deltas: List[tuple]) -> None:
+        self.assignment[pid] = None
+        self.gpu_times[gpu] -= self.problem.time_on(pid, gpu)
+        for g_idx in self._bcast_by_dst[pid]:
+            counts = self._bcast_counts[g_idx]
+            counts[gpu] -= 1
+            if not counts[gpu]:
+                del counts[gpu]
+        for link, nbytes in deltas:
+            self.link_loads[link] -= nbytes
+
+    def _current_bottleneck(self) -> float:
+        spec = self.problem.topology.link_spec
+        comm = 0.0
+        for load in self.link_loads:
+            if load:
+                t = spec.latency_ns + load / spec.bandwidth_bytes_per_ns
+                if t > comm:
+                    comm = t
+        return max(max(self.gpu_times), comm)

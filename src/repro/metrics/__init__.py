@@ -1,0 +1,12 @@
+"""Evaluation metrics: SOSP (Section 4.0.4/4.0.5) and statistics."""
+
+from repro.metrics.sosp import SospAnalysis, sosp, sosp_validity_bound
+from repro.metrics.stats import geometric_mean, r_squared
+
+__all__ = [
+    "SospAnalysis",
+    "geometric_mean",
+    "r_squared",
+    "sosp",
+    "sosp_validity_bound",
+]

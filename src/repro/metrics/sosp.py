@@ -1,0 +1,59 @@
+"""The SOSP metric — Speedup Over Single-Partition mapping.
+
+Section 4.0.4: raw runtimes are not comparable across GPUs ([7] measured
+on a C2070, the paper on an M2090), so the paper compares *relative*
+speedups: the throughput of a multi-partition multi-GPU (MPMG) mapping
+divided by the throughput of the single-partition single-GPU (SPSG)
+mapping of [10] on the same hardware.  Both systems implement the same
+SPSG baseline, making the ratio meaningful across them.
+
+Section 4.0.5 argues SOSP transfers across the two GPUs within a ~12%
+error bound: the M2090 is a uniformly scaled C2070 (compute +29%, memory
+bandwidth +23%), so any mapping's runtime scales by a factor between the
+two and the SOSP ratio moves by at most roughly the difference, twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import C2070, M2090, GpuSpec
+from repro.runtime.executor import ExecutionReport
+
+
+def sosp(mpmg: ExecutionReport, spsg: ExecutionReport) -> float:
+    """Throughput of a mapping relative to the SPSG baseline."""
+    return mpmg.throughput / spsg.throughput
+
+
+def sosp_validity_bound(g1: GpuSpec = C2070, g2: GpuSpec = M2090) -> float:
+    """The paper's error bound for transferring SOSP between two scaled
+    GPUs: twice the gap between their compute and bandwidth scale-ups
+    (Section 4.0.5 derives 2 * (29% - 23%) = 12%)."""
+    compute_gain = g2.peak_throughput_proxy / g1.peak_throughput_proxy - 1.0
+    bandwidth_gain = g2.mem_bandwidth_gbps / g1.mem_bandwidth_gbps - 1.0
+    return 2.0 * abs(compute_gain - bandwidth_gain)
+
+
+@dataclass(frozen=True)
+class SospAnalysis:
+    """Figure 4.4's four cases for one application."""
+
+    app: str
+    n: int
+    num_gpus: int
+    sosp_g1: float  # SPSG vs MPMG on the C2070
+    sosp_g2: float  # SPSG vs MPMG on the M2090
+
+    @property
+    def relative_error(self) -> float:
+        """|SOSP(G2) - SOSP(G1)| / SOSP(G1): how far the metric moves
+        when carried across the two GPUs."""
+        if self.sosp_g1 == 0:
+            return float("inf")
+        return abs(self.sosp_g2 - self.sosp_g1) / self.sosp_g1
+
+    def within_bound(self, slack: float = 1.0) -> bool:
+        """Whether the cross-GPU error respects the Section 4.0.5 bound
+        (scaled by ``slack``)."""
+        return self.relative_error <= sosp_validity_bound() * slack

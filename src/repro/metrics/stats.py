@@ -1,0 +1,31 @@
+"""Small statistics helpers used by the experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def r_squared(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """Coefficient of determination of ``predicted`` vs ``actual``.
+
+    This is the R² the paper quotes for Figure 4.1 (0.972): how much of
+    the measurement variance the prediction explains.
+    """
+    if len(predicted) != len(actual) or not actual:
+        raise ValueError("need two equal-length, non-empty sequences")
+    mean = sum(actual) / len(actual)
+    ss_tot = sum((a - mean) ** 2 for a in actual)
+    ss_res = sum((a - p) ** 2 for p, a in zip(predicted, actual))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's average for ratios)."""
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,17 @@
+"""Mapping optimizations beyond the core flow.
+
+* :mod:`repro.opt.splitjoin_elim` — Chapter V splitter/joiner elimination,
+* :mod:`repro.opt.fission` — stateless-filter fission (the related work's
+  load-balancing transformation).
+"""
+
+from repro.opt.fission import FissionReport, fission_filters, fissionable
+from repro.opt.splitjoin_elim import ElimReport, eliminate_movers
+
+__all__ = [
+    "ElimReport",
+    "FissionReport",
+    "eliminate_movers",
+    "fission_filters",
+    "fissionable",
+]

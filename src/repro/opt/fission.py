@@ -1,0 +1,165 @@
+"""Stateless-filter fission.
+
+The related work balances multiprocessor loads by "fusioning/fissioning
+of stateless filters" ([3, 8] in the paper).  Fission replaces one
+stateless filter with ``k`` data-parallel replicas wrapped in a
+round-robin split-join: each replica handles every k-th firing, so the
+steady-state semantics are unchanged while the mapper gains freedom to
+spread the work.
+
+Eligibility: the filter must be stateless, must not peek beyond its pop
+window (a sliding window couples consecutive firings), and must fire at
+least ``k`` times per steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.graph.filters import FilterRole
+from repro.graph.scheduling import solve_repetition_vector
+from repro.graph.stream_graph import StreamGraph
+
+
+@dataclass(frozen=True)
+class FissionReport:
+    """Which filters were split and how wide."""
+
+    fissioned: Tuple[Tuple[str, int], ...]  # (filter name, ways)
+    skipped: Tuple[str, ...]
+
+    @property
+    def total(self) -> int:
+        return len(self.fissioned)
+
+
+def fissionable(graph: StreamGraph, nid: int, ways: int) -> bool:
+    """Whether node ``nid`` can be split ``ways``-wide."""
+    node = graph.nodes[nid]
+    spec = node.spec
+    if ways < 2:
+        return False
+    if spec.stateful or spec.role is not FilterRole.COMPUTE:
+        return False
+    if spec.effective_peek > spec.pop:
+        return False
+    if node.firing < ways or node.firing % ways:
+        return False
+    in_chans = graph.in_channels(nid)
+    out_chans = graph.out_channels(nid)
+    if len(in_chans) != 1 or len(out_chans) != 1:
+        return False
+    if any(ch.delay for ch in in_chans + out_chans):
+        return False
+    return True
+
+
+def fission_filters(
+    graph: StreamGraph,
+    ways: int = 2,
+    targets: Optional[Iterable[int]] = None,
+    min_work: float = 0.0,
+) -> Tuple[StreamGraph, FissionReport]:
+    """Fission eligible filters ``ways``-wide; returns a new graph.
+
+    ``targets`` restricts the candidates (default: every filter);
+    ``min_work`` skips filters whose per-steady-state work is below the
+    threshold (fissioning trivial filters only adds movers).
+    """
+    candidates: Set[int] = (
+        set(targets) if targets is not None
+        else {n.node_id for n in graph.nodes}
+    )
+    plan: List[int] = []
+    skipped: List[str] = []
+    for nid in sorted(candidates):
+        node = graph.nodes[nid]
+        if not fissionable(graph, nid, ways):
+            skipped.append(node.spec.name)
+            continue
+        if node.firing * node.spec.work < min_work:
+            skipped.append(node.spec.name)
+            continue
+        plan.append(nid)
+
+    out = StreamGraph(f"{graph.name}+fission", elem_bytes=graph.elem_bytes)
+    id_map = {}
+    replicas = {}
+    for node in graph.nodes:
+        if node.node_id in plan:
+            # the splitter/joiner around the replicas are pure movers
+            splitter = out.add_node(
+                _mover_spec(
+                    f"{node.spec.name}.fsplit", node.spec.pop * ways,
+                    node.spec.pop * ways, FilterRole.SPLITTER,
+                    tuple([node.spec.pop] * ways),
+                )
+            )
+            copies = []
+            for i in range(ways):
+                replica = out.add_node(
+                    node.spec.renamed(f"{node.spec.name}.f{i}")
+                )
+                copies.append(replica.node_id)
+            joiner = out.add_node(
+                _mover_spec(
+                    f"{node.spec.name}.fjoin", node.spec.push * ways,
+                    node.spec.push * ways, FilterRole.JOINER,
+                    tuple([node.spec.push] * ways),
+                )
+            )
+            replicas[node.node_id] = (splitter.node_id, copies, joiner.node_id)
+        else:
+            id_map[node.node_id] = out.add_node(node.spec).node_id
+            out.nodes[id_map[node.node_id]].pipeline_id = node.pipeline_id
+
+    def entry(nid: int) -> int:
+        return replicas[nid][0] if nid in replicas else id_map[nid]
+
+    def exit_(nid: int) -> int:
+        return replicas[nid][2] if nid in replicas else id_map[nid]
+
+    for ch in graph.channels:
+        # boundary channels of a fissioned filter now terminate at the
+        # wrapper movers, which consume/produce `ways` firings at once
+        dst_pop = ch.dst_pop
+        dst_peek = ch.dst_peek
+        if ch.dst in replicas:
+            dst_pop = graph.nodes[ch.dst].spec.pop * ways
+            dst_peek = 0
+        src_push = ch.src_push
+        if ch.src in replicas:
+            src_push = graph.nodes[ch.src].spec.push * ways
+        out.add_channel(
+            exit_(ch.src), entry(ch.dst), src_push, dst_pop, dst_peek,
+            ch.delay,
+        )
+    for nid, (split_id, copies, join_id) in replicas.items():
+        spec = graph.nodes[nid].spec
+        for i, copy_id in enumerate(copies):
+            out.add_channel(split_id, copy_id, spec.pop, spec.pop)
+            out.add_channel(copy_id, join_id, spec.push, spec.push)
+
+    solve_repetition_vector(out)
+    report = FissionReport(
+        fissioned=tuple(
+            (graph.nodes[nid].spec.name, ways) for nid in plan
+        ),
+        skipped=tuple(skipped),
+    )
+    return out, report
+
+
+def _mover_spec(name, pop, push, role, params):
+    from repro.graph.filters import FilterSpec
+
+    return FilterSpec(
+        name=name,
+        pop=pop,
+        push=push,
+        work=0.5 * (pop + push),
+        role=role,
+        semantics="roundrobin",
+        params=params,
+    )

@@ -1,0 +1,241 @@
+"""Splitter/joiner elimination (Chapter V, Figures 5.1 and 5.2).
+
+Splitters and joiners "do not manipulate their input data ... while they
+do not have any effect on the data, their run-time contribution is
+significant".  This transform removes them from the flat graph:
+
+* An eliminated **splitter** re-points each branch at the splitter's
+  producer.  Duplicate branches read the producer's output block
+  directly (Fig 5.1c); round-robin branches read a strided *slice* of it
+  (``Channel.slice_*``).  Either way all the new channels share one
+  physical buffer (``alias_group``), so the shared-memory footprint drops
+  along with the splitter's compute time.
+
+* An eliminated **joiner** re-points its consumer at the joiner's
+  producers.  The consumer now faces the "fragmentation problem"
+  (Fig 5.2c): its input window must be reassembled round-robin from
+  several channels, recorded as an ``interleave`` pattern in the node's
+  metadata and honoured by both the functional VM and the code
+  generator.
+
+Only movers whose rates divide evenly (each producer firing maps to a
+whole number of slice periods) are eliminated; others are left in place.
+The transform rebuilds the graph, re-solves the repetition vector, and
+reports what it removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graph.filters import FilterRole
+from repro.graph.scheduling import solve_repetition_vector
+from repro.graph.stream_graph import Channel, StreamGraph
+
+
+@dataclass(frozen=True)
+class ElimReport:
+    """What the transform removed."""
+
+    splitters_removed: int
+    joiners_removed: int
+    splitters_kept: int
+    joiners_kept: int
+
+    @property
+    def total_removed(self) -> int:
+        return self.splitters_removed + self.joiners_removed
+
+
+def eliminate_movers(
+    graph: StreamGraph,
+    eliminate_splitters: bool = True,
+    eliminate_joiners: bool = True,
+) -> Tuple[StreamGraph, ElimReport]:
+    """Return a transformed copy of ``graph`` with movers eliminated."""
+    removable: Set[int] = set()
+    split_kept = join_kept = split_removed = join_removed = 0
+    for node in graph.nodes:
+        role = node.spec.role
+        if role is FilterRole.SPLITTER and eliminate_splitters:
+            if _splitter_removable(graph, node.node_id, removable):
+                removable.add(node.node_id)
+                split_removed += 1
+            else:
+                split_kept += 1
+        elif role is FilterRole.SPLITTER:
+            split_kept += 1
+        elif role is FilterRole.JOINER and eliminate_joiners:
+            if _joiner_removable(graph, node.node_id, removable):
+                removable.add(node.node_id)
+                join_removed += 1
+            else:
+                join_kept += 1
+        elif role is FilterRole.JOINER:
+            join_kept += 1
+
+    new_graph = _rebuild(graph, removable)
+    report = ElimReport(
+        splitters_removed=split_removed,
+        joiners_removed=join_removed,
+        splitters_kept=split_kept,
+        joiners_kept=join_kept,
+    )
+    return new_graph, report
+
+
+# ----------------------------------------------------------------------
+# eligibility
+# ----------------------------------------------------------------------
+def _splitter_removable(graph: StreamGraph, nid: int, removed: Set[int]) -> bool:
+    node = graph.nodes[nid]
+    in_chans = graph.in_channels(nid)
+    if len(in_chans) != 1:
+        return False  # feedback join or primary-input splitter
+    producer_chan = in_chans[0]
+    if producer_chan.src in removed:
+        return False  # chained movers: eliminate one layer per pass
+    if producer_chan.delay:
+        return False
+    # each producer firing must cover whole slice periods
+    period = node.spec.pop
+    if producer_chan.src_push % period:
+        return False
+    out_chans = graph.out_channels(nid)
+    if node.spec.semantics == "roundrobin":
+        weights = node.spec.params
+        if len(weights) != len(out_chans):
+            return False
+    return bool(out_chans)
+
+
+def _joiner_removable(graph: StreamGraph, nid: int, removed: Set[int]) -> bool:
+    node = graph.nodes[nid]
+    out_chans = graph.out_channels(nid)
+    if len(out_chans) != 1:
+        return False
+    consumer_chan = out_chans[0]
+    if consumer_chan.dst in removed:
+        return False
+    if consumer_chan.delay:
+        return False
+    if consumer_chan.effective_peek > consumer_chan.dst_pop:
+        return False  # sliding windows cannot interleave cleanly
+    # the consumer's pop must cover whole join rounds so its interleave
+    # pattern is a clean cycle
+    if consumer_chan.dst_pop % node.spec.push:
+        return False
+    in_chans = graph.in_channels(nid)
+    if any(ch.delay for ch in in_chans):
+        return False
+    weights = node.spec.params
+    return len(weights) == len(in_chans) and bool(in_chans)
+
+
+# ----------------------------------------------------------------------
+# rebuild
+# ----------------------------------------------------------------------
+def _rebuild(graph: StreamGraph, removed: Set[int]) -> StreamGraph:
+    out = StreamGraph(f"{graph.name}+elim", elem_bytes=graph.elem_bytes)
+    id_map: Dict[int, int] = {}
+    for node in graph.nodes:
+        if node.node_id in removed:
+            continue
+        new_node = out.add_node(node.spec)
+        new_node.pipeline_id = node.pipeline_id
+        if node.meta:
+            new_node.meta = dict(node.meta)
+        id_map[node.node_id] = new_node.node_id
+
+    alias_counter = 0
+    # joiner-elimination interleave patterns keyed by new consumer id:
+    interleave: Dict[int, List[Tuple[int, int]]] = {}
+
+    for ch in graph.channels:
+        if ch.src in removed or ch.dst in removed:
+            continue
+        out.add_channel(
+            id_map[ch.src], id_map[ch.dst], ch.src_push, ch.dst_pop,
+            ch.dst_peek, ch.delay,
+        )
+
+    for nid in sorted(removed):
+        node = graph.nodes[nid]
+        if node.spec.role is FilterRole.SPLITTER:
+            alias_counter += 1
+            _rewire_splitter(graph, out, id_map, nid, alias_counter)
+        else:
+            _rewire_joiner(graph, out, id_map, nid, interleave)
+
+    for new_id, pattern in interleave.items():
+        node = out.nodes[new_id]
+        node.meta = dict(node.meta or {})
+        node.meta["interleave"] = pattern
+
+    out.pipelines = [
+        [id_map[n] for n in seg if n in id_map] for seg in graph.pipelines
+    ]
+    out.pipelines = [seg for seg in out.pipelines if len(seg) >= 2]
+    solve_repetition_vector(out)
+    return out
+
+
+def _rewire_splitter(
+    graph: StreamGraph,
+    out: StreamGraph,
+    id_map: Dict[int, int],
+    nid: int,
+    alias_group: int,
+) -> None:
+    node = graph.nodes[nid]
+    producer_chan = graph.in_channels(nid)[0]
+    producer = id_map[producer_chan.src]
+    period = node.spec.pop
+    duplicate = node.spec.semantics == "duplicate"
+    weights = node.spec.params
+    offset = 0
+    for branch_idx, ch in enumerate(graph.out_channels(nid)):
+        consumer = id_map[ch.dst]
+        if duplicate:
+            # consumer reads the producer's block directly (Fig 5.1c)
+            width = ch.src_push
+            push = producer_chan.src_push * width // period
+            new = out.add_channel(
+                producer, consumer, push, ch.dst_pop, ch.dst_peek
+            )
+            new.alias_group = alias_group
+        else:
+            width = weights[branch_idx]
+            push = producer_chan.src_push * width // period
+            new = out.add_channel(
+                producer, consumer, push, ch.dst_pop, ch.dst_peek
+            )
+            new.alias_group = alias_group
+            new.slice_offset = offset
+            new.slice_period = period
+            new.slice_width = width
+            offset += width
+
+
+def _rewire_joiner(
+    graph: StreamGraph,
+    out: StreamGraph,
+    id_map: Dict[int, int],
+    nid: int,
+    interleave: Dict[int, List[Tuple[int, int]]],
+) -> None:
+    node = graph.nodes[nid]
+    consumer_chan = graph.out_channels(nid)[0]
+    consumer = id_map[consumer_chan.dst]
+    weights = node.spec.params
+    pattern: List[Tuple[int, int]] = []
+    for branch_idx, ch in enumerate(graph.in_channels(nid)):
+        producer = id_map[ch.src]
+        weight = weights[branch_idx]
+        # consumer pops its share of each branch per firing
+        pop = consumer_chan.dst_pop * weight // node.spec.push
+        out.add_channel(producer, consumer, ch.src_push, pop)
+        global_chan_idx = len(out.channels) - 1
+        pattern.append((global_chan_idx, weight))
+    interleave[consumer] = pattern

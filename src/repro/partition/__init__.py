@@ -1,0 +1,28 @@
+"""Stream-graph partitioning (Section 3.1).
+
+* :mod:`repro.partition.convexity` -- bitmask reachability oracle for the
+  convexity side condition of Try-Merge,
+* :mod:`repro.partition.merge` -- the conditional Try-Merge operation,
+* :mod:`repro.partition.heuristic` -- Algorithm 1 (four merge phases),
+* :mod:`repro.partition.pdg` -- the Partition Dependence Graph fed to the
+  ILP mapper (Figure 3.4),
+* :mod:`repro.partition.baseline` -- the previous work's SM-threshold
+  partitioner [7] and the single-partition mapping of [10].
+"""
+
+from repro.partition.baseline import previous_work_partition, single_partition
+from repro.partition.convexity import ConvexityOracle
+from repro.partition.heuristic import PartitioningResult, partition_stream_graph
+from repro.partition.merge import MergeContext
+from repro.partition.pdg import PartitionDependenceGraph, build_pdg
+
+__all__ = [
+    "ConvexityOracle",
+    "MergeContext",
+    "PartitionDependenceGraph",
+    "PartitioningResult",
+    "build_pdg",
+    "partition_stream_graph",
+    "previous_work_partition",
+    "single_partition",
+]

@@ -1,0 +1,91 @@
+"""Baseline partitioners: the previous work [7] and SPSG [10].
+
+The previous work's heuristic "keeps merging filters until the SM
+requirement is violated" (Section 3.1.1): no performance model, no
+boundedness steering — only the shared-memory constraint.  We implement it
+as a topological sweep that grows convex partitions until one more filter
+would overflow the SM at W = 1.  Its multi-GPU mapping counterpart (in
+:mod:`repro.mapping.greedy`) balances static workload only and routes
+inter-GPU traffic through the host.
+
+The Single-Partition Single-GPU (SPSG) mapping of [10] — the whole graph
+as one kernel on one GPU — is the denominator of the SOSP metric
+(Section 4.0.4): both our flow and the previous work implement the same
+SPSG heuristic, which is what makes SOSP comparable across hardware.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional
+
+from repro.graph.stream_graph import StreamGraph
+from repro.gpu.memory import partition_memory
+from repro.gpu.specs import GpuSpec, M2090
+from repro.partition.convexity import ConvexityOracle
+
+
+def previous_work_partition(
+    graph: StreamGraph,
+    spec: GpuSpec = M2090,
+    oracle: Optional[ConvexityOracle] = None,
+) -> List[FrozenSet[int]]:
+    """The SM-threshold partitioner of [7].
+
+    Sweeps filters in topological order, greedily adding each to the
+    current partition when the result stays convex and fits the SM with
+    one execution; otherwise closes the partition and starts a new one.
+    Produces far fewer partitions than Algorithm 1 on compute-bound
+    apps — the "kernel count ratio" effect of Section 4.0.3.
+    """
+    oracle = oracle or ConvexityOracle(graph)
+    partitions: List[int] = []
+    current = 0
+    for nid in graph.topological_order():
+        bit = 1 << nid
+        if current == 0:
+            current = bit
+            continue
+        candidate = current | bit
+        if (
+            oracle.adjacent(current, bit)
+            and oracle.is_convex(candidate)
+            and _fits(graph, candidate, spec, oracle)
+        ):
+            current = candidate
+        else:
+            partitions.append(current)
+            current = bit
+    if current:
+        partitions.append(current)
+    return [frozenset(oracle.members_of(mask)) for mask in partitions]
+
+
+def _fits(
+    graph: StreamGraph, mask: int, spec: GpuSpec, oracle: ConvexityOracle
+) -> bool:
+    memory = partition_memory(graph, oracle.members_of(mask))
+    return memory.smem_for(1) <= spec.shared_mem_bytes
+
+
+def single_partition(graph: StreamGraph) -> List[FrozenSet[int]]:
+    """The SPSG partitioning: everything in one kernel.
+
+    Large graphs overflow the SM in this regime; the PEE and simulator
+    price the overflow as global-memory spill, which is precisely why
+    multi-partition mappings win on large N (SOSP >> 1).
+    """
+    return [frozenset(node.node_id for node in graph.nodes)]
+
+
+def one_kernel_per_filter(graph: StreamGraph) -> List[FrozenSet[int]]:
+    """The "first approach" of Section 2.1.3 ([5]): every filter its own
+    kernel, all inter-filter communication through global memory.
+
+    In our cost model each singleton partition pays its boundary traffic
+    as kernel I/O plus a launch per fragment — the global-memory
+    bottleneck that motivates the one-kernel-for-graph approach the paper
+    builds on.  Kept as a baseline for the background comparison
+    experiment.
+    """
+    order = graph.topological_order()
+    return [frozenset([nid]) for nid in order]

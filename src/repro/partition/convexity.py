@@ -1,0 +1,106 @@
+"""Convexity oracle for partitions.
+
+A partition is *convex* if no path between two of its nodes passes through
+an external node (footnote 1 of Algorithm 1, after [7]).  Equivalently,
+with ``R+`` the set of nodes reachable from the partition and ``R-`` the
+set of nodes reaching it::
+
+    convex(P)  <=>  R+(P) ∩ R-(P) == P
+
+Convex partitions of a DAG quotient to a DAG, which the pipelined
+multi-GPU execution model requires.
+
+The partitioning heuristic performs thousands of convexity checks, so the
+oracle precomputes per-node descendant/ancestor sets as Python big-int
+bitmasks: a check is then a handful of word-wide AND/ORs.
+
+Feedback-loop delay edges are excluded from reachability (they do not
+constrain the pipeline order) but do count for adjacency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.graph.stream_graph import StreamGraph
+
+
+class ConvexityOracle:
+    """Precomputed reachability for fast convexity/adjacency queries."""
+
+    def __init__(self, graph: StreamGraph) -> None:
+        self.graph = graph
+        n = len(graph.nodes)
+        order = graph.topological_order()
+        self._desc: List[int] = [0] * n
+        self._anc: List[int] = [0] * n
+        for nid in reversed(order):
+            mask = 1 << nid
+            for ch in graph.out_channels(nid):
+                if ch.delay == 0:
+                    mask |= self._desc[ch.dst]
+            self._desc[nid] = mask
+        for nid in order:
+            mask = 1 << nid
+            for ch in graph.in_channels(nid):
+                if ch.delay == 0:
+                    mask |= self._anc[ch.src]
+            self._anc[nid] = mask
+        self._adj: List[int] = [0] * n
+        for ch in graph.channels:
+            self._adj[ch.src] |= 1 << ch.dst
+            self._adj[ch.dst] |= 1 << ch.src
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def mask_of(members: Iterable[int]) -> int:
+        """Bitmask of a node-id collection."""
+        mask = 0
+        for nid in members:
+            mask |= 1 << nid
+        return mask
+
+    @staticmethod
+    def members_of(mask: int) -> List[int]:
+        """Node ids set in ``mask`` (ascending)."""
+        out = []
+        nid = 0
+        while mask:
+            if mask & 1:
+                out.append(nid)
+            mask >>= 1
+            nid += 1
+        return out
+
+    # ------------------------------------------------------------------
+    def descendants(self, mask: int) -> int:
+        """Union of descendant masks (including the set itself)."""
+        out = 0
+        for nid in self.members_of(mask):
+            out |= self._desc[nid]
+        return out
+
+    def ancestors(self, mask: int) -> int:
+        """Union of ancestor masks (including the set itself)."""
+        out = 0
+        for nid in self.members_of(mask):
+            out |= self._anc[nid]
+        return out
+
+    def is_convex(self, mask: int) -> bool:
+        """Whether the node set is convex."""
+        return (self.descendants(mask) & self.ancestors(mask)) == mask
+
+    def adjacent(self, mask_a: int, mask_b: int) -> bool:
+        """Whether some channel connects the two (disjoint) sets."""
+        reach = 0
+        for nid in self.members_of(mask_a):
+            reach |= self._adj[nid]
+        return bool(reach & mask_b)
+
+    def neighbors_mask(self, mask: int) -> int:
+        """All nodes adjacent to the set, excluding the set itself."""
+        reach = 0
+        for nid in self.members_of(mask):
+            reach |= self._adj[nid]
+        return reach & ~mask

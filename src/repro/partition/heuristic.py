@@ -1,0 +1,286 @@
+"""Algorithm 1: the four-phase partitioning heuristic (Section 3.1.2).
+
+Phase 1 merges filters *within* innermost pipeline segments (cheap in
+shared memory, Figure 3.2a).  Phase 2 merges the remaining nodes (split /
+join neighbourhoods).  Phase 3 merges whole partitions, steering towards
+compute-boundedness: first IO-bound with IO-bound, then IO-bound with
+anything, then anything with anything — merging shares boundary buffers
+and so tends to convert IO-bound partitions into compute-bound ones.
+Phase 4 attempts simultaneous merges (a partition with two neighbours at
+once) and finally prices the all-in-one partition so the multi-partition
+answer is never worse than single-partition.
+
+Every merge decision is delegated to :class:`~repro.partition.merge.
+MergeContext` (connectivity + convexity + the PEE's T() reduction test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graph.stream_graph import StreamGraph
+from repro.gpu.specs import GpuSpec, M2090
+from repro.partition.convexity import ConvexityOracle
+from repro.partition.merge import MergeContext
+from repro.perf.engine import PartitionEstimate, PerformanceEstimationEngine
+
+
+@dataclass
+class PartitioningResult:
+    """Outcome of the heuristic.
+
+    ``partitions`` are node-id sets in topological order of the quotient
+    graph; ``estimates`` align with them.  ``phase_counts`` records the
+    partition count after each enabled phase (useful for the paper's
+    partition-count analysis and for the phase ablation).
+    """
+
+    graph: StreamGraph
+    partitions: List[FrozenSet[int]]
+    estimates: List[PartitionEstimate]
+    phase_counts: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def assignment(self) -> Dict[int, int]:
+        """node id -> partition index."""
+        out: Dict[int, int] = {}
+        for pid, members in enumerate(self.partitions):
+            for nid in members:
+                out[nid] = pid
+        return out
+
+    @property
+    def total_t(self) -> float:
+        """Σ T(p): the heuristic's own objective."""
+        return sum(est.t for est in self.estimates)
+
+    def compute_bound_count(self) -> int:
+        return sum(1 for est in self.estimates if est.is_compute_bound)
+
+
+def partition_stream_graph(
+    graph: StreamGraph,
+    engine: Optional[PerformanceEstimationEngine] = None,
+    spec: GpuSpec = M2090,
+    phases: Iterable[int] = (1, 2, 3, 4),
+) -> PartitioningResult:
+    """Run Algorithm 1 on ``graph``.
+
+    ``phases`` selects which phases run (all four by default); disabling
+    phases is the ablation hook used by the experiments.
+    """
+    engine = engine or PerformanceEstimationEngine(graph, spec=spec)
+    ctx = MergeContext(engine)
+    state = _State(graph, ctx)
+    enabled = set(phases)
+
+    if 1 in enabled:
+        _phase1_pipelines(state)
+        state.note("phase1")
+    if 2 in enabled:
+        _phase2_remaining(state)
+        state.note("phase2")
+    else:
+        _assign_singletons(state)
+    if 3 in enabled:
+        _phase3_partition_merging(state)
+        state.note("phase3")
+    if 4 in enabled:
+        _phase4_simultaneous(state)
+        state.note("phase4")
+    return state.result()
+
+
+# ----------------------------------------------------------------------
+# internal state
+# ----------------------------------------------------------------------
+class _State:
+    def __init__(self, graph: StreamGraph, ctx: MergeContext) -> None:
+        self.graph = graph
+        self.ctx = ctx
+        self.oracle: ConvexityOracle = ctx.oracle
+        self.parts: List[int] = []  # partition bitmasks
+        self.assigned: int = 0  # union of all partition masks
+        self.phase_counts: Dict[str, int] = {}
+
+    def add_part(self, mask: int) -> int:
+        self.parts.append(mask)
+        self.assigned |= mask
+        return len(self.parts) - 1
+
+    def replace(self, victims: Sequence[int], union: int) -> None:
+        """Remove partitions by index and append their union."""
+        for idx in sorted(victims, reverse=True):
+            del self.parts[idx]
+        self.parts.append(union)
+
+    def note(self, phase: str) -> None:
+        self.phase_counts[phase] = len(self.parts)
+
+    def result(self) -> PartitioningResult:
+        order = self.graph.topological_order()
+        position = {nid: idx for idx, nid in enumerate(order)}
+        keyed = sorted(
+            self.parts,
+            key=lambda mask: min(
+                position[nid] for nid in self.oracle.members_of(mask)
+            ),
+        )
+        partitions = [
+            frozenset(self.oracle.members_of(mask)) for mask in keyed
+        ]
+        estimates = [self.ctx.estimate(mask) for mask in keyed]
+        return PartitioningResult(
+            graph=self.graph,
+            partitions=partitions,
+            estimates=estimates,
+            phase_counts=dict(self.phase_counts),
+        )
+
+
+# ----------------------------------------------------------------------
+# phase 1: within innermost pipelines (Algorithm 1, lines 2-10)
+# ----------------------------------------------------------------------
+def _phase1_pipelines(state: _State) -> None:
+    for segment in state.graph.pipelines:
+        index = 0
+        while index < len(segment):
+            mask = 1 << segment[index]
+            cursor = index + 1
+            while cursor < len(segment):
+                candidate = 1 << segment[cursor]
+                if not state.ctx.can_merge(mask, candidate):
+                    break
+                mask |= candidate
+                cursor += 1
+            state.add_part(mask)
+            index = cursor
+
+
+# ----------------------------------------------------------------------
+# phase 2: nodes outside pipelines (lines 13-20)
+# ----------------------------------------------------------------------
+def _phase2_remaining(state: _State) -> None:
+    for node in state.graph.topological_order():
+        bit = 1 << node
+        if state.assigned & bit:
+            continue
+        mask = bit
+        state.assigned |= bit
+        merged = True
+        while merged:
+            merged = False
+            frontier = state.oracle.neighbors_mask(mask) & ~state.assigned
+            for neighbor in state.oracle.members_of(frontier):
+                nb_bit = 1 << neighbor
+                if state.ctx.can_merge(mask, nb_bit):
+                    mask |= nb_bit
+                    state.assigned |= nb_bit
+                    merged = True
+        state.parts.append(mask)
+
+
+def _assign_singletons(state: _State) -> None:
+    """Fallback when phase 2 is ablated: leftover nodes become singletons."""
+    for node in state.graph.topological_order():
+        bit = 1 << node
+        if not state.assigned & bit:
+            state.add_part(bit)
+
+
+# ----------------------------------------------------------------------
+# phase 3: merging partitions, IO-bound first (lines 23-31)
+# ----------------------------------------------------------------------
+def _phase3_partition_merging(state: _State) -> None:
+    # three rounds: (L1, L1), (L1, L1 u L2), (L1 u L2, L1 u L2)
+    for round_sources, round_targets in (
+        ("io", "io"), ("io", "all"), ("all", "all")
+    ):
+        _phase3_round(state, round_sources, round_targets)
+
+
+def _phase3_round(state: _State, sources: str, targets: str) -> None:
+    while True:
+        io_bound, compute_bound = _classify(state)
+        src_list = io_bound if sources == "io" else io_bound + compute_bound
+        dst_list = io_bound if targets == "io" else io_bound + compute_bound
+        src_list = sorted(src_list, key=lambda idx: state.ctx.t(state.parts[idx]))
+        merged = False
+        for src in src_list:
+            partners = sorted(
+                (idx for idx in dst_list if idx != src),
+                key=lambda idx: state.ctx.t(state.parts[idx]),
+            )
+            for dst in partners:
+                if state.ctx.can_merge(state.parts[src], state.parts[dst]):
+                    union = state.parts[src] | state.parts[dst]
+                    state.replace([src, dst], union)
+                    merged = True
+                    break
+            if merged:
+                break
+        if not merged:
+            return
+
+
+def _classify(state: _State) -> Tuple[List[int], List[int]]:
+    io_bound: List[int] = []
+    compute_bound: List[int] = []
+    for idx, mask in enumerate(state.parts):
+        if state.ctx.estimate(mask).is_compute_bound:
+            compute_bound.append(idx)
+        else:
+            io_bound.append(idx)
+    return io_bound, compute_bound
+
+
+# ----------------------------------------------------------------------
+# phase 4: simultaneous merges (lines 34-35)
+# ----------------------------------------------------------------------
+def _phase4_simultaneous(state: _State) -> None:
+    _phase4_triples(state)
+    _phase4_all(state)
+
+
+def _phase4_triples(state: _State) -> None:
+    changed = True
+    while changed:
+        changed = False
+        for base in range(len(state.parts)):
+            neighbors = [
+                idx
+                for idx in range(len(state.parts))
+                if idx != base
+                and state.oracle.adjacent(state.parts[base], state.parts[idx])
+            ]
+            done = False
+            for i in range(len(neighbors)):
+                for j in range(i + 1, len(neighbors)):
+                    trio = [
+                        state.parts[base],
+                        state.parts[neighbors[i]],
+                        state.parts[neighbors[j]],
+                    ]
+                    if state.ctx.can_merge_many(trio):
+                        union = trio[0] | trio[1] | trio[2]
+                        state.replace([base, neighbors[i], neighbors[j]], union)
+                        changed = done = True
+                        break
+                if done:
+                    break
+            if done:
+                break
+
+
+def _phase4_all(state: _State) -> None:
+    if len(state.parts) <= 1:
+        return
+    if state.ctx.can_merge_many(list(state.parts), allow_spill=True):
+        union = 0
+        for mask in state.parts:
+            union |= mask
+        state.parts = [union]

@@ -1,0 +1,99 @@
+"""The Try-Merge operation of Algorithm 1.
+
+``Try-Merge(a, b)`` merges two partitions (or a partition and a node) iff
+
+(i)   they are connected,
+(ii)  the union is convex, and
+(iii) the PEE expects the union to run faster than the two separately:
+      ``T(a ∪ b) < T(a) + T(b)`` — which also implies the union satisfies
+      the shared-memory constraint, since an SM-overflowing union pays the
+      (large) spill penalty and is additionally rejected outright.
+
+The context object owns the oracle and the PEE so merge probes stay cheap
+and memoized across the whole heuristic run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.partition.convexity import ConvexityOracle
+from repro.perf.engine import PartitionEstimate, PerformanceEstimationEngine
+
+
+class MergeContext:
+    """Shared state for merge probing: oracle + PEE + tunables.
+
+    ``allow_spill`` permits unions that overflow shared memory (only the
+    phase-4 "merge everything" probe wants this, to price the
+    single-partition alternative honestly); everywhere else an overflow
+    is an automatic rejection, matching the paper.
+    """
+
+    def __init__(
+        self,
+        engine: PerformanceEstimationEngine,
+        oracle: Optional[ConvexityOracle] = None,
+    ) -> None:
+        self.engine = engine
+        self.graph = engine.graph
+        self.oracle = oracle or ConvexityOracle(self.graph)
+
+    # ------------------------------------------------------------------
+    def estimate(self, mask: int) -> PartitionEstimate:
+        """PEE estimate for a partition bitmask."""
+        return self.engine.estimate(self.oracle.members_of(mask))
+
+    def t(self, mask: int) -> float:
+        return self.estimate(mask).t
+
+    # ------------------------------------------------------------------
+    def can_merge(
+        self, mask_a: int, mask_b: int, allow_spill: bool = False
+    ) -> bool:
+        """Evaluate Try-Merge's three conditions without mutating state."""
+        if mask_a & mask_b:
+            raise ValueError("partitions must be disjoint")
+        if not self.oracle.adjacent(mask_a, mask_b):
+            return False
+        union = mask_a | mask_b
+        if not self.oracle.is_convex(union):
+            return False
+        merged = self.estimate(union)
+        if not allow_spill and not merged.fits_shared_memory:
+            return False
+        return merged.t < self.t(mask_a) + self.t(mask_b)
+
+    def can_merge_many(self, masks: list, allow_spill: bool = False) -> bool:
+        """Phase-4 variant: merge several partitions simultaneously."""
+        union = 0
+        for mask in masks:
+            if union & mask:
+                raise ValueError("partitions must be disjoint")
+            union |= mask
+        if not self._union_connected(masks):
+            return False
+        if not self.oracle.is_convex(union):
+            return False
+        merged = self.estimate(union)
+        if not allow_spill and not merged.fits_shared_memory:
+            return False
+        separate = sum(self.t(mask) for mask in masks)
+        return merged.t < separate
+
+    def _union_connected(self, masks: list) -> bool:
+        """Whether the union of the masks is (weakly) connected at the
+        partition level."""
+        remaining = list(masks)
+        if not remaining:
+            return False
+        component = remaining.pop(0)
+        changed = True
+        while changed and remaining:
+            changed = False
+            for mask in list(remaining):
+                if self.oracle.adjacent(component, mask):
+                    component |= mask
+                    remaining.remove(mask)
+                    changed = True
+        return not remaining

@@ -1,0 +1,220 @@
+"""The Partition Dependence Graph (Figure 3.4).
+
+Nodes are partitions; an edge (p_i, p_j) exists when any stream-graph
+channel crosses from p_i to p_j, with weight ``D_ij`` — the total bytes
+crossing per steady-state execution.  Each node carries the PEE's
+workload number ``T_i`` and, for mapping at fragment granularity, a
+fragment-level time (launch iterations included).
+
+The PDG is what the ILP formulation of Section 3.2.2 consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.graph.stream_graph import StreamGraph
+from repro.gpu.simulator import KernelSimulator
+from repro.perf.engine import PartitionEstimate, PerformanceEstimationEngine
+
+
+@dataclass(frozen=True)
+class PdgNode:
+    """One partition as seen by the mapper."""
+
+    index: int
+    members: FrozenSet[int]
+    t_per_execution: float  # T(p_i), ns per steady-state execution
+    t_fragment: float  # time to process one data fragment, ns
+    is_compute_bound: bool
+
+
+@dataclass(frozen=True)
+class BroadcastGroup:
+    """Identical data fanned out from one partition to many.
+
+    A duplicate splitter inside partition ``src`` feeding branches in
+    other partitions sends the *same* bytes everywhere; peer-to-peer
+    copies therefore ship one copy per destination **GPU**, not per
+    destination partition.  The mapper and the runtime both exploit this
+    (the paper's per-edge ``D_ij`` model would otherwise overcharge wide
+    equalizer-style fan-outs cut across GPUs).
+    """
+
+    group_id: int
+    src: int
+    bytes_per_execution: int
+    destinations: Tuple[int, ...]
+
+
+@dataclass
+class PartitionDependenceGraph:
+    """Partitions + inter-partition traffic.
+
+    ``edges`` maps (src index, dst index) to *private* bytes per
+    steady-state execution (duplicate-splitter fan-out is factored into
+    ``broadcasts`` instead); fragment-level traffic is that times
+    ``executions_per_fragment``.
+    """
+
+    graph: StreamGraph
+    nodes: List[PdgNode]
+    edges: Dict[Tuple[int, int], int]
+    executions_per_fragment: int
+    #: host I/O bytes per execution per partition (primary input, output)
+    host_io: List[Tuple[int, int]] = field(default_factory=list)
+    #: duplicate fan-out traffic, deduplicated per destination GPU
+    broadcasts: List[BroadcastGroup] = field(default_factory=list)
+    #: feedback (delay-edge) traffic: loads links like a normal edge but
+    #: does not order the pipeline — its data belongs to a *previous*
+    #: steady-state iteration, which is what the delay guarantees
+    feedback_edges: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def edge_fragment_bytes(self, edge: Tuple[int, int]) -> int:
+        return self.edges[edge] * self.executions_per_fragment
+
+    def host_fragment_bytes(self, index: int) -> Tuple[int, int]:
+        inp, out = self.host_io[index]
+        scale = self.executions_per_fragment
+        return inp * scale, out * scale
+
+    def predecessors(self, index: int) -> List[int]:
+        """Partitions feeding ``index`` through private edges."""
+        return sorted({src for (src, dst) in self.edges if dst == index})
+
+    def successors(self, index: int) -> List[int]:
+        """Partitions fed by ``index`` through private edges."""
+        return sorted({dst for (src, dst) in self.edges if src == index})
+
+    def dependency_pairs(self) -> List[Tuple[int, int]]:
+        """All (src, dst) dependencies: private edges plus broadcast
+        fan-out."""
+        pairs = set(self.edges)
+        for group in self.broadcasts:
+            for dst in group.destinations:
+                pairs.add((group.src, dst))
+        return sorted(pairs)
+
+    def topological_order(self) -> List[int]:
+        """Topological order of partitions (the quotient is a DAG for
+        convex partitions)."""
+        pairs = self.dependency_pairs()
+        indeg = {i: 0 for i in range(len(self.nodes))}
+        succ: Dict[int, List[int]] = {i: [] for i in range(len(self.nodes))}
+        for src, dst in pairs:
+            indeg[dst] += 1
+            succ[src].append(dst)
+        queue = sorted(i for i, d in indeg.items() if d == 0)
+        order: List[int] = []
+        while queue:
+            cur = queue.pop(0)
+            order.append(cur)
+            for nxt in succ[cur]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    queue.append(nxt)
+        if len(order) != len(self.nodes):
+            raise ValueError("partition quotient graph has a cycle")
+        return order
+
+    @property
+    def total_fragment_time(self) -> float:
+        return sum(node.t_fragment for node in self.nodes)
+
+
+def build_pdg(
+    graph: StreamGraph,
+    partitions: Sequence[FrozenSet[int]],
+    engine: PerformanceEstimationEngine,
+    executions_per_fragment: int = 128,
+    estimates: Optional[Sequence[PartitionEstimate]] = None,
+) -> PartitionDependenceGraph:
+    """Assemble the PDG from a partitioning.
+
+    ``executions_per_fragment`` sets the fragment granularity of the
+    pipelined execution model (Section 3.2.3): fragment-level times and
+    traffic scale with it.
+    """
+    assignment: Dict[int, int] = {}
+    for pid, members in enumerate(partitions):
+        for nid in members:
+            assignment[nid] = pid
+
+    nodes: List[PdgNode] = []
+    host_io: List[Tuple[int, int]] = []
+    simulator: KernelSimulator = engine.simulator
+    for pid, members in enumerate(partitions):
+        est = estimates[pid] if estimates is not None else engine.estimate(members)
+        launches = math.ceil(
+            executions_per_fragment / simulator.executions_per_launch(est.config)
+        )
+        t_launch = est.estimate.t_exec * launches + simulator.costs.launch_ns
+        nodes.append(
+            PdgNode(
+                index=pid,
+                members=frozenset(members),
+                t_per_execution=est.t,
+                t_fragment=t_launch,
+                is_compute_bound=est.is_compute_bound,
+            )
+        )
+        inp = sum(graph.primary_input_elems(nid) for nid in members)
+        out = sum(graph.primary_output_elems(nid) for nid in members)
+        host_io.append((inp * graph.elem_bytes, out * graph.elem_bytes))
+
+    edges: Dict[Tuple[int, int], int] = {}
+    feedback: Dict[Tuple[int, int], int] = {}
+    broadcast_raw: Dict[int, Dict[str, object]] = {}
+    for ch in graph.channels:
+        src_pid = assignment[ch.src]
+        dst_pid = assignment[ch.dst]
+        if src_pid == dst_pid:
+            continue
+        if ch.delay:
+            key = (src_pid, dst_pid)
+            feedback[key] = feedback.get(key, 0) + graph.channel_traffic_bytes(ch)
+            continue
+        if _is_broadcast_channel(graph, ch):
+            entry = broadcast_raw.setdefault(
+                ch.src,
+                {"src": src_pid, "bytes": graph.channel_traffic_bytes(ch),
+                 "dests": set()},
+            )
+            entry["dests"].add(dst_pid)
+            continue
+        key = (src_pid, dst_pid)
+        edges[key] = edges.get(key, 0) + graph.channel_traffic_bytes(ch)
+
+    broadcasts = [
+        BroadcastGroup(
+            group_id=node_id,
+            src=entry["src"],
+            bytes_per_execution=entry["bytes"],
+            destinations=tuple(sorted(entry["dests"])),
+        )
+        for node_id, entry in sorted(broadcast_raw.items())
+    ]
+    return PartitionDependenceGraph(
+        graph=graph,
+        nodes=nodes,
+        edges=edges,
+        executions_per_fragment=executions_per_fragment,
+        host_io=host_io,
+        broadcasts=broadcasts,
+        feedback_edges=feedback,
+    )
+
+
+def _is_broadcast_channel(graph: StreamGraph, ch) -> bool:
+    """Whether a channel carries a copy of identical fan-out data: it
+    leaves a duplicate splitter, or aliases a duplicated block after
+    splitter elimination."""
+    src = graph.nodes[ch.src]
+    if src.spec.role.is_data_movement and src.spec.semantics == "duplicate":
+        return True
+    return ch.alias_group is not None and ch.slice_period == 0

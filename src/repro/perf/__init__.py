@@ -1,0 +1,25 @@
+"""Performance Estimation Engine (PEE), Section 3.3.
+
+Given a stream graph annotated with per-filter profiling data, the PEE
+statically predicts the GPU execution time of any convex subgraph *and*
+the kernel parameters (S, W, F) that achieve it — the same parameters the
+code generator later uses, which is the paper's "static discrepancy
+minimization".
+"""
+
+from repro.perf.engine import PartitionEstimate, PerformanceEstimationEngine
+from repro.perf.model import Estimate, ModelParams, estimate_kernel
+from repro.perf.params import optimize_kernel_params
+from repro.perf.profiling import profile_graph
+from repro.perf.regression import fit_transfer_constants
+
+__all__ = [
+    "Estimate",
+    "ModelParams",
+    "PartitionEstimate",
+    "PerformanceEstimationEngine",
+    "estimate_kernel",
+    "fit_transfer_constants",
+    "optimize_kernel_params",
+    "profile_graph",
+]

@@ -1,0 +1,144 @@
+"""The Performance Estimation Engine facade (Figure 3.1's PEE box).
+
+The PEE answers one question for the partitioner and the mapper: *how fast
+would this subgraph run as a kernel, and with which parameters?*  Answers
+are memoized per node set — the partitioning heuristic probes thousands of
+candidate merges on large graphs and most probes repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.graph.stream_graph import StreamGraph
+from repro.gpu.kernel import KernelConfig
+from repro.gpu.memory import PartitionMemory, partition_memory
+from repro.gpu.simulator import KernelMeasurement, KernelSimulator
+from repro.gpu.specs import GpuSpec, M2090
+from repro.perf.model import Estimate, ModelParams
+from repro.perf.params import optimize_kernel_params
+from repro.perf.profiling import profile_graph
+
+
+@dataclass(frozen=True)
+class PartitionEstimate:
+    """PEE verdict for one subgraph.
+
+    ``estimate`` holds the model components at the optimal config; the
+    headline number is :attr:`t` (the normalized per-execution time
+    ``T(p)`` used everywhere in Section 3.1/3.2).
+    """
+
+    members: FrozenSet[int]
+    config: KernelConfig
+    memory: PartitionMemory
+    estimate: Estimate
+    spilled_bytes: int
+    #: kernel-launch overhead amortized over one launch's W * SM-count
+    #: executions; being a partition means being a kernel, so T(p) must
+    #: price that (it is what discourages needless fragmentation)
+    launch_overhead_per_execution: float = 0.0
+
+    @property
+    def t(self) -> float:
+        """T(p): normalized execution time estimate (Eq. III.12 plus the
+        amortized launch overhead)."""
+        return self.estimate.per_execution + self.launch_overhead_per_execution
+
+    @property
+    def t_comp(self) -> float:
+        """Tcomp(p) — per kernel launch."""
+        return self.estimate.t_comp
+
+    @property
+    def t_dt(self) -> float:
+        """Tdt(p) — per kernel launch."""
+        return self.estimate.t_dt
+
+    @property
+    def is_compute_bound(self) -> bool:
+        """Compute-bound iff Tcomp > Tdt (Section 3.1.1)."""
+        return self.estimate.is_compute_bound
+
+    @property
+    def fits_shared_memory(self) -> bool:
+        return self.spilled_bytes == 0
+
+
+class PerformanceEstimationEngine:
+    """Estimate GPU execution time for subgraphs of one stream graph.
+
+    Parameters
+    ----------
+    graph:
+        The flattened, rate-annotated stream graph.
+    spec:
+        Target device.
+    simulator:
+        The profiling substrate (stands in for the paper's
+        measure-each-filter-once step).  A fresh one is built when not
+        given.
+    params:
+        Model constants; defaults to the paper's C1/C2.
+    """
+
+    def __init__(
+        self,
+        graph: StreamGraph,
+        spec: GpuSpec = M2090,
+        simulator: Optional[KernelSimulator] = None,
+        params: Optional[ModelParams] = None,
+    ) -> None:
+        self.graph = graph
+        self.spec = spec
+        self.simulator = simulator or KernelSimulator(spec)
+        if self.simulator.spec is not spec:
+            raise ValueError("simulator and engine must target the same GPU spec")
+        self.params = params or ModelParams()
+        self.profile: Dict[int, float] = profile_graph(graph, self.simulator)
+        self._cache: Dict[FrozenSet[int], PartitionEstimate] = {}
+
+    # ------------------------------------------------------------------
+    def estimate(self, members: Iterable[int]) -> PartitionEstimate:
+        """T(p) and optimal kernel parameters for a node set (cached)."""
+        key = frozenset(members)
+        if not key:
+            raise ValueError("cannot estimate an empty partition")
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        memory = partition_memory(self.graph, key)
+        config, estimate, spilled = optimize_kernel_params(
+            self.graph, key, self.profile, self.spec, self.params, memory
+        )
+        launch = self.simulator.costs.launch_ns / (
+            config.w * self.spec.sm_count
+        )
+        result = PartitionEstimate(
+            members=key,
+            config=config,
+            memory=memory,
+            estimate=estimate,
+            spilled_bytes=spilled,
+            launch_overhead_per_execution=launch,
+        )
+        self._cache[key] = result
+        return result
+
+    def t(self, members: Iterable[int]) -> float:
+        """Shorthand for ``estimate(members).t`` — the T(p) function of
+        Section 3.1.1."""
+        return self.estimate(members).t
+
+    def measure(self, members: Iterable[int]) -> KernelMeasurement:
+        """Run the *simulator* on the subgraph with the PEE-chosen
+        parameters — the "actual runtime" side of Figure 4.1."""
+        pe = self.estimate(members)
+        return self.simulator.measure(
+            self.graph, pe.members, pe.config, pe.memory, pe.spilled_bytes
+        )
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,141 @@
+"""The analytic GPU performance model (Section 3.3.2).
+
+For a kernel running ``W`` concurrent executions of a partition with ``S``
+compute threads per execution and ``F`` data-transfer threads:
+
+* Compute time (Eq. III.9)::
+
+      Tcomp = sum_i  t_i * f_i / min(f_i, S)
+
+  where ``t_i`` is the profiled single-thread one-firing time and ``f_i``
+  the firing rate.  The ``W`` executions proceed concurrently on distinct
+  warps, so ``W`` does not appear.
+
+* Data-transfer time (Eq. III.10): ``Tdt = C1 * D / F`` with ``D`` the I/O
+  volume (elements) of all ``W`` executions.
+
+* Buffer-swap time (Eq. III.11): ``Tdb = C2 * D / (F + W*S)`` — every
+  thread participates in swapping the working-set and double buffers.
+
+* Total (Eq. III.8): ``Texec = max(Tcomp, Tdt) + Tdb``, since compute and
+  transfer threads run on distinct warps and overlap.
+
+* Normalized (Eq. III.12): ``T = Texec / W``, enabling comparisons between
+  partitions of different sizes.
+
+The model deliberately omits effects the simulator has (warp-granular
+``ceil`` pass counts, barrier costs, bank conflicts): those are the
+residuals validated in Figure 4.1.  A spill term extends the model beyond
+the paper so single-partition mappings of SM-overflowing graphs can still
+be *estimated* (needed by partition phase 4 and the SOSP baselines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.graph.stream_graph import StreamGraph
+from repro.gpu.kernel import KernelConfig
+from repro.gpu.memory import PartitionMemory
+from repro.gpu.specs import GpuSpec, M2090
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Empirical constants of the performance model.
+
+    ``c1``/``c2`` are the paper's regression constants (38.4 / 11.2, in
+    ns per element here); ``spill_ns_per_elem`` prices global-memory
+    round trips of spilled working-set elements.
+    """
+
+    c1: float = 38.4
+    c2: float = 11.2
+    spill_ns_per_elem: float = 60.0
+    #: per-element bandwidth floor on Tdt — transfer threads cannot beat
+    #: the memory system (see SimCosts.dt_floor_ns_per_elem)
+    dt_floor_ns_per_elem: float = 0.30
+
+    def scaled_to(self, spec: GpuSpec) -> "ModelParams":
+        """Rescale bandwidth-proportional constants to another device."""
+        scale = spec.bandwidth_scale
+        return ModelParams(
+            c1=self.c1 * scale,
+            c2=self.c2 * scale,
+            spill_ns_per_elem=self.spill_ns_per_elem * scale,
+            dt_floor_ns_per_elem=self.dt_floor_ns_per_elem * scale,
+        )
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Predicted timing of one kernel launch (W executions), in ns."""
+
+    t_comp: float
+    t_dt: float
+    t_db: float
+    t_spill: float
+    config: KernelConfig
+
+    @property
+    def t_exec(self) -> float:
+        """Eq. III.8 (+ spill; transfer serializes when F == 0)."""
+        if self.config.f:
+            overlapped = max(self.t_comp, self.t_dt)
+        else:
+            overlapped = self.t_comp + self.t_dt
+        return overlapped + self.t_db + self.t_spill
+
+    @property
+    def per_execution(self) -> float:
+        """Eq. III.12: T = Texec / W."""
+        return self.t_exec / self.config.w
+
+    @property
+    def is_compute_bound(self) -> bool:
+        """Section 3.1.1's classification: Tcomp(p) > Tdt(p)."""
+        return self.t_comp > self.t_dt
+
+
+def compute_time(
+    graph: StreamGraph,
+    members: Iterable[int],
+    profile: Dict[int, float],
+    s: int,
+) -> float:
+    """Eq. III.9 — compute time of one (equivalently, W concurrent)
+    execution(s) with ``S`` compute threads per execution."""
+    total = 0.0
+    for nid in members:
+        node = graph.nodes[nid]
+        s_eff = 1 if node.spec.stateful else s
+        threads = max(1, min(node.firing, s_eff))
+        total += profile[nid] * node.firing / threads
+    return total
+
+
+def estimate_kernel(
+    graph: StreamGraph,
+    members: Iterable[int],
+    profile: Dict[int, float],
+    config: KernelConfig,
+    memory: PartitionMemory,
+    params: ModelParams,
+    spec: GpuSpec = M2090,
+    spilled_bytes: int = 0,
+) -> Estimate:
+    """Evaluate the full model for one (partition, config) pair."""
+    member_list = list(members)
+    scaled = params.scaled_to(spec)
+    # profile t_i values were measured on `spec`, so no compute rescale here
+    t_comp = compute_time(graph, member_list, profile, config.s)
+    d_elems = config.w * (memory.io_traffic_bytes // graph.elem_bytes)
+    t_dt = scaled.c1 * d_elems / config.f if config.f else scaled.c1 * d_elems
+    t_dt = max(t_dt, scaled.dt_floor_ns_per_elem * d_elems)
+    t_db = scaled.c2 * d_elems / max(config.total_threads, 1)
+    spilled_elems = spilled_bytes / graph.elem_bytes
+    t_spill = scaled.spill_ns_per_elem * spilled_elems * config.w
+    return Estimate(
+        t_comp=t_comp, t_dt=t_dt, t_db=t_db, t_spill=t_spill, config=config
+    )

@@ -1,0 +1,114 @@
+"""Kernel parameter search: choosing (S, W, F) for a partition.
+
+The one-kernel-for-graph approach must pick, per kernel (Section 2.1.3):
+
+* ``S`` — compute threads per execution (bounded by firing rates),
+* ``W`` — concurrent executions per kernel (bounded by shared memory),
+* ``F`` — data-transfer threads (warp multiples),
+
+subject to ``W*S + F <= max_threads_per_block`` and the shared-memory
+constraint.  The search evaluates the *analytic* model (static estimation
+is "essential due to the large number of GPU kernels to evaluate") and the
+winning parameters are saved for code generation — the PEE and the code
+generator making identical choices is the paper's static-discrepancy
+minimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.graph.stream_graph import StreamGraph
+from repro.gpu.kernel import KernelConfig
+from repro.gpu.memory import PartitionMemory, partition_memory
+from repro.gpu.specs import GpuSpec, M2090
+from repro.perf.model import Estimate, ModelParams, estimate_kernel
+
+#: Data-transfer thread candidates: whole warps, as DT threads are
+#: "assigned to distinct warps" from compute threads.  Capped at 128 —
+#: beyond that the memory-bandwidth floor makes extra DT threads useless.
+_F_CANDIDATES = (32, 64, 96, 128)
+
+#: Compute-thread cap W*S: the SM keeps ~576 threads latency-hidden
+#: (see SimCosts.compute_concurrency); past that the linear Tcomp model
+#: of Eq. III.9 is invalid, so the code generator never requests more —
+#: and the PEE, which replays the generator's choices, does not either.
+_COMPUTE_THREAD_CAP = 576
+
+
+def _pow2_up_to(limit: int) -> List[int]:
+    out, v = [], 1
+    while v <= limit:
+        out.append(v)
+        v *= 2
+    return out
+
+
+def candidate_s(graph: StreamGraph, members: Iterable[int], cap: int) -> List[int]:
+    """S candidates: powers of two up to the max firing rate (and cap)."""
+    max_firing = max(graph.nodes[nid].firing for nid in members)
+    values = [s for s in _pow2_up_to(min(max_firing, cap))]
+    return values or [1]
+
+
+def candidate_w(memory: PartitionMemory, spec: GpuSpec) -> Tuple[List[int], int]:
+    """W candidates given the SM constraint.
+
+    Returns ``(candidates, spilled_bytes)``.  When even one execution
+    exceeds the SM, W is pinned to 1 and the overflow spills to global
+    memory.
+    """
+    max_w = memory.max_executions(spec.shared_mem_bytes)
+    if max_w < 1:
+        spilled = memory.smem_for(1) - spec.shared_mem_bytes
+        return [1], max(spilled, 0)
+    values = [w for w in _pow2_up_to(max_w)]
+    if values[-1] != max_w:
+        values.append(max_w)
+    return values, 0
+
+
+def optimize_kernel_params(
+    graph: StreamGraph,
+    members: Iterable[int],
+    profile: Dict[int, float],
+    spec: GpuSpec = M2090,
+    params: Optional[ModelParams] = None,
+    memory: Optional[PartitionMemory] = None,
+) -> Tuple[KernelConfig, Estimate, int]:
+    """Pick the (S, W, F) minimizing the normalized execution time T.
+
+    Returns ``(config, estimate, spilled_bytes)``.  The estimate is the
+    model's prediction at the optimum; ``spilled_bytes`` is non-zero only
+    in the W=1 overflow regime.
+    """
+    member_list = sorted(set(members))
+    if not member_list:
+        raise ValueError("cannot optimize an empty partition")
+    params = params or ModelParams()
+    if memory is None:
+        memory = partition_memory(graph, member_list)
+
+    w_values, spilled = candidate_w(memory, spec)
+    s_values = candidate_s(graph, member_list, spec.max_threads_per_block)
+    best: Optional[Tuple[KernelConfig, Estimate]] = None
+    for w in w_values:
+        for s in s_values:
+            compute_threads = w * s
+            if compute_threads >= spec.max_threads_per_block:
+                continue
+            if compute_threads > _COMPUTE_THREAD_CAP:
+                continue
+            for f in _F_CANDIDATES:
+                if compute_threads + f > spec.max_threads_per_block:
+                    break
+                config = KernelConfig(s, w, f)
+                est = estimate_kernel(
+                    graph, member_list, profile, config, memory, params,
+                    spec=spec, spilled_bytes=spilled,
+                )
+                if best is None or est.per_execution < best[1].per_execution:
+                    best = (config, est)
+    if best is None:  # pragma: no cover - thread limits make this unreachable
+        raise RuntimeError("no feasible kernel configuration")
+    return best[0], best[1], spilled

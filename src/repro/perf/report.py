@@ -1,0 +1,74 @@
+"""Human-readable compiler reports.
+
+Summarizes a finished :class:`~repro.flow.FlowResult` the way the paper's
+tool would report its decisions: per-partition kernel parameters, memory
+budgets, boundedness, placement, and the end-to-end execution estimate.
+Used by ``repro-map --report`` and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.schedule import schedule_string
+
+
+def flow_report(result) -> str:
+    """Render a full report for a :class:`~repro.flow.FlowResult`."""
+    graph = result.graph
+    lines: List[str] = []
+    lines.append(f"=== mapping report: {graph.name} ===")
+    lines.append(
+        f"filters: {len(graph.nodes)}  channels: {len(graph.channels)}  "
+        f"partitions: {result.num_partitions}  GPUs: {result.num_gpus}"
+    )
+    lines.append("")
+    lines.append("partitions:")
+    for pid, members in enumerate(result.partitions):
+        est = result.engine.estimate(members)
+        gpu = result.mapping.assignment[pid]
+        kind = "compute" if est.is_compute_bound else "IO"
+        smem = est.memory.smem_for(est.config.w)
+        lines.append(
+            f"  P{pid:<3} gpu{gpu}  {est.config.describe():32s} "
+            f"{kind:7s}-bound  T={est.t:10.1f} ns/exec  "
+            f"smem={smem:6d} B"
+            + ("  [spills]" if est.spilled_bytes else "")
+        )
+        lines.append(f"       schedule: {schedule_string(graph, members)}")
+    lines.append("")
+    lines.append(
+        f"mapping: {result.mapping.solver} "
+        f"({'optimal' if result.mapping.optimal else 'best effort'}), "
+        f"Tmax {result.mapping.tmax / 1e3:.1f} us/fragment, "
+        f"bottleneck {result.mapping.bottleneck}"
+    )
+    gpu_times = ", ".join(
+        f"gpu{j}={t / 1e3:.1f}us" for j, t in enumerate(result.mapping.gpu_times)
+    )
+    lines.append(f"per-GPU fragment time: {gpu_times}")
+    busiest = max(
+        range(len(result.mapping.link_times)),
+        key=lambda l: result.mapping.link_times[l],
+        default=None,
+    )
+    if busiest is not None and result.mapping.link_times[busiest] > 0:
+        lines.append(
+            f"busiest link: #{busiest} at "
+            f"{result.mapping.link_times[busiest] / 1e3:.1f} us/fragment"
+        )
+    report = result.report
+    lines.append("")
+    lines.append(
+        f"pipelined execution: {report.num_fragments} fragments x "
+        f"{report.executions_per_fragment} executions"
+    )
+    lines.append(
+        f"  makespan {report.makespan_ns / 1e6:.3f} ms, "
+        f"beat {report.beat_ns / 1e3:.1f} us, "
+        f"fill {report.pipeline_fill_ns / 1e3:.1f} us"
+    )
+    lines.append(
+        f"  throughput {report.throughput * 1e6:.1f} executions/ms"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Input-stream fragmentation (Section 3.2.3).
+
+The runtime divides the application's input stream into ``N`` fragments
+of ``executions_per_fragment`` steady-state executions each; fragments
+flow through the partition pipeline independently, which is what lets
+transfers overlap kernel execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FragmentPlan:
+    """How the input stream is chopped for pipelined execution."""
+
+    num_fragments: int
+    executions_per_fragment: int
+
+    def __post_init__(self) -> None:
+        if self.num_fragments < 1:
+            raise ValueError("need at least one fragment")
+        if self.executions_per_fragment < 1:
+            raise ValueError("fragments must carry at least one execution")
+
+    @property
+    def total_executions(self) -> int:
+        return self.num_fragments * self.executions_per_fragment
+
+
+#: Default plan used by the experiments: 32 fragments of 128 executions.
+DEFAULT_PLAN = FragmentPlan(num_fragments=32, executions_per_fragment=128)

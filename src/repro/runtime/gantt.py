@@ -1,0 +1,55 @@
+"""ASCII Gantt rendering of execution traces.
+
+Turns the events from :func:`repro.runtime.trace.record_trace` into a
+terminal timeline — one row per GPU/link, time left to right — so the
+pipelined overlap of Figure 3.5 is visible without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.runtime.trace import TraceEvent
+
+
+def render_gantt(
+    events: Sequence[TraceEvent],
+    width: int = 100,
+    until_ns: Optional[float] = None,
+    kinds: Sequence[str] = ("kernel", "transfer"),
+    max_rows: int = 24,
+) -> str:
+    """Render ``events`` as an ASCII Gantt chart.
+
+    Each row is one resource; each cell is ``until_ns / width``
+    nanoseconds.  Kernel cells show the fragment number (mod 10) so the
+    pipelining across fragments is visible; transfer cells show ``#``.
+    """
+    chosen = [e for e in events if e.kind in kinds]
+    if not chosen:
+        return "(no events)"
+    horizon = until_ns if until_ns is not None else max(e.end_ns for e in chosen)
+    if horizon <= 0:
+        raise ValueError("empty time horizon")
+    rows: Dict[str, List[str]] = {}
+    for event in chosen:
+        if event.start_ns >= horizon:
+            continue
+        row = rows.setdefault(event.resource, [" "] * width)
+        lo = int(event.start_ns / horizon * width)
+        hi = max(lo + 1, int(min(event.end_ns, horizon) / horizon * width))
+        mark = str(event.fragment % 10) if event.kind == "kernel" else "#"
+        for cell in range(lo, min(hi, width)):
+            row[cell] = mark
+    label_width = max(len(name) for name in rows)
+    lines = []
+    for name in sorted(rows)[:max_rows]:
+        lines.append(f"{name.rjust(label_width)} |{''.join(rows[name])}|")
+    scale = f"0 ns{' ' * (label_width + width - len(f'{horizon:.0f} ns') - 2)}{horizon:.0f} ns"
+    lines.append(scale)
+    return "\n".join(lines)
+
+
+def gpu_rows_only(events: Sequence[TraceEvent]) -> List[TraceEvent]:
+    """Convenience filter: kernel events only."""
+    return [e for e in events if e.kind == "kernel"]

@@ -1,0 +1,22 @@
+"""Throughput and speedup helpers."""
+
+from __future__ import annotations
+
+from repro.runtime.executor import ExecutionReport
+
+
+def speedup(candidate: ExecutionReport, baseline: ExecutionReport) -> float:
+    """Throughput ratio candidate / baseline.
+
+    Both reports must process the same number of executions per fragment
+    for the ratio to be meaningful; total executions may differ (the
+    throughput metric normalizes).
+    """
+    return candidate.throughput / baseline.throughput
+
+
+def utilization(report: ExecutionReport, gpu: int) -> float:
+    """Busy fraction of ``gpu`` over the makespan."""
+    if report.makespan_ns <= 0:
+        return 0.0
+    return report.gpu_busy_ns[gpu] / report.makespan_ns

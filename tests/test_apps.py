@@ -1,0 +1,159 @@
+"""Tests for the StreamIt benchmark suite."""
+
+import pytest
+
+from repro.apps.registry import APPS, FIG42_ORDER, FIG43_APPS, build_app, paper_n_values
+from repro.graph.filters import FilterRole
+from repro.graph.validate import validate_graph
+from repro.gpu.memory import partition_memory
+from repro.perf.engine import PerformanceEstimationEngine
+
+
+SMALL_N = {
+    "DES": 4,
+    "FMRadio": 4,
+    "FFT": 16,
+    "DCT": 4,
+    "MatMul2": 2,
+    "MatMul3": 2,
+    "BitonicRec": 8,
+    "Bitonic": 8,
+}
+
+
+class TestRegistry:
+    def test_eight_apps(self):
+        assert len(APPS) == 8
+
+    def test_fig42_order_covers_all(self):
+        assert sorted(FIG42_ORDER) == sorted(APPS)
+
+    def test_fig43_apps_flagged(self):
+        for name in FIG43_APPS:
+            assert APPS[name].in_fig43
+        assert sum(1 for a in APPS.values() if a.in_fig43) == 5
+
+    def test_classification_split(self):
+        compute = [a.name for a in APPS.values() if a.compute_bound]
+        memory = [a.name for a in APPS.values() if not a.compute_bound]
+        assert len(compute) == 5 and len(memory) == 3
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            build_app("nope", 4)
+
+    def test_paper_n_values(self):
+        assert paper_n_values("FFT")[-1] == 1024
+        assert paper_n_values("DES") == (4, 8, 12, 16, 20, 24, 28, 32)
+
+
+class TestAllAppsAreValidGraphs:
+    @pytest.mark.parametrize("name", sorted(APPS))
+    def test_small_instance_valid(self, name):
+        g = build_app(name, SMALL_N[name])
+        validate_graph(g)
+
+    @pytest.mark.parametrize("name", sorted(APPS))
+    def test_smallest_paper_n_valid(self, name):
+        g = build_app(name, APPS[name].paper_n[0])
+        validate_graph(g)
+
+    @pytest.mark.parametrize("name", sorted(APPS))
+    def test_graph_grows_with_n(self, name):
+        ns = APPS[name].paper_n
+        small = build_app(name, ns[0])
+        large = build_app(name, ns[min(3, len(ns) - 1)])
+        assert large.total_work() > small.total_work()
+
+
+class TestAppStructure:
+    def test_des_round_count_scales_nodes(self):
+        g4 = build_app("DES", 4)
+        g8 = build_app("DES", 8)
+        assert len(g8.nodes) > len(g4.nodes)
+
+    def test_des_has_pipeline_segments(self):
+        g = build_app("DES", 4)
+        assert g.pipelines  # phase-1 food
+
+    def test_fmradio_band_count(self):
+        g = build_app("FMRadio", 6)
+        bands = [n for n in g.nodes if n.spec.name.endswith(".bpf")]
+        assert len(bands) == 6
+
+    def test_fmradio_peeking_buffers(self):
+        g = build_app("FMRadio", 4)
+        lp = g.node_by_name("lowpass")
+        ch = g.in_channels(lp.node_id)[0]
+        assert g.channel_elems(ch) > g.channel_traffic_elems(ch)
+
+    def test_fft_single_splitjoin(self):
+        g = build_app("FFT", 64)
+        splitters = [n for n in g.nodes if n.spec.role is FilterRole.SPLITTER]
+        joiners = [n for n in g.nodes if n.spec.role is FilterRole.JOINER]
+        assert len(splitters) == 1 and len(joiners) == 1
+
+    def test_bitonic_many_movers(self):
+        g = build_app("Bitonic", 32)
+        movers = [n for n in g.nodes if n.spec.role.is_data_movement]
+        assert len(movers) > 10  # Chapter V's motivation
+
+    def test_bitonic_rec_deeper_than_iterative(self):
+        rec = build_app("BitonicRec", 32)
+        it = build_app("Bitonic", 32)
+        rec_movers = sum(1 for n in rec.nodes if n.spec.role.is_data_movement)
+        it_movers = sum(1 for n in it.nodes if n.spec.role.is_data_movement)
+        assert rec_movers >= it_movers // 2  # both heavily mover-laden
+
+    def test_dct_lane_count(self):
+        g = build_app("DCT", 6)
+        rows = [n for n in g.nodes if ".dct1d" in n.spec.name and n.spec.name.startswith("row")]
+        assert len(rows) == 6
+
+    def test_matmul_sizes(self):
+        g2 = build_app("MatMul2", 3)
+        g3 = build_app("MatMul3", 3)
+        assert len(g3.nodes) > len(g2.nodes)
+
+    @pytest.mark.parametrize("name,bad_n", [("FFT", 12), ("Bitonic", 3), ("DES", 0)])
+    def test_invalid_sizes_rejected(self, name, bad_n):
+        with pytest.raises(ValueError):
+            build_app(name, bad_n)
+
+
+def _arithmetic_intensity(graph):
+    """Abstract ops per byte moved (channels + primary I/O)."""
+    traffic = sum(graph.channel_traffic_bytes(ch) for ch in graph.channels)
+    inp, out = graph.io_elems()
+    traffic += (inp + out) * graph.elem_bytes
+    return graph.total_work() / traffic
+
+
+class TestBoundedness:
+    """The compute/memory-bound split must emerge from the workloads
+    themselves: compute-bound apps do far more work per byte they move."""
+
+    def test_intensity_separates_classes(self):
+        mid_n = {name: info.paper_n[len(info.paper_n) // 2]
+                 for name, info in APPS.items()}
+        intensity = {
+            name: _arithmetic_intensity(build_app(name, mid_n[name]))
+            for name in APPS
+        }
+        compute = [intensity[a.name] for a in APPS.values() if a.compute_bound]
+        memory = [intensity[a.name] for a in APPS.values() if not a.compute_bound]
+        assert min(compute) > max(memory), intensity
+
+    @pytest.mark.parametrize("name", ["DES", "DCT", "FMRadio"])
+    def test_compute_bound_apps_have_compute_bound_whole_graph(self, name):
+        g = build_app(name, SMALL_N[name])
+        engine = PerformanceEstimationEngine(g)
+        est = engine.estimate([n.node_id for n in g.nodes])
+        assert est.is_compute_bound
+
+    def test_all_apps_fit_or_spill_gracefully(self):
+        # every app at its largest paper N must still be estimable
+        for name, info in APPS.items():
+            g = build_app(name, info.paper_n[-1])
+            mem = partition_memory(g)
+            assert mem.working_set > 0

@@ -1,0 +1,112 @@
+"""Tests for the CUDA code generator."""
+
+import pytest
+
+from repro.apps.registry import build_app
+from repro.flow import map_stream_graph
+from repro.gpu.codegen import (
+    generate_host_driver,
+    generate_kernel,
+    generate_program,
+)
+from repro.gpu.kernel import KernelConfig
+from repro.graph.builder import linear_pipeline_graph
+from repro.perf.engine import PerformanceEstimationEngine
+
+
+def _flow(app="FFT", n=16, gpus=2):
+    graph = build_app(app, n)
+    return map_stream_graph(graph, num_gpus=gpus)
+
+
+class TestKernelGeneration:
+    def test_kernel_contains_parameters(self):
+        g = linear_pipeline_graph("cg", stages=3, rate=16, work=50.0)
+        members = frozenset(n.node_id for n in g.nodes)
+        cfg = KernelConfig(2, 4, 64)
+        kernel = generate_kernel(g, members, cfg, 0)
+        assert "__global__ void partition_0_kernel" in kernel.source
+        assert "const int F = 64;" in kernel.source
+        assert "const int S = 2;" in kernel.source
+        assert "const int W = 4;" in kernel.source
+
+    def test_kernel_walks_filters_in_topo_order(self):
+        g = linear_pipeline_graph("cg", stages=3, rate=16)
+        members = frozenset(n.node_id for n in g.nodes)
+        kernel = generate_kernel(g, members, KernelConfig(1, 1, 32), 0)
+        src_pos = kernel.source.find("run_src")
+        s0 = kernel.source.find("run_stage0")
+        s2 = kernel.source.find("run_stage2")
+        assert -1 < src_pos < s0 < s2
+
+    def test_kernel_has_barriers_and_swap(self):
+        g = linear_pipeline_graph("cg", stages=2, rate=8)
+        members = frozenset(n.node_id for n in g.nodes)
+        kernel = generate_kernel(g, members, KernelConfig(1, 1, 32), 0)
+        assert kernel.source.count("__syncthreads()") >= 3
+        assert "buf = 1 - buf" in kernel.source
+
+    def test_smem_declared_within_budget(self):
+        flow = _flow()
+        for idx, members in enumerate(flow.partitions):
+            est = flow.engine.estimate(members)
+            kernel = generate_kernel(flow.graph, members, est.config, idx)
+            assert kernel.smem_bytes <= 48 * 1024 or kernel.spilled_channels
+
+
+class TestProgramGeneration:
+    def test_program_emits_one_kernel_per_partition(self):
+        flow = _flow()
+        configs = [flow.engine.estimate(m).config for m in flow.partitions]
+        program = generate_program(
+            flow.graph, flow.partitions, configs, flow.mapping.assignment
+        )
+        assert len(program.kernels) == flow.num_partitions
+        assert "run_stream_graph" in program.host_source
+
+    def test_host_driver_pipelines_fragments(self):
+        flow = _flow(gpus=2)
+        configs = [flow.engine.estimate(m).config for m in flow.partitions]
+        host = generate_host_driver(
+            flow.graph, flow.partitions, flow.mapping.assignment,
+            generate_program(
+                flow.graph, flow.partitions, configs, flow.mapping.assignment
+            ).kernels,
+        )
+        assert "cudaStreamCreate" in host
+        assert "for (int frag = 0; frag < NUM_FRAGMENTS; ++frag)" in host
+
+    def test_p2p_vs_host_staging(self):
+        flow = _flow(gpus=2)
+        configs = [flow.engine.estimate(m).config for m in flow.partitions]
+        if len(set(flow.mapping.assignment)) < 2:
+            pytest.skip("mapping used one GPU")
+        p2p = generate_program(
+            flow.graph, flow.partitions, configs, flow.mapping.assignment,
+            peer_to_peer=True,
+        )
+        hosted = generate_program(
+            flow.graph, flow.partitions, configs, flow.mapping.assignment,
+            peer_to_peer=False,
+        )
+        assert "cudaDeviceEnablePeerAccess" in p2p.host_source
+        assert "cudaDeviceEnablePeerAccess" not in hosted.host_source
+
+    def test_misaligned_inputs_rejected(self):
+        flow = _flow()
+        configs = [flow.engine.estimate(m).config for m in flow.partitions]
+        with pytest.raises(ValueError):
+            generate_program(
+                flow.graph, flow.partitions, configs[:-1],
+                flow.mapping.assignment,
+            )
+
+    def test_full_source_concatenates(self):
+        flow = _flow()
+        configs = [flow.engine.estimate(m).config for m in flow.partitions]
+        program = generate_program(
+            flow.graph, flow.partitions, configs, flow.mapping.assignment
+        )
+        text = program.full_source()
+        for kernel in program.kernels:
+            assert kernel.name in text

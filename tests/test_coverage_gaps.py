@@ -1,0 +1,152 @@
+"""Targeted tests for remaining lightly-covered paths."""
+
+import math
+
+import pytest
+
+from repro.apps.registry import build_app
+from repro.experiments.common import _fmt
+from repro.flow import map_stream_graph
+from repro.graph.builder import linear_pipeline_graph
+from repro.gpu.kernel import DEFAULT_CONFIG, KernelConfig
+from repro.gpu.simulator import KernelSimulator, SimCosts
+from repro.gpu.specs import M2090, LinkSpec
+from repro.gpu.topology import default_topology
+from repro.mapping.problem import MappingProblem
+from repro.mapping.result import make_result
+from repro.mapping.solver_milp import solve_milp
+from repro.perf.engine import PerformanceEstimationEngine
+from repro.runtime.executor import _Timeline
+
+
+class TestTimeline:
+    def test_empty_timeline_starts_at_ready(self):
+        tl = _Timeline()
+        assert tl.earliest_slot(5.0, 10.0) == 5.0
+
+    def test_backfill_into_gap(self):
+        tl = _Timeline()
+        tl.book(0.0, 10.0)
+        tl.book(20.0, 30.0)
+        assert tl.earliest_slot(0.0, 10.0) == 10.0  # exact gap fit
+        assert tl.earliest_slot(0.0, 11.0) == 30.0  # too big for the gap
+
+    def test_ready_inside_busy_interval(self):
+        tl = _Timeline()
+        tl.book(0.0, 10.0)
+        assert tl.earliest_slot(5.0, 1.0) == 10.0
+
+    def test_book_keeps_sorted(self):
+        tl = _Timeline()
+        tl.book(20.0, 30.0)
+        tl.book(0.0, 10.0)
+        assert tl.earliest_slot(0.0, 5.0) == 10.0
+
+
+class TestMappingResultExtras:
+    def test_make_result_stats_passthrough(self):
+        p = MappingProblem(
+            times=[1.0], edges={}, host_io=[(0.0, 0.0)],
+            topology=default_topology(1, LinkSpec(6.0, 10.0)),
+        )
+        res = make_result(p, [0], "test", True, stats=(("k", 1.0),))
+        assert res.solve_stats == (("k", 1.0),)
+        assert res.bottleneck == "compute"
+
+    def test_milp_reports_status(self):
+        p = MappingProblem(
+            times=[5.0, 4.0], edges={}, host_io=[(0.0, 0.0)] * 2,
+            topology=default_topology(2, LinkSpec(6.0, 10.0)),
+        )
+        res = solve_milp(p)
+        assert any(k == "milp_status" for k, _ in res.solve_stats)
+
+
+class TestSimCostVariants:
+    def test_custom_costs_change_results(self):
+        g = linear_pipeline_graph("c", stages=2, rate=32, work=100.0)
+        members = [n.node_id for n in g.nodes]
+        cfg = KernelConfig(1, 1, 32)
+        cheap = KernelSimulator(M2090, costs=SimCosts(launch_ns=0.0))
+        dear = KernelSimulator(M2090, costs=SimCosts(launch_ns=9000.0))
+        m_cheap = cheap.measure(g, members, cfg)
+        m_dear = dear.measure(g, members, cfg)
+        assert cheap.fragment_time(m_cheap, 16) < dear.fragment_time(m_dear, 16)
+
+    def test_default_config_constant(self):
+        assert DEFAULT_CONFIG.s == 1 and DEFAULT_CONFIG.w == 1
+        assert DEFAULT_CONFIG.f == 32
+
+    def test_conflict_scale_range_respected(self):
+        costs = SimCosts(conflict_probability=1.0)
+        sim = KernelSimulator(M2090, costs=costs)
+        g = linear_pipeline_graph("k", stages=2, rate=64, work=500.0)
+        members = [n.node_id for n in g.nodes]
+        m = sim.measure(g, members, KernelConfig(1, 1, 64))
+        overlap = min(m.t_comp, m.t_dt)
+        lo, hi = costs.conflict_scale
+        assert lo * overlap <= m.conflict_penalty <= hi * overlap
+
+
+class TestEngineExtras:
+    def test_launch_overhead_shrinks_with_w(self):
+        g = build_app("Bitonic", 8)
+        engine = PerformanceEstimationEngine(g)
+        small = engine.estimate([g.nodes[0].node_id])
+        assert small.launch_overhead_per_execution == pytest.approx(
+            engine.simulator.costs.launch_ns
+            / (small.config.w * M2090.sm_count)
+        )
+
+    def test_t_includes_launch(self):
+        g = build_app("Bitonic", 8)
+        engine = PerformanceEstimationEngine(g)
+        est = engine.estimate([g.nodes[0].node_id])
+        assert est.t == pytest.approx(
+            est.estimate.per_execution + est.launch_overhead_per_execution
+        )
+
+
+class TestExperimentFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0.0, "0"), (123.4, "123"), (5.678, "5.68"), (0.1234, "0.123"),
+         ("text", "text"), (7, "7")],
+    )
+    def test_fmt(self, value, expected):
+        assert _fmt(value) == expected
+
+
+class TestHostDtlistAndRoutes:
+    def test_three_gpu_topology_asymmetric(self):
+        topo = default_topology(3)
+        # gpu0/gpu1 are siblings under sw2; gpu2 sits alone under sw3
+        assert len(topo.route(0, 1)) == 2
+        assert len(topo.route(0, 2)) == 4
+
+    def test_route_symmetry_in_length(self):
+        topo = default_topology(4)
+        for a in range(4):
+            for b in range(4):
+                assert len(topo.route(a, b)) == len(topo.route(b, a))
+
+    def test_uplink_downlink_pairing(self):
+        topo = default_topology(2)
+        ups = [l for l in topo.links if l.up]
+        downs = [l for l in topo.links if not l.up]
+        assert len(ups) == len(downs) == topo.num_links // 2
+
+
+class TestFlowWithFragmentScaling:
+    def test_throughput_invariant_to_fragment_count(self):
+        """Once the pipeline is full, doubling the fragment count must not
+        change steady-state throughput much."""
+        g = build_app("MatMul2", 3)
+        from repro.runtime.fragments import FragmentPlan
+
+        engine = PerformanceEstimationEngine(g)
+        a = map_stream_graph(g, num_gpus=2, engine=engine,
+                             plan=FragmentPlan(16, 128))
+        b = map_stream_graph(g, num_gpus=2, engine=engine,
+                             plan=FragmentPlan(32, 128))
+        assert b.report.beat_ns == pytest.approx(a.report.beat_ns, rel=0.15)

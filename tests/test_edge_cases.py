@@ -1,0 +1,187 @@
+"""Edge-case and regression tests across modules."""
+
+import pytest
+
+from repro.apps.registry import APPS, build_app
+from repro.flow import map_stream_graph
+from repro.graph.builder import GraphBuilder, linear_pipeline_graph
+from repro.graph.filters import FilterRole, FilterSpec, sink, source
+from repro.graph.flatten import flatten
+from repro.graph.stream_graph import Channel, StreamGraph
+from repro.graph.structure import Filt, Pipeline, pipeline
+from repro.graph.validate import collect_problems
+from repro.gpu.kernel import KernelConfig
+from repro.gpu.memory import PartitionMemory, partition_memory
+from repro.gpu.simulator import KernelSimulator
+from repro.gpu.specs import C2070, M2090
+from repro.gpu.topology import default_topology
+from repro.partition.heuristic import PartitioningResult, partition_stream_graph
+from repro.perf.engine import PerformanceEstimationEngine
+from repro.runtime.executor import measure_partitions
+from repro.runtime.fragments import DEFAULT_PLAN, FragmentPlan
+
+
+class TestGraphEdgeCases:
+    def test_channel_rejects_zero_rates(self):
+        with pytest.raises(ValueError):
+            Channel(0, 1, src_push=0, dst_pop=1)
+        with pytest.raises(ValueError):
+            Channel(0, 1, src_push=1, dst_pop=0)
+        Channel(0, 1, src_push=1, dst_pop=1)  # fine
+
+    def test_channel_peek_below_pop_rejected(self):
+        with pytest.raises(ValueError):
+            Channel(0, 1, src_push=4, dst_pop=4, dst_peek=2)
+
+    def test_add_channel_range_checked(self):
+        g = StreamGraph("x")
+        g.add_node(FilterSpec(name="a", pop=0, push=1))
+        with pytest.raises(ValueError):
+            g.add_channel(0, 3, 1, 1)
+
+    def test_node_by_name_missing(self):
+        g = linear_pipeline_graph("x", stages=1)
+        with pytest.raises(KeyError):
+            g.node_by_name("ghost")
+
+    def test_collect_problems_empty_graph(self):
+        assert collect_problems(StreamGraph("void")) == ["graph is empty"]
+
+    def test_collect_problems_lists_unsolved_rates(self):
+        g = StreamGraph("u")
+        g.add_node(FilterSpec(name="a", pop=0, push=1))
+        problems = collect_problems(g)
+        assert any("firing rates" in p for p in problems)
+
+    def test_filterspec_validation(self):
+        with pytest.raises(ValueError):
+            FilterSpec(name="bad", pop=-1, push=0)
+        with pytest.raises(ValueError):
+            FilterSpec(name="bad", pop=2, push=2, peek=1)
+        with pytest.raises(ValueError):
+            FilterSpec(name="bad", pop=1, push=1, semantics="quantum")
+
+    def test_effective_peek_defaults_to_pop(self):
+        spec = FilterSpec(name="f", pop=3, push=1)
+        assert spec.effective_peek == 3
+
+    def test_renamed_preserves_fields(self):
+        spec = FilterSpec(name="a", pop=2, push=3, work=7.0, stateful=True)
+        clone = spec.renamed("b")
+        assert clone.name == "b" and clone.work == 7.0 and clone.stateful
+
+    def test_flatten_rejects_sourceless_interior(self):
+        # second child consumes nothing -> cannot connect
+        with pytest.raises(ValueError):
+            flatten(
+                pipeline(source("s", 2), Filt(source("s2", 2))), "bad"
+            )
+
+
+class TestMemoryEdgeCases:
+    def test_zero_memory_partition(self):
+        mem = PartitionMemory(working_set=0, io_in=0, io_out=0)
+        assert mem.max_executions(48 * 1024) == 48 * 1024  # degenerate
+
+    def test_empty_member_set(self):
+        g = linear_pipeline_graph("m", stages=1)
+        mem = partition_memory(g, [])
+        assert mem.working_set == 0 and mem.io_bytes == 0
+
+    def test_traffic_excludes_peek_carry(self):
+        b = GraphBuilder("peek")
+        s = b.filter("s", pop=0, push=8, role=FilterRole.SOURCE)
+        f = b.filter("f", pop=1, push=1, peek=16, work=10.0)
+        t = b.filter("t", pop=8, push=0, role=FilterRole.SINK)
+        b.connect(s, f)
+        b.connect(f, t, src_push=1, dst_pop=8)
+        g = b.build()
+        mem = partition_memory(g, [f])
+        assert mem.io_in > mem.io_in_traffic  # buffer holds the window
+        assert mem.io_out == mem.io_out_traffic
+
+
+class TestSimulatorEdgeCases:
+    def test_profile_graph_covers_all_nodes(self):
+        g = build_app("MatMul2", 2)
+        prof = KernelSimulator(M2090).profile_graph(g)
+        assert set(prof) == {n.node_id for n in g.nodes}
+        assert all(v > 0 for v in prof.values())
+
+    def test_fragment_time_zero_executions(self):
+        g = linear_pipeline_graph("z", stages=1)
+        sim = KernelSimulator(M2090)
+        m = sim.measure(g, [0, 1, 2], KernelConfig(1, 1, 32))
+        assert sim.fragment_time(m, 0) == 0.0
+
+    def test_c2070_transfers_slower(self):
+        g = linear_pipeline_graph("bw", stages=1, rate=256, work=0.0)
+        members = [n.node_id for n in g.nodes]
+        cfg = KernelConfig(1, 1, 32)
+        fast = KernelSimulator(M2090).measure(g, members, cfg).t_dt
+        slow = KernelSimulator(C2070).measure(g, members, cfg).t_dt
+        assert slow > fast
+
+    def test_bandwidth_scale_property(self):
+        assert M2090.bandwidth_scale == pytest.approx(1.0)
+        assert C2070.bandwidth_scale > 1.0
+
+
+class TestFlowEdgeCases:
+    def test_topology_size_mismatch(self):
+        g = linear_pipeline_graph("t", stages=2)
+        with pytest.raises(ValueError):
+            map_stream_graph(g, num_gpus=2, topology=default_topology(4))
+
+    def test_fragment_plan_override(self):
+        g = linear_pipeline_graph("fp", stages=2, work=500.0)
+        result = map_stream_graph(
+            g, num_gpus=1, plan=FragmentPlan(4, 128)
+        )
+        assert result.report.num_fragments == 4
+
+    def test_default_plan_constant(self):
+        assert DEFAULT_PLAN.total_executions == 32 * 128
+
+    def test_measure_partitions_alignment(self):
+        g = build_app("MatMul2", 2)
+        engine = PerformanceEstimationEngine(g)
+        result = map_stream_graph(g, num_gpus=1, engine=engine)
+        ms = measure_partitions(result.pdg, engine.simulator, engine)
+        assert len(ms) == result.num_partitions
+
+
+class TestPartitioningEdgeCases:
+    def test_single_node_graph(self):
+        b = GraphBuilder("one")
+        b.filter("only", pop=0, push=4, role=FilterRole.SOURCE)
+        g = b.build()
+        result = partition_stream_graph(g)
+        assert len(result) == 1
+
+    def test_result_helpers(self):
+        g = linear_pipeline_graph("h", stages=2, work=100.0)
+        result = partition_stream_graph(g)
+        assert isinstance(result, PartitioningResult)
+        assert result.total_t > 0
+        assert 0 <= result.compute_bound_count() <= len(result)
+        assert set(result.assignment.values()) == set(range(len(result)))
+
+    def test_invalid_phase_set_is_noop(self):
+        g = linear_pipeline_graph("p", stages=2)
+        result = partition_stream_graph(g, phases=())
+        # no phases: every node its own partition via the fallback
+        assert len(result) == len(g.nodes)
+
+
+class TestRegistryMetadata:
+    def test_descriptions_nonempty(self):
+        for info in APPS.values():
+            assert info.description
+            assert info.paper_n == tuple(sorted(info.paper_n))
+
+    def test_builders_reject_nonsense(self):
+        for name, info in APPS.items():
+            with pytest.raises(ValueError):
+                info.build(0 if name not in ("FFT", "Bitonic", "BitonicRec")
+                           else 3)

@@ -1,0 +1,107 @@
+"""Property-based tests for splitter/joiner elimination: on randomly
+composed split-join programs, the transform must preserve the output
+stream exactly."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.filters import FilterRole, FilterSpec
+from repro.graph.flatten import flatten
+from repro.graph.structure import (
+    Filt,
+    Pipeline,
+    SplitJoin,
+    duplicate,
+    join_roundrobin,
+    roundrobin,
+)
+from repro.gpu.functional import FunctionalVM
+from repro.gpu.memory import partition_memory
+from repro.opt.splitjoin_elim import eliminate_movers
+
+_counter = [0]
+
+
+def _fresh(prefix):
+    _counter[0] += 1
+    return f"{prefix}{_counter[0]}"
+
+
+@st.composite
+def sj_programs(draw):
+    """source -> [compute | splitjoin]* -> sink with matched rates."""
+    rate = draw(st.sampled_from([2, 4, 6]))
+    items = [
+        Filt(FilterSpec(name=_fresh("src"), pop=0, push=rate,
+                        role=FilterRole.SOURCE, semantics="source"))
+    ]
+    for _ in range(draw(st.integers(1, 3))):
+        if draw(st.booleans()):
+            semantics = draw(st.sampled_from(["identity", "scale", "sort2"]))
+            items.append(Filt(FilterSpec(
+                name=_fresh("c"), pop=rate, push=rate, work=5.0,
+                semantics=semantics,
+                params=(1.5,) if semantics == "scale" else (),
+            )))
+        else:
+            branches = draw(st.integers(1, 3))
+            kind = draw(st.sampled_from(["dup", "rr"]))
+            branch_filters = tuple(
+                Filt(FilterSpec(
+                    name=_fresh("b"), pop=rate, push=rate, work=3.0,
+                    semantics=draw(st.sampled_from(["identity", "scale"])),
+                    params=(2.0,),
+                ))
+                for _ in range(branches)
+            )
+            split = (
+                duplicate(rate, branches) if kind == "dup"
+                else roundrobin(*([rate] * branches))
+            )
+            sj = SplitJoin(
+                split, branch_filters,
+                join_roundrobin(*([rate] * branches)), name=_fresh("sj"),
+            )
+            items.append(sj)
+            rate = rate * branches
+    items.append(
+        Filt(FilterSpec(name=_fresh("snk"), pop=rate, push=0,
+                        role=FilterRole.SINK, semantics="sink"))
+    )
+    return Pipeline(tuple(items), name="Main")
+
+
+@given(sj_programs(), st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_elimination_preserves_output(tree, iterations):
+    graph = flatten(tree, "prop")
+    enhanced, report = eliminate_movers(graph)
+    base = FunctionalVM(graph, source_fn=lambda n, i: float(i % 17)).run(
+        iterations
+    )
+    after = FunctionalVM(enhanced, source_fn=lambda n, i: float(i % 17)).run(
+        iterations
+    )
+    assert base == after
+
+
+@given(sj_programs())
+@settings(max_examples=30, deadline=None)
+def test_elimination_never_grows_memory(tree):
+    graph = flatten(tree, "prop")
+    enhanced, _ = eliminate_movers(graph)
+    before = partition_memory(graph)
+    after = partition_memory(enhanced)
+    assert after.working_set <= before.working_set
+    assert after.io_bytes <= before.io_bytes
+
+
+@given(sj_programs())
+@settings(max_examples=30, deadline=None)
+def test_elimination_reduces_total_work(tree):
+    graph = flatten(tree, "prop")
+    enhanced, report = eliminate_movers(graph)
+    if report.total_removed:
+        assert sum(
+            n.firing * n.spec.work for n in enhanced.nodes
+        ) < sum(n.firing * n.spec.work for n in graph.nodes)
+    assert len(enhanced.nodes) == len(graph.nodes) - report.total_removed

@@ -1,0 +1,92 @@
+"""Tests for stateless-filter fission."""
+
+import pytest
+
+from repro.flow import map_stream_graph
+from repro.graph.builder import GraphBuilder
+from repro.graph.filters import FilterRole
+from repro.graph.validate import validate_graph
+from repro.gpu.functional import FunctionalVM
+from repro.opt.fission import fission_filters, fissionable
+
+
+def _hot_chain(firings=8, work=5000.0, stateful=False, peek=0):
+    b = GraphBuilder("hot")
+    src = b.filter("src", pop=0, push=firings, role=FilterRole.SOURCE,
+                   semantics="source")
+    hot = b.filter("hot", pop=1, push=1, work=work, semantics="scale",
+                   params=(3.0,), stateful=stateful, peek=peek)
+    snk = b.filter("snk", pop=firings, push=0, role=FilterRole.SINK,
+                   semantics="sink")
+    b.connect(src, hot)
+    b.connect(hot, snk, src_push=1, dst_pop=firings)
+    return b.build()
+
+
+class TestEligibility:
+    def test_hot_stateless_filter_is_fissionable(self):
+        g = _hot_chain()
+        hot = g.node_by_name("hot").node_id
+        assert fissionable(g, hot, 2)
+        assert fissionable(g, hot, 4)
+
+    def test_stateful_filter_is_not(self):
+        g = _hot_chain(stateful=True)
+        assert not fissionable(g, g.node_by_name("hot").node_id, 2)
+
+    def test_peeking_filter_is_not(self):
+        g = _hot_chain(peek=4)
+        assert not fissionable(g, g.node_by_name("hot").node_id, 2)
+
+    def test_ways_must_divide_firings(self):
+        g = _hot_chain(firings=6)
+        hot = g.node_by_name("hot").node_id
+        assert fissionable(g, hot, 3)
+        assert not fissionable(g, hot, 4)
+
+    def test_sources_and_sinks_excluded(self):
+        g = _hot_chain()
+        assert not fissionable(g, g.node_by_name("src").node_id, 2)
+        assert not fissionable(g, g.node_by_name("snk").node_id, 2)
+
+
+class TestTransform:
+    def test_structure(self):
+        g = _hot_chain()
+        out, report = fission_filters(g, ways=2)
+        assert report.total == 1
+        assert report.fissioned[0] == ("hot", 2)
+        names = [n.spec.name for n in out.nodes]
+        assert "hot.f0" in names and "hot.f1" in names
+        assert "hot.fsplit" in names and "hot.fjoin" in names
+        validate_graph(out)
+
+    def test_semantics_preserved(self):
+        g = _hot_chain()
+        out, _ = fission_filters(g, ways=4)
+        base = FunctionalVM(g, source_fn=lambda n, i: float(i)).run(3)
+        split = FunctionalVM(out, source_fn=lambda n, i: float(i)).run(3)
+        assert base == split
+
+    def test_min_work_threshold(self):
+        g = _hot_chain(work=1.0)
+        out, report = fission_filters(g, ways=2, min_work=1000.0)
+        assert report.total == 0
+        assert "hot" in report.skipped
+
+    def test_targets_restriction(self):
+        g = _hot_chain()
+        out, report = fission_filters(
+            g, ways=2, targets=[g.node_by_name("src").node_id]
+        )
+        assert report.total == 0
+
+    def test_replicas_share_work_across_gpus(self):
+        """Fission turns one serial hot spot into mapped parallelism."""
+        g = _hot_chain(firings=8, work=100_000.0)
+        out, report = fission_filters(g, ways=4)
+        assert report.total == 1
+        base = map_stream_graph(g, num_gpus=4)
+        split = map_stream_graph(out, num_gpus=4)
+        # the replicas can spread over GPUs, so Tmax must not get worse
+        assert split.mapping.tmax <= base.mapping.tmax * 1.05

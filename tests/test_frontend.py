@@ -1,0 +1,164 @@
+"""Tests for the textual stream-language front end."""
+
+import pytest
+
+from repro.flow import map_stream_graph
+from repro.frontend.lexer import LexError, tokenize
+from repro.frontend.parser import ParseError, compile_stream, parse_stream
+from repro.graph.filters import FilterRole
+from repro.graph.structure import FeedbackLoop, Filt, Pipeline, SplitJoin
+from repro.graph.validate import validate_graph
+
+SIMPLE = """
+pipeline Main {
+    filter src(push=8, role=source);
+    filter work(pop=8, push=8, work=100);
+    filter snk(pop=8, role=sink);
+}
+"""
+
+EQUALIZER = """
+// a two-band equalizer
+pipeline Equalizer {
+    filter src(push=4, role=source);
+    splitjoin bands {
+        split duplicate(4, 2);
+        pipeline {
+            filter low(pop=4, push=4, work=64, semantics=scale, params=(0.5));
+        }
+        pipeline {
+            filter high(pop=4, push=4, work=64, semantics=scale, params=(2.0));
+        }
+        join roundrobin(4, 4);
+    }
+    filter mix(pop=8, push=4, work=16, semantics=add);
+    filter snk(pop=4, role=sink);
+}
+"""
+
+FEEDBACK = """
+pipeline Main {
+    filter src(push=2, role=source);
+    feedbackloop iir {
+        join roundrobin(1, 1);
+        body filter body(pop=2, push=2, work=32);
+        loop filter decay(pop=1, push=1, work=8);
+        split roundrobin(1, 1);
+        delay 4;
+    }
+    filter snk(pop=1, role=sink);
+}
+"""
+
+
+class TestLexer:
+    def test_tokenizes_simple_program(self):
+        tokens = tokenize(SIMPLE)
+        kinds = {t.kind for t in tokens}
+        assert {"IDENT", "NUMBER", "LBRACE", "RBRACE", "SEMI", "EOF"} <= kinds
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("// hello\na /* block\ncomment */ b")
+        idents = [t.text for t in tokens if t.kind == "IDENT"]
+        assert idents == ["a", "b"]
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("filter $")
+
+
+class TestParser:
+    def test_simple_pipeline(self):
+        root = parse_stream(SIMPLE)
+        assert isinstance(root, Pipeline)
+        assert root.name == "Main"
+        assert len(root.children) == 3
+        assert all(isinstance(c, Filt) for c in root.children)
+
+    def test_filter_attributes(self):
+        root = parse_stream(SIMPLE)
+        work = root.children[1].spec
+        assert work.pop == 8 and work.push == 8 and work.work == 100.0
+        src = root.children[0].spec
+        assert src.role is FilterRole.SOURCE
+
+    def test_splitjoin(self):
+        root = parse_stream(EQUALIZER)
+        sj = root.children[1]
+        assert isinstance(sj, SplitJoin)
+        assert sj.name == "bands"
+        assert len(sj.branches) == 2
+        assert sj.split.pop_per_firing == 4
+        low = sj.branches[0].children[0].spec
+        assert low.params == (0.5,)
+
+    def test_feedback(self):
+        root = parse_stream(FEEDBACK)
+        fb = root.children[1]
+        assert isinstance(fb, FeedbackLoop)
+        assert fb.delay == 4
+
+    @pytest.mark.parametrize(
+        "source,message",
+        [
+            ("pipeline { }", "empty composition"),
+            ("pipeline { filter f(pop=1, puush=1); }", "unknown filter attribute"),
+            ("pipeline { filter f(pop=1, role=demon); }", "unknown role"),
+            ("pipeline { widget w; }", "expected filter"),
+            ("pipeline { splitjoin { split duplicate(1, 2); } }", "missing join"),
+            ("pipeline { filter f(pop=1) }", "expected ';'"),
+        ],
+    )
+    def test_errors_carry_context(self, source, message):
+        with pytest.raises(ParseError, match=message):
+            parse_stream(source)
+
+    def test_error_reports_line(self):
+        bad = "pipeline Main {\n  filter a(pop=1);\n  oops x;\n}"
+        with pytest.raises(ParseError, match="line 3"):
+            parse_stream(bad)
+
+
+class TestCompile:
+    def test_compiles_to_valid_graph(self):
+        graph = compile_stream(EQUALIZER)
+        validate_graph(graph)
+        assert graph.name == "Equalizer"
+        # 5 declared filters + splitter + joiner
+        assert len(graph.nodes) == 7
+
+    def test_feedback_compiles(self):
+        graph = compile_stream(FEEDBACK)
+        assert any(ch.delay for ch in graph.channels)
+        validate_graph(graph)
+
+    def test_compiled_graph_maps(self):
+        graph = compile_stream(EQUALIZER)
+        result = map_stream_graph(graph, num_gpus=2)
+        assert result.report.throughput > 0
+
+    def test_rate_mismatch_surfaces(self):
+        bad = """
+        pipeline Main {
+            filter src(push=3, role=source);
+            splitjoin {
+                split roundrobin(1, 1);
+                filter a(pop=1, push=2);
+                filter b(pop=1, push=1);
+                join roundrobin(1, 1);
+            }
+            filter snk(pop=2, role=sink);
+        }
+        """
+        from repro.graph.scheduling import RateConsistencyError
+
+        with pytest.raises(RateConsistencyError):
+            compile_stream(bad)
+
+    def test_custom_name(self):
+        graph = compile_stream(SIMPLE, name="renamed")
+        assert graph.name == "renamed"

@@ -1,0 +1,143 @@
+"""Round-trip property tests: print(parse(...)) and parse(print(...))."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend.parser import parse_stream
+from repro.frontend.printer import print_stream
+from repro.graph.filters import FilterRole, FilterSpec
+from repro.graph.flatten import flatten
+from repro.graph.structure import (
+    FeedbackLoop,
+    Filt,
+    Pipeline,
+    SplitJoin,
+    duplicate,
+    join_roundrobin,
+    roundrobin,
+)
+
+_name_counter = [0]
+
+
+def _fresh(prefix: str) -> str:
+    _name_counter[0] += 1
+    return f"{prefix}{_name_counter[0]}"
+
+
+@st.composite
+def filters(draw, rate=None):
+    rate = rate if rate is not None else draw(st.integers(1, 8))
+    return Filt(
+        FilterSpec(
+            name=_fresh("f"),
+            pop=rate,
+            push=rate,
+            peek=draw(st.sampled_from([0, rate + 2])),
+            work=float(draw(st.integers(1, 500))),
+            semantics=draw(st.sampled_from(["opaque", "identity", "scale"])),
+            params=(2.0,) if draw(st.booleans()) else (),
+        )
+    )
+
+
+@st.composite
+def splitjoins(draw, rate):
+    branches = draw(st.integers(1, 3))
+    kind = draw(st.sampled_from(["dup", "rr"]))
+    branch_nodes = tuple(draw(filters(rate=rate)) for _ in range(branches))
+    split = (
+        duplicate(rate, branches) if kind == "dup"
+        else roundrobin(*([rate] * branches))
+    )
+    return SplitJoin(
+        split, branch_nodes, join_roundrobin(*([rate] * branches)),
+        name=_fresh("sj"),
+    )
+
+
+@st.composite
+def structures(draw):
+    rate = draw(st.integers(1, 6))
+    items = [
+        Filt(FilterSpec(name=_fresh("src"), pop=0, push=rate,
+                        role=FilterRole.SOURCE, semantics="source"))
+    ]
+    for _ in range(draw(st.integers(1, 4))):
+        if draw(st.booleans()):
+            items.append(draw(filters(rate=rate)))
+        else:
+            sj = draw(splitjoins(rate=rate))
+            items.append(sj)
+            rate = sj.push_rate
+    items.append(
+        Filt(FilterSpec(name=_fresh("snk"), pop=rate, push=0,
+                        role=FilterRole.SINK, semantics="sink"))
+    )
+    return Pipeline(tuple(items), name="Main")
+
+
+def _canonical(node):
+    """Structural fingerprint ignoring nothing that matters."""
+    if isinstance(node, Filt):
+        s = node.spec
+        return ("filter", s.name, s.pop, s.push, s.peek, s.work, s.role,
+                s.semantics, s.params, s.stateful)
+    if isinstance(node, Pipeline):
+        return ("pipeline", node.name,
+                tuple(_canonical(c) for c in node.children))
+    if isinstance(node, SplitJoin):
+        return ("splitjoin", node.name, node.split.kind, node.split.weights,
+                tuple(_canonical(b) for b in node.branches),
+                node.join.weights)
+    if isinstance(node, FeedbackLoop):
+        return ("feedback", node.name, _canonical(node.body),
+                _canonical(node.loopback), node.join.weights,
+                node.split.weights, node.delay)
+    raise TypeError(node)
+
+
+@given(structures())
+@settings(max_examples=40, deadline=None)
+def test_print_parse_roundtrip(tree):
+    text = print_stream(tree)
+    reparsed = parse_stream(text)
+    assert _canonical(reparsed) == _canonical(tree)
+
+
+@given(structures())
+@settings(max_examples=25, deadline=None)
+def test_roundtripped_tree_flattens_identically(tree):
+    original = flatten(tree, "orig")
+    clone = flatten(parse_stream(print_stream(tree)), "orig")
+    assert len(original.nodes) == len(clone.nodes)
+    assert [n.firing for n in original.nodes] == [n.firing for n in clone.nodes]
+    assert len(original.channels) == len(clone.channels)
+
+
+def test_feedback_roundtrip():
+    loop = FeedbackLoop(
+        body=Filt(FilterSpec(name="body", pop=4, push=4, work=32.0)),
+        loopback=Filt(FilterSpec(name="lb", pop=2, push=2, work=8.0)),
+        join=join_roundrobin(2, 2),
+        split=roundrobin(2, 2),
+        delay=4,
+        name="loop",
+    )
+    tree = Pipeline(
+        (
+            Filt(FilterSpec(name="src", pop=0, push=2,
+                            role=FilterRole.SOURCE, semantics="source")),
+            loop,
+            Filt(FilterSpec(name="snk", pop=2, push=0,
+                            role=FilterRole.SINK, semantics="sink")),
+        ),
+        name="Main",
+    )
+    assert _canonical(parse_stream(print_stream(tree))) == _canonical(tree)
+
+
+def test_bundled_str_example_parses():
+    with open("examples/adaptive_beamformer.str") as fh:
+        tree = parse_stream(fh.read())
+    text = print_stream(tree)
+    assert _canonical(parse_stream(text)) == _canonical(tree)

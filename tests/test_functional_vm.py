@@ -1,0 +1,151 @@
+"""Tests for the functional stream-graph VM."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.filters import FilterRole, FilterSpec, sink, source
+from repro.graph.flatten import flatten
+from repro.graph.structure import (
+    duplicate,
+    join_roundrobin,
+    pipeline,
+    roundrobin,
+    splitjoin,
+)
+from repro.gpu.functional import FunctionalError, FunctionalVM
+
+
+def _f(name, pop, push, **kw):
+    return FilterSpec(name=name, pop=pop, push=push, **kw)
+
+
+class TestBasicExecution:
+    def test_identity_pipeline_passes_data_through(self):
+        g = flatten(
+            pipeline(source("s", 4), _f("id", 4, 4, semantics="identity"),
+                     sink("t", 4)),
+            "idpipe",
+        )
+        vm = FunctionalVM(g, source_fn=lambda name, i: float(i))
+        out = vm.run(2)
+        assert out["t"] == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+
+    def test_scale_semantics(self):
+        g = flatten(
+            pipeline(source("s", 2), _f("x3", 2, 2, semantics="scale",
+                                        params=(3.0,)), sink("t", 2)),
+            "scale",
+        )
+        vm = FunctionalVM(g, source_fn=lambda name, i: float(i + 1))
+        out = vm.run(1)
+        assert out["t"] == [3.0, 6.0]
+
+    def test_add_reduces_pairs(self):
+        g = flatten(
+            pipeline(source("s", 4), _f("sum", 4, 2, semantics="add"),
+                     sink("t", 2)),
+            "add",
+        )
+        vm = FunctionalVM(g, source_fn=lambda name, i: float(i))
+        out = vm.run(1)
+        assert out["t"] == [1.0, 5.0]  # 0+1, 2+3
+
+    def test_sort2_orders_window(self):
+        g = flatten(
+            pipeline(source("s", 4), _f("cmp", 4, 4, semantics="sort2"),
+                     sink("t", 4)),
+            "sort",
+        )
+        vm = FunctionalVM(g, source_fn=lambda name, i: float(3 - i))
+        out = vm.run(1)
+        assert out["t"] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_butterfly(self):
+        g = flatten(
+            pipeline(source("s", 4), _f("bf", 4, 4, semantics="butterfly",
+                                        params=(2,)), sink("t", 4)),
+            "bf",
+        )
+        vm = FunctionalVM(g, source_fn=lambda name, i: float(i))
+        out = vm.run(1)
+        # pairs (0,2) and (1,3): sums then differences
+        assert out["t"] == [2.0, 4.0, -2.0, -2.0]
+
+    def test_deterministic_across_runs(self):
+        g = flatten(
+            pipeline(source("s", 4), _f("op", 4, 4), sink("t", 4)), "det"
+        )
+        a = FunctionalVM(g).run(3)
+        b = FunctionalVM(g).run(3)
+        assert a == b
+
+
+class TestSplitJoinExecution:
+    def test_duplicate_copies_to_both_branches(self):
+        sj = splitjoin(
+            duplicate(2, 2),
+            [_f("a", 2, 2, semantics="identity"),
+             _f("b", 2, 2, semantics="scale", params=(10.0,))],
+            join_roundrobin(2, 2),
+        )
+        g = flatten(pipeline(source("s", 2), sj, sink("t", 4)), "dup")
+        vm = FunctionalVM(g, source_fn=lambda name, i: float(i + 1))
+        out = vm.run(1)
+        assert out["t"] == [1.0, 2.0, 10.0, 20.0]
+
+    def test_roundrobin_deals_in_order(self):
+        sj = splitjoin(
+            roundrobin(1, 1),
+            [_f("a", 1, 1, semantics="identity"),
+             _f("b", 1, 1, semantics="identity")],
+            join_roundrobin(1, 1),
+        )
+        g = flatten(pipeline(source("s", 2), sj, sink("t", 2)), "rr")
+        vm = FunctionalVM(g, source_fn=lambda name, i: float(i))
+        out = vm.run(2)
+        assert out["t"] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_feedback_loop_with_delay(self):
+        from repro.graph.structure import FeedbackLoop, Filt
+
+        fb = FeedbackLoop(
+            body=Filt(_f("body", 2, 2, semantics="identity")),
+            loopback=Filt(_f("lb", 1, 1, semantics="identity")),
+            join=join_roundrobin(1, 1),
+            split=roundrobin(1, 1),
+            delay=2,
+        )
+        g = flatten(pipeline(source("s", 1), fb, sink("t", 1)), "fb")
+        vm = FunctionalVM(g, source_fn=lambda name, i: float(i + 1))
+        out = vm.run(4)
+        assert len(out["t"]) == 4
+
+
+class TestSlicedChannels:
+    def test_slice_delivers_strided_view(self):
+        b = GraphBuilder("sliced")
+        s = b.filter("s", pop=0, push=4, role=FilterRole.SOURCE,
+                     semantics="source")
+        lo = b.filter("lo", pop=2, push=2, semantics="identity")
+        hi = b.filter("hi", pop=2, push=2, semantics="identity")
+        t = b.filter("t", pop=4, push=0, role=FilterRole.SINK, semantics="sink")
+        b.connect(s, lo, src_push=2, dst_pop=2)
+        b.connect(s, hi, src_push=2, dst_pop=2)
+        b.connect(lo, t, src_push=2, dst_pop=2)
+        b.connect(hi, t, src_push=2, dst_pop=2)
+        g = b.build()
+        g.channels[0].slice_offset, g.channels[0].slice_period, g.channels[0].slice_width = 0, 4, 2
+        g.channels[1].slice_offset, g.channels[1].slice_period, g.channels[1].slice_width = 2, 4, 2
+        g.nodes[t].meta = {"interleave": [(2, 2), (3, 2)]}
+        vm = FunctionalVM(g, source_fn=lambda name, i: float(i))
+        out = vm.run(1)
+        assert out["t"] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_underflow_raises(self):
+        g = flatten(
+            pipeline(source("s", 2), _f("op", 2, 2), sink("t", 2)), "uf"
+        )
+        vm = FunctionalVM(g)
+        # manually fire the sink before data exists
+        with pytest.raises(FunctionalError):
+            vm._fire(g.node_by_name("t").node_id)

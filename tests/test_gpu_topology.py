@@ -1,0 +1,135 @@
+"""Tests for GPU specs and the PCIe tree topology (Figure 3.3)."""
+
+import pytest
+
+from repro.gpu.specs import C2070, M2090, GpuSpec, LinkSpec, PCIE_GEN2_X16
+from repro.gpu.topology import HOST, GpuTopology, default_topology, gpu_name
+
+
+class TestSpecs:
+    def test_m2090_outscales_c2070(self):
+        ratio = M2090.peak_throughput_proxy / C2070.peak_throughput_proxy
+        assert ratio == pytest.approx(1.29, abs=0.02)  # the paper's 29%
+
+    def test_bandwidth_gap_matches_paper(self):
+        ratio = M2090.mem_bandwidth_gbps / C2070.mem_bandwidth_gbps
+        assert ratio == pytest.approx(1.23, abs=0.01)  # the paper's 23%
+
+    def test_same_shared_memory(self):
+        assert M2090.shared_mem_bytes == C2070.shared_mem_bytes == 48 * 1024
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            GpuSpec(name="bad", sm_count=0, clock_ghz=1.0)
+        with pytest.raises(ValueError):
+            GpuSpec(name="bad", sm_count=4, clock_ghz=1.0, max_threads_per_block=100)
+
+    def test_link_transfer_cost(self):
+        link = LinkSpec(bandwidth_bytes_per_ns=2.0, latency_ns=100.0)
+        assert link.transfer_ns(200) == pytest.approx(200.0)
+
+    def test_default_link_sane(self):
+        assert PCIE_GEN2_X16.transfer_ns(0) == PCIE_GEN2_X16.latency_ns
+
+
+class TestDefaultTopology:
+    def test_four_gpu_link_count(self):
+        topo = default_topology(4)
+        # edges: sw1-host, sw2-sw1, sw3-sw1, 4 gpu edges = 7 edges = 14 links
+        assert topo.num_links == 14
+
+    def test_one_gpu(self):
+        topo = default_topology(1)
+        assert topo.route_to_host(0)  # uses sw1 uplink chain
+        assert topo.route(0, 0) == []
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            default_topology(0)
+        with pytest.raises(ValueError):
+            default_topology(5)
+
+    def test_sibling_route_is_short(self):
+        topo = default_topology(4)
+        # gpu0 and gpu1 share sw2: 2 links (up to sw2, down to gpu1)
+        assert len(topo.route(0, 1)) == 2
+
+    def test_cross_switch_route_is_long(self):
+        topo = default_topology(4)
+        # gpu1 -> gpu2 crosses sw2 -> sw1 -> sw3: 4 links, as in the paper
+        assert len(topo.route(1, 2)) == 4
+
+    def test_route_via_host_longer_than_p2p(self):
+        topo = default_topology(4)
+        assert len(topo.route_via_host(0, 1)) > len(topo.route(0, 1))
+
+    def test_route_links_are_directed_correctly(self):
+        topo = default_topology(4)
+        links = [topo.links[l] for l in topo.route(0, 3)]
+        assert links[0].up and not links[-1].up
+
+    def test_host_routes_meet_at_root(self):
+        topo = default_topology(2)
+        up = topo.route_to_host(0)
+        down = topo.route_from_host(0)
+        assert all(topo.links[l].up for l in up)
+        assert all(not topo.links[l].up for l in down)
+
+
+class TestDtlist:
+    @pytest.mark.parametrize("gpus", [1, 2, 3, 4])
+    def test_tree_rule_matches_enumeration(self, gpus):
+        topo = default_topology(gpus)
+        for link in topo.links:
+            assert sorted(topo.dtlist(link.link_id)) == sorted(
+                topo.dtlist_tree_rule(link.link_id)
+            )
+
+    def test_paper_example_sw2_uplink(self):
+        """The link SW2->SW1 carries exactly (1,3),(1,4),(2,3),(2,4)
+        in the paper's 1-based numbering — (0,2),(0,3),(1,2),(1,3) here."""
+        topo = default_topology(4)
+        uplink = next(
+            l for l in topo.links if l.child == "sw2" and l.parent == "sw1" and l.up
+        )
+        assert sorted(topo.dtlist(uplink.link_id)) == [(0, 2), (0, 3), (1, 2), (1, 3)]
+
+    def test_gpu_uplink_carries_all_outgoing(self):
+        topo = default_topology(4)
+        uplink = next(
+            l for l in topo.links if l.child == gpu_name(0) and l.up
+        )
+        assert sorted(topo.dtlist(uplink.link_id)) == [(0, 1), (0, 2), (0, 3)]
+
+    def test_host_dtlist(self):
+        topo = default_topology(4)
+        sw1_up = next(l for l in topo.links if l.child == "sw1" and l.up)
+        loads = topo.host_dtlist(sw1_up.link_id)
+        assert loads["to_host"] == [0, 1, 2, 3]
+        assert loads["from_host"] == []
+
+
+class TestCustomTopology:
+    def test_missing_gpu_rejected(self):
+        with pytest.raises(ValueError):
+            GpuTopology([("sw1", HOST), ("gpu0", "sw1")], num_gpus=2)
+
+    def test_orphan_rejected(self):
+        with pytest.raises(ValueError):
+            GpuTopology([("gpu0", "nowhere")], num_gpus=1)
+
+    def test_flat_two_gpu(self):
+        topo = GpuTopology([("gpu0", HOST), ("gpu1", HOST)], num_gpus=2)
+        assert len(topo.route(0, 1)) == 2
+
+    def test_transfer_ns_pipeline_latency(self):
+        topo = default_topology(4)
+        single = topo.transfer_ns(1024, hops=1)
+        quad = topo.transfer_ns(1024, hops=4)
+        assert quad > single
+        # bandwidth term is paid once; latency once per hop
+        lat = topo.link_spec.latency_ns
+        assert quad - single == pytest.approx(3 * lat)
+
+    def test_zero_hops_free(self):
+        assert default_topology(2).transfer_ns(4096, hops=0) == 0.0

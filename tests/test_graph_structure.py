@@ -1,0 +1,122 @@
+"""Tests for hierarchical composition operators (repro.graph.structure)."""
+
+import pytest
+
+from repro.graph.filters import FilterSpec
+from repro.graph.structure import (
+    FeedbackLoop,
+    Filt,
+    JoinSpec,
+    Pipeline,
+    SplitJoin,
+    SplitKind,
+    SplitSpec,
+    count_filters,
+    duplicate,
+    join_roundrobin,
+    pipeline,
+    roundrobin,
+    splitjoin,
+)
+
+
+def _f(name="f", pop=1, push=1, **kw):
+    return FilterSpec(name=name, pop=pop, push=push, **kw)
+
+
+class TestSplitSpec:
+    def test_duplicate_pop_equals_weight(self):
+        s = duplicate(4, branches=3)
+        assert s.kind is SplitKind.DUPLICATE
+        assert s.pop_per_firing == 4
+        assert s.push_to(0) == s.push_to(2) == 4
+
+    def test_roundrobin_pop_is_sum(self):
+        s = roundrobin(1, 2, 3)
+        assert s.pop_per_firing == 6
+        assert [s.push_to(i) for i in range(3)] == [1, 2, 3]
+
+    def test_duplicate_requires_equal_weights(self):
+        with pytest.raises(ValueError):
+            SplitSpec(SplitKind.DUPLICATE, (1, 2))
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ValueError):
+            SplitSpec(SplitKind.ROUNDROBIN, ())
+
+    def test_rejects_non_positive_weights(self):
+        with pytest.raises(ValueError):
+            roundrobin(1, 0)
+
+
+class TestJoinSpec:
+    def test_push_is_sum(self):
+        j = join_roundrobin(2, 3)
+        assert j.push_per_firing == 5
+        assert j.pop_from(1) == 3
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            JoinSpec(())
+        with pytest.raises(ValueError):
+            join_roundrobin(-1, 2)
+
+
+class TestPipeline:
+    def test_rates_come_from_ends(self):
+        p = pipeline(_f("a", 2, 4), _f("b", 4, 8))
+        assert p.pop_rate == 2
+        assert p.push_rate == 8
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Pipeline(())
+
+    def test_wraps_bare_specs(self):
+        p = pipeline(_f("a"), _f("b"))
+        assert all(isinstance(c, Filt) for c in p.children)
+
+
+class TestSplitJoin:
+    def test_rates(self):
+        sj = splitjoin(
+            duplicate(2, 2), [_f("a", 2, 2), _f("b", 2, 2)], join_roundrobin(2, 2)
+        )
+        assert sj.pop_rate == 2
+        assert sj.push_rate == 4
+
+    def test_branch_count_must_match_weights(self):
+        with pytest.raises(ValueError):
+            splitjoin(roundrobin(1, 1, 1), [Filt(_f())], join_roundrobin(1))
+        with pytest.raises(ValueError):
+            splitjoin(roundrobin(1), [Filt(_f())], join_roundrobin(1, 1))
+
+
+class TestFeedbackLoop:
+    def test_requires_binary_join_split(self):
+        with pytest.raises(ValueError):
+            FeedbackLoop(
+                body=Filt(_f()),
+                loopback=Filt(_f()),
+                join=join_roundrobin(1, 1, 1),
+                split=roundrobin(1, 1),
+            )
+
+    def test_external_rates(self):
+        fb = FeedbackLoop(
+            body=Filt(_f("body", 2, 2)),
+            loopback=Filt(_f("loop", 1, 1)),
+            join=join_roundrobin(1, 1),
+            split=roundrobin(1, 1),
+            delay=1,
+        )
+        assert fb.pop_rate == 1
+        assert fb.push_rate == 1
+
+
+def test_count_filters_ignores_synthetic_nodes():
+    sj = splitjoin(
+        duplicate(1, 2), [_f("a"), pipeline(_f("b"), _f("c"))], join_roundrobin(1, 1)
+    )
+    root = pipeline(_f("s", 0, 1), sj, _f("t", 2, 0))
+    assert count_filters(root) == 5

@@ -1,0 +1,88 @@
+"""Integration tests: every benchmark app through every subsystem."""
+
+import pytest
+
+from repro.apps.registry import APPS, build_app
+from repro.flow import map_stream_graph
+from repro.gpu.functional import FunctionalVM
+from repro.graph.schedule import schedule_string
+from repro.graph.validate import validate_graph
+from repro.partition.convexity import ConvexityOracle
+from repro.perf.engine import PerformanceEstimationEngine
+
+SMALL_N = {
+    "DES": 2,
+    "FMRadio": 3,
+    "FFT": 8,
+    "DCT": 3,
+    "MatMul2": 2,
+    "MatMul3": 2,
+    "BitonicRec": 8,
+    "Bitonic": 8,
+}
+
+
+@pytest.mark.parametrize("name", sorted(APPS))
+class TestEveryApp:
+    def test_functional_vm_executes(self, name):
+        """Every app's semantics are executable; output volume matches the
+        steady-state rates."""
+        graph = build_app(name, SMALL_N[name])
+        vm = FunctionalVM(graph)
+        outputs = vm.run(2)
+        produced = sum(len(v) for v in outputs.values())
+        sinks = [n for n in graph.nodes if not graph.successors(n.node_id)]
+        expected = 2 * sum(n.firing * n.spec.pop for n in sinks)
+        assert produced == expected
+
+    def test_flow_end_to_end_two_gpus(self, name):
+        graph = build_app(name, SMALL_N[name])
+        result = map_stream_graph(graph, num_gpus=2)
+        validate_graph(graph)
+        assert result.report.throughput > 0
+        assert len(result.mapping.assignment) == result.num_partitions
+        assert max(result.mapping.assignment) <= 1
+
+    def test_partitions_are_convex_covers(self, name):
+        graph = build_app(name, SMALL_N[name])
+        result = map_stream_graph(graph, num_gpus=1)
+        oracle = ConvexityOracle(graph)
+        seen = set()
+        for members in result.partitions:
+            assert oracle.is_convex(oracle.mask_of(members))
+            assert not (seen & members)
+            seen |= members
+        assert seen == {n.node_id for n in graph.nodes}
+
+    def test_schedules_cover_all_filters(self, name):
+        graph = build_app(name, SMALL_N[name])
+        text = schedule_string(graph)
+        for node in graph.nodes:
+            assert node.spec.name in text
+
+    def test_estimates_finite_and_positive(self, name):
+        graph = build_app(name, SMALL_N[name])
+        engine = PerformanceEstimationEngine(graph)
+        est = engine.estimate([n.node_id for n in graph.nodes])
+        assert 0 < est.t < float("inf")
+        assert est.config.total_threads <= 1024
+
+
+class TestDataConservation:
+    """Volume invariants: what enters the graph leaves it (scaled by the
+    steady-state rates)."""
+
+    @pytest.mark.parametrize("name", ["FFT", "Bitonic", "DES"])
+    def test_per_iteration_volumes(self, name):
+        graph = build_app(name, SMALL_N[name])
+        inp, out = graph.io_elems()
+        vm = FunctionalVM(graph)
+        outputs = vm.run(3)
+        assert sum(len(v) for v in outputs.values()) == 3 * out
+
+    def test_mapping_does_not_change_graph(self):
+        graph = build_app("FFT", 8)
+        before = [(n.spec.name, n.firing) for n in graph.nodes]
+        map_stream_graph(graph, num_gpus=2)
+        after = [(n.spec.name, n.firing) for n in graph.nodes]
+        assert before == after

@@ -1,0 +1,163 @@
+"""Tests for JSON graph I/O, execution tracing, and the CLI front end."""
+
+import json
+
+import pytest
+
+from repro.apps.registry import build_app
+from repro.cli import main as cli_main
+from repro.flow import map_stream_graph
+from repro.graph import json_io
+from repro.graph.builder import linear_pipeline_graph
+from repro.graph.dot import partition_map, to_dot
+from repro.gpu.topology import default_topology
+from repro.opt.splitjoin_elim import eliminate_movers
+from repro.runtime.trace import record_trace, to_chrome_trace
+
+
+class TestJsonIO:
+    def test_roundtrip_preserves_structure(self):
+        g = build_app("FFT", 16)
+        clone = json_io.loads(json_io.dumps(g))
+        assert clone.name == g.name
+        assert len(clone.nodes) == len(g.nodes)
+        assert len(clone.channels) == len(g.channels)
+        for a, b in zip(g.nodes, clone.nodes):
+            assert a.spec == b.spec
+            assert a.firing == b.firing
+        for a, b in zip(g.channels, clone.channels):
+            assert (a.src, a.dst, a.src_push, a.dst_pop) == (
+                b.src, b.dst, b.src_push, b.dst_pop
+            )
+
+    def test_roundtrip_preserves_elimination_metadata(self):
+        g, _ = eliminate_movers(build_app("FFT", 16))
+        clone = json_io.loads(json_io.dumps(g))
+        original_sliced = [
+            (c.slice_offset, c.slice_period, c.slice_width)
+            for c in g.channels if c.slice_period
+        ]
+        clone_sliced = [
+            (c.slice_offset, c.slice_period, c.slice_width)
+            for c in clone.channels if c.slice_period
+        ]
+        assert original_sliced == clone_sliced
+
+    def test_roundtrip_pipeline_segments(self):
+        g = build_app("DES", 4)
+        clone = json_io.loads(json_io.dumps(g))
+        assert clone.pipelines == g.pipelines
+
+    def test_unsolved_rates_resolved_on_load(self):
+        g = linear_pipeline_graph("io", stages=2)
+        data = json_io.graph_to_dict(g)
+        for node in data["nodes"]:
+            node["firing"] = 0
+        clone = json_io.graph_from_dict(data)
+        assert all(n.firing > 0 for n in clone.nodes)
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError):
+            json_io.graph_from_dict({"version": 99, "name": "x"})
+
+    def test_file_roundtrip(self, tmp_path):
+        g = build_app("Bitonic", 8)
+        path = tmp_path / "graph.json"
+        json_io.save(g, str(path))
+        clone = json_io.load(str(path))
+        assert len(clone.nodes) == len(g.nodes)
+
+    def test_mapped_clone_behaves_identically(self):
+        g = build_app("MatMul2", 3)
+        clone = json_io.loads(json_io.dumps(g))
+        a = map_stream_graph(g, num_gpus=2)
+        b = map_stream_graph(clone, num_gpus=2)
+        assert a.num_partitions == b.num_partitions
+        assert a.report.makespan_ns == pytest.approx(b.report.makespan_ns)
+
+
+class TestTrace:
+    def _traced(self, gpus=2):
+        flow = map_stream_graph(build_app("FFT", 32), num_gpus=gpus)
+        topo = default_topology(gpus)
+        return flow, record_trace(
+            flow.pdg, flow.mapping.assignment, topo,
+            flow.engine.simulator, flow.measurements,
+        )
+
+    def test_trace_matches_executor(self):
+        flow, (report, events) = self._traced()
+        assert report.makespan_ns == pytest.approx(flow.report.makespan_ns)
+
+    def test_kernel_events_cover_all_fragments(self):
+        flow, (report, events) = self._traced()
+        kernels = [e for e in events if e.kind == "kernel"]
+        assert len(kernels) == flow.num_partitions * report.num_fragments
+
+    def test_events_have_positive_durations(self):
+        _, (report, events) = self._traced()
+        assert all(e.duration_ns > 0 for e in events)
+        assert all(e.end_ns <= report.makespan_ns + 1e-6 for e in events)
+
+    def test_no_overlap_per_resource(self):
+        _, (_, events) = self._traced()
+        by_resource = {}
+        for event in events:
+            by_resource.setdefault(event.resource, []).append(event)
+        for resource, items in by_resource.items():
+            items.sort(key=lambda e: e.start_ns)
+            for a, b in zip(items, items[1:]):
+                assert a.end_ns <= b.start_ns + 1e-6, resource
+
+    def test_chrome_trace_is_valid_json(self):
+        _, (_, events) = self._traced()
+        payload = json.loads(to_chrome_trace(events))
+        assert "traceEvents" in payload
+        names = [e for e in payload["traceEvents"] if e.get("ph") == "M"]
+        assert names  # row labels present
+
+
+class TestDotExport:
+    def test_contains_nodes_and_clusters(self):
+        flow = map_stream_graph(build_app("FFT", 16), num_gpus=2)
+        text = to_dot(flow.graph, partition_of=partition_map(flow.partitions))
+        assert text.startswith("digraph")
+        assert "subgraph cluster_0" in text
+        assert text.count("->") >= len(flow.graph.channels)
+
+    def test_plain_export(self):
+        g = linear_pipeline_graph("dot", stages=2)
+        text = to_dot(g)
+        assert "digraph" in text and "n0" in text
+
+
+class TestCli:
+    def test_app_run(self, capsys):
+        assert cli_main(["--app", "FFT", "--n", "16", "--gpus", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "partitions:" in out and "mapping" in out
+
+    def test_artifacts_written(self, tmp_path, capsys):
+        cuda = tmp_path / "out.cu"
+        dot = tmp_path / "g.dot"
+        trace = tmp_path / "t.json"
+        saved = tmp_path / "g.json"
+        code = cli_main([
+            "--app", "Bitonic", "--n", "8", "--gpus", "2",
+            "--emit-cuda", str(cuda), "--dot", str(dot),
+            "--trace", str(trace), "--save-graph", str(saved),
+        ])
+        assert code == 0
+        assert cuda.read_text().startswith("// partition 0")
+        assert dot.read_text().startswith("digraph")
+        json.loads(trace.read_text())
+        json.loads(saved.read_text())
+
+    def test_graph_file_input(self, tmp_path, capsys):
+        path = tmp_path / "in.json"
+        json_io.save(build_app("MatMul2", 2), str(path))
+        assert cli_main(["--graph", str(path), "--gpus", "1"]) == 0
+
+    def test_app_requires_n(self):
+        with pytest.raises(SystemExit):
+            cli_main(["--app", "FFT"])

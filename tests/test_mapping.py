@@ -1,0 +1,221 @@
+"""Tests for the mapping problem, solvers, and baselines."""
+
+import itertools
+
+import pytest
+
+from repro.gpu.specs import LinkSpec
+from repro.gpu.topology import GpuTopology, default_topology
+from repro.mapping.greedy import lpt_mapping, round_robin_mapping
+from repro.mapping.problem import MappingProblem
+from repro.mapping.solver_bb import solve_branch_and_bound
+from repro.mapping.solver_milp import solve_milp
+
+
+def _problem(
+    times,
+    edges=None,
+    host_io=None,
+    gpus=4,
+    peer_to_peer=True,
+    include_host_io=True,
+    link_spec=None,
+):
+    topo = default_topology(gpus, link_spec or LinkSpec(6.0, 10_000.0))
+    return MappingProblem(
+        times=list(times),
+        edges=dict(edges or {}),
+        host_io=list(host_io or [(0.0, 0.0)] * len(times)),
+        topology=topo,
+        peer_to_peer=peer_to_peer,
+        include_host_io=include_host_io,
+    )
+
+
+def _brute_force(problem):
+    best, best_assign = float("inf"), None
+    for assign in itertools.product(
+        range(problem.num_gpus), repeat=problem.num_partitions
+    ):
+        t = problem.tmax(assign)
+        if t < best:
+            best, best_assign = t, assign
+    return best, best_assign
+
+
+class TestEvaluator:
+    def test_gpu_times(self):
+        p = _problem([10.0, 20.0, 30.0], gpus=2)
+        assert p.gpu_times([0, 0, 1]) == [30.0, 30.0]
+
+    def test_same_gpu_edge_is_free(self):
+        p = _problem([1.0, 1.0], edges={(0, 1): 1e6}, gpus=2)
+        assert all(v == 0.0 for v in p.link_loads([0, 0]))
+
+    def test_cross_gpu_edge_loads_route(self):
+        p = _problem([1.0, 1.0], edges={(0, 1): 600.0}, gpus=2)
+        loads = p.link_loads([0, 1])
+        assert sum(1 for v in loads if v > 0) == 2  # up + down via sw1
+
+    def test_via_host_loads_more_links(self):
+        p2p = _problem([1.0, 1.0], edges={(0, 1): 600.0}, gpus=2)
+        hosted = _problem(
+            [1.0, 1.0], edges={(0, 1): 600.0}, gpus=2, peer_to_peer=False
+        )
+        assert sum(1 for v in hosted.link_loads([0, 1]) if v > 0) > sum(
+            1 for v in p2p.link_loads([0, 1]) if v > 0
+        )
+
+    def test_host_io_charged(self):
+        p = _problem([1.0], host_io=[(100.0, 50.0)], gpus=2)
+        loads = p.link_loads([0])
+        assert any(v > 0 for v in loads)
+
+    def test_host_io_can_be_disabled(self):
+        p = _problem([1.0], host_io=[(100.0, 50.0)], gpus=2, include_host_io=False)
+        assert all(v == 0.0 for v in p.link_loads([0]))
+
+    def test_unused_link_pays_no_latency(self):
+        p = _problem([5.0, 5.0], gpus=2, include_host_io=False)
+        comm = p.comm_breakdown([0, 1])
+        assert comm.bottleneck_time == 0.0
+
+    def test_tmax_is_max_of_sides(self):
+        p = _problem(
+            [100.0, 100.0], edges={(0, 1): 6_000.0}, gpus=2,
+            include_host_io=False,
+        )
+        split = p.tmax([0, 1])
+        spec = p.topology.link_spec
+        expected_comm = spec.latency_ns + 6_000.0 / spec.bandwidth_bytes_per_ns
+        assert split == pytest.approx(max(100.0, expected_comm))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _problem([1.0], edges={(0, 5): 1.0})
+        with pytest.raises(ValueError):
+            _problem([1.0, 2.0], host_io=[(0.0, 0.0)])
+
+
+class TestGreedy:
+    def test_lpt_balances(self):
+        p = _problem([8.0, 7.0, 6.0, 5.0, 4.0, 3.0], gpus=2)
+        res = lpt_mapping(p)
+        assert max(res.gpu_times) <= 18.0  # LPT bound well under total
+
+    def test_lpt_custom_workloads(self):
+        p = _problem([1.0, 1.0], gpus=2)
+        res = lpt_mapping(p, workloads=[100.0, 1.0])
+        assert res.assignment[0] != res.assignment[1]
+
+    def test_lpt_workload_length_checked(self):
+        p = _problem([1.0, 1.0], gpus=2)
+        with pytest.raises(ValueError):
+            lpt_mapping(p, workloads=[1.0])
+
+    def test_round_robin(self):
+        p = _problem([1.0] * 5, gpus=2)
+        res = round_robin_mapping(p)
+        assert res.assignment == (0, 1, 0, 1, 0)
+
+
+class TestMilp:
+    def test_single_gpu_trivial(self):
+        p = _problem([5.0, 5.0], gpus=1)
+        res = solve_milp(p)
+        assert res.assignment == (0, 0)
+        assert res.optimal
+
+    def test_balances_two_gpus(self):
+        p = _problem([10.0, 10.0, 10.0, 10.0], gpus=2, include_host_io=False)
+        res = solve_milp(p)
+        assert res.tmax == pytest.approx(20.0)
+
+    def test_matches_brute_force_with_comm(self):
+        times = [50_000.0, 40_000.0, 30_000.0, 20_000.0, 10_000.0]
+        edges = {(0, 1): 90_000.0, (1, 2): 240_000.0, (2, 3): 60_000.0,
+                 (3, 4): 120_000.0}
+        host_io = [(60_000.0, 0.0)] + [(0.0, 0.0)] * 3 + [(0.0, 60_000.0)]
+        p = _problem(times, edges, host_io, gpus=3)
+        res = solve_milp(p)
+        best, _ = _brute_force(p)
+        assert res.tmax == pytest.approx(best, rel=1e-6)
+
+    def test_keeps_chatty_partitions_together(self):
+        # the heavy edge must not be cut: comm would dominate
+        times = [10_000.0, 10_000.0, 10_000.0, 10_000.0]
+        edges = {(0, 1): 10_000_000.0, (2, 3): 10.0}
+        p = _problem(times, edges, gpus=2, include_host_io=False)
+        res = solve_milp(p)
+        assert res.assignment[0] == res.assignment[1]
+
+    def test_comm_ablation_ignores_edges(self):
+        times = [10_000.0, 10_000.0]
+        edges = {(0, 1): 10_000_000.0}
+        p = _problem(times, edges, gpus=2, include_host_io=False)
+        res = solve_milp(p, include_comm=False)
+        # without comm constraints the solver happily splits them
+        assert res.assignment[0] != res.assignment[1]
+
+    def test_not_worse_than_greedy(self):
+        times = [7.0, 6.5, 6.0, 5.0, 4.0, 3.5, 2.0, 1.0]
+        times = [t * 10_000 for t in times]
+        edges = {(i, i + 1): 30_000.0 * (i + 1) for i in range(7)}
+        p = _problem(times, edges, gpus=4)
+        milp_res = solve_milp(p)
+        greedy_res = lpt_mapping(p)
+        assert milp_res.tmax <= greedy_res.tmax + 1e-6
+
+
+class TestBranchAndBound:
+    def test_matches_milp_small(self):
+        times = [50_000.0, 40_000.0, 30_000.0, 20_000.0]
+        edges = {(0, 1): 300_000.0, (1, 2): 150_000.0, (2, 3): 450_000.0}
+        host_io = [(30_000.0, 0.0), (0, 0), (0, 0), (0.0, 30_000.0)]
+        p = _problem(times, edges, host_io, gpus=3)
+        bb = solve_branch_and_bound(p)
+        ml = solve_milp(p)
+        assert bb.tmax == pytest.approx(ml.tmax, rel=1e-6)
+        assert bb.optimal
+
+    @pytest.mark.parametrize("gpus", [2, 3, 4])
+    def test_matches_brute_force(self, gpus):
+        times = [9.0, 7.0, 5.0, 3.0, 1.0]
+        times = [t * 20_000 for t in times]
+        edges = {(0, 2): 120_000.0, (1, 2): 60_000.0, (2, 3): 300_000.0,
+                 (3, 4): 90_000.0}
+        p = _problem(times, edges, gpus=gpus)
+        bb = solve_branch_and_bound(p)
+        best, _ = _brute_force(p)
+        assert bb.tmax == pytest.approx(best, rel=1e-6)
+
+    def test_via_host_problem(self):
+        times = [40_000.0, 40_000.0, 40_000.0]
+        edges = {(0, 1): 200_000.0, (1, 2): 200_000.0}
+        p = _problem(times, edges, gpus=2, peer_to_peer=False)
+        bb = solve_branch_and_bound(p)
+        best, _ = _brute_force(p)
+        assert bb.tmax == pytest.approx(best, rel=1e-6)
+
+    def test_node_budget_degrades_gracefully(self):
+        times = [float(i + 1) for i in range(12)]
+        p = _problem(times, gpus=4)
+        res = solve_branch_and_bound(p, max_nodes=10)
+        assert not res.optimal
+        assert len(res.assignment) == 12
+
+
+class TestResult:
+    def test_bottleneck_label(self):
+        p = _problem(
+            [100.0, 100.0], edges={(0, 1): 60_000_000.0}, gpus=2,
+            include_host_io=False,
+        )
+        res = lpt_mapping(p)
+        if res.assignment[0] != res.assignment[1]:
+            assert res.bottleneck == "communication"
+
+    def test_gpus_used(self):
+        p = _problem([1.0, 2.0, 3.0], gpus=4)
+        res = round_robin_mapping(p)
+        assert res.gpus_used() == [0, 1, 2]

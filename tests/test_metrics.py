@@ -1,0 +1,72 @@
+"""Tests for the SOSP metric and statistics helpers."""
+
+import pytest
+
+from repro.gpu.specs import C2070, M2090
+from repro.metrics.sosp import SospAnalysis, sosp, sosp_validity_bound
+from repro.metrics.stats import geometric_mean, r_squared
+from repro.runtime.executor import ExecutionReport
+
+
+def _report(makespan, frags=4, execs=128):
+    return ExecutionReport(
+        makespan_ns=makespan,
+        num_fragments=frags,
+        executions_per_fragment=execs,
+        gpu_busy_ns=(makespan,),
+        link_busy_ns=(0.0,),
+        first_fragment_done_ns=makespan / frags,
+    )
+
+
+class TestStats:
+    def test_r_squared_perfect(self):
+        assert r_squared([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_r_squared_penalizes_errors(self):
+        good = r_squared([1.0, 2.0, 3.0], [1.1, 2.0, 2.9])
+        bad = r_squared([3.0, 1.0, 2.0], [1.0, 3.0, 2.0])
+        assert good > 0.9 > bad
+
+    def test_r_squared_validation(self):
+        with pytest.raises(ValueError):
+            r_squared([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            r_squared([], [])
+
+    def test_r_squared_constant_actual(self):
+        assert r_squared([2.0, 2.0], [2.0, 2.0]) == 1.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_validation(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestSosp:
+    def test_sosp_is_throughput_ratio(self):
+        fast = _report(1000.0)
+        slow = _report(4000.0)
+        assert sosp(fast, slow) == pytest.approx(4.0)
+
+    def test_validity_bound_matches_paper(self):
+        # compute +29%, bandwidth +23% -> 2 * 6% ~ 12%
+        assert sosp_validity_bound(C2070, M2090) == pytest.approx(0.12, abs=0.02)
+
+    def test_analysis_error(self):
+        analysis = SospAnalysis("app", 8, 4, sosp_g1=2.0, sosp_g2=2.1)
+        assert analysis.relative_error == pytest.approx(0.05)
+        assert analysis.within_bound()
+
+    def test_analysis_out_of_bound(self):
+        analysis = SospAnalysis("app", 8, 4, sosp_g1=2.0, sosp_g2=3.0)
+        assert not analysis.within_bound()
+
+    def test_zero_baseline(self):
+        analysis = SospAnalysis("app", 8, 4, sosp_g1=0.0, sosp_g2=1.0)
+        assert analysis.relative_error == float("inf")

@@ -1,0 +1,79 @@
+"""Cheap invariants across the full paper N sweeps (no partitioning, so
+these stay fast even at the largest sizes)."""
+
+import pytest
+
+from repro.apps.registry import APPS, build_app
+from repro.graph.dot import to_dot
+from repro.graph.validate import validate_graph
+from repro.gpu.memory import partition_memory
+from repro.gpu.simulator import KernelSimulator
+from repro.gpu.specs import C2070, M2090
+from repro.partition.baseline import previous_work_partition
+from repro.partition.convexity import ConvexityOracle
+from repro.perf.engine import PerformanceEstimationEngine
+
+ALL_CASES = [
+    (name, n) for name, info in sorted(APPS.items()) for n in info.paper_n
+]
+
+
+@pytest.mark.parametrize("name,n", ALL_CASES)
+def test_every_paper_instance_is_a_valid_graph(name, n):
+    graph = build_app(name, n)
+    validate_graph(graph)
+
+
+@pytest.mark.parametrize("name", sorted(APPS))
+def test_work_and_traffic_monotone_in_n(name):
+    info = APPS[name]
+    works, traffics = [], []
+    for n in info.paper_n:
+        graph = build_app(name, n)
+        works.append(graph.total_work())
+        traffics.append(
+            sum(graph.channel_traffic_bytes(ch) for ch in graph.channels)
+        )
+    assert works == sorted(works)
+    assert traffics == sorted(traffics)
+
+
+@pytest.mark.parametrize("name", ["DES", "DCT", "Bitonic"])
+def test_previous_work_partitions_convex_at_scale(name):
+    info = APPS[name]
+    graph = build_app(name, info.paper_n[-1])
+    oracle = ConvexityOracle(graph)
+    for members in previous_work_partition(graph, oracle=oracle):
+        assert oracle.is_convex(oracle.mask_of(members))
+
+
+@pytest.mark.parametrize("name", sorted(APPS))
+def test_largest_instance_starves_single_kernel(name):
+    """At the largest N a single fused kernel is SM-starved — at most one
+    concurrent execution (DCT), usually outright spill — which is the
+    premise behind SOSP >> 1 at large N."""
+    info = APPS[name]
+    graph = build_app(name, info.paper_n[-1])
+    mem = partition_memory(graph)
+    assert mem.smem_for(2) > M2090.shared_mem_bytes
+
+
+@pytest.mark.parametrize("name", sorted(APPS))
+def test_dot_export_renders_all_nodes(name):
+    graph = build_app(name, APPS[name].paper_n[0])
+    text = to_dot(graph)
+    assert text.count("[shape=") == len(graph.nodes)
+
+
+@pytest.mark.parametrize("name", ["FFT", "MatMul2"])
+def test_c2070_estimates_slower_than_m2090(name):
+    n = APPS[name].paper_n[1]
+    graph = build_app(name, n)
+    members = [node.node_id for node in graph.nodes]
+    fast = PerformanceEstimationEngine(
+        graph, spec=M2090, simulator=KernelSimulator(M2090)
+    ).t(members)
+    slow = PerformanceEstimationEngine(
+        graph, spec=C2070, simulator=KernelSimulator(C2070)
+    ).t(members)
+    assert slow > fast

@@ -1,0 +1,130 @@
+"""Tests for the convexity oracle and Try-Merge."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, linear_pipeline_graph
+from repro.graph.filters import FilterRole, FilterSpec, sink, source
+from repro.graph.flatten import flatten
+from repro.graph.structure import duplicate, join_roundrobin, pipeline, splitjoin
+from repro.partition.convexity import ConvexityOracle
+from repro.partition.merge import MergeContext
+from repro.perf.engine import PerformanceEstimationEngine
+
+
+def _f(name, pop, push, **kw):
+    return FilterSpec(name=name, pop=pop, push=push, **kw)
+
+
+def _diamond(work=50.0):
+    sj = splitjoin(
+        duplicate(4, 2),
+        [_f("left", 4, 4, work=work), _f("right", 4, 4, work=work)],
+        join_roundrobin(4, 4),
+    )
+    return flatten(pipeline(source("s", 4), sj, sink("t", 8)), "diamond")
+
+
+class TestConvexityOracle:
+    def test_mask_roundtrip(self):
+        mask = ConvexityOracle.mask_of([0, 3, 5])
+        assert ConvexityOracle.members_of(mask) == [0, 3, 5]
+
+    def test_chain_prefix_is_convex(self):
+        g = linear_pipeline_graph("c", stages=3)
+        oracle = ConvexityOracle(g)
+        order = g.topological_order()
+        assert oracle.is_convex(oracle.mask_of(order[:3]))
+
+    def test_chain_with_gap_is_not_convex(self):
+        g = linear_pipeline_graph("c", stages=3)
+        oracle = ConvexityOracle(g)
+        order = g.topological_order()
+        gap = [order[0], order[2]]  # skips order[1]
+        assert not oracle.is_convex(oracle.mask_of(gap))
+
+    def test_one_branch_plus_endpoints_is_convex(self):
+        g = _diamond()
+        oracle = ConvexityOracle(g)
+        ids = [
+            g.node_by_name(n).node_id
+            for n in ("left",)
+        ]
+        assert oracle.is_convex(oracle.mask_of(ids))
+
+    def test_split_and_join_without_branches_not_convex(self):
+        g = _diamond()
+        oracle = ConvexityOracle(g)
+        splitter = next(n for n in g.nodes if n.spec.role is FilterRole.SPLITTER)
+        joiner = next(n for n in g.nodes if n.spec.role is FilterRole.JOINER)
+        mask = oracle.mask_of([splitter.node_id, joiner.node_id])
+        assert not oracle.is_convex(mask)
+
+    def test_adjacency(self):
+        g = linear_pipeline_graph("c", stages=2)
+        oracle = ConvexityOracle(g)
+        order = g.topological_order()
+        a = oracle.mask_of(order[:1])
+        b = oracle.mask_of(order[1:2])
+        c = oracle.mask_of(order[2:3])
+        assert oracle.adjacent(a, b)
+        assert not oracle.adjacent(a, c)
+
+    def test_neighbors_mask_excludes_self(self):
+        g = linear_pipeline_graph("c", stages=2)
+        oracle = ConvexityOracle(g)
+        order = g.topological_order()
+        mask = oracle.mask_of(order[:2])
+        nbrs = oracle.neighbors_mask(mask)
+        assert not (nbrs & mask)
+        assert nbrs  # the next node in the chain
+
+
+class TestMergeContext:
+    def _ctx(self, graph):
+        return MergeContext(PerformanceEstimationEngine(graph))
+
+    def test_disconnected_sets_do_not_merge(self):
+        g = linear_pipeline_graph("m", stages=3, work=2000.0)
+        ctx = self._ctx(g)
+        order = g.topological_order()
+        assert not ctx.can_merge(1 << order[0], 1 << order[2])
+
+    def test_disjointness_enforced(self):
+        g = linear_pipeline_graph("m", stages=2)
+        ctx = self._ctx(g)
+        with pytest.raises(ValueError):
+            ctx.can_merge(0b11, 0b10)
+
+    def test_non_convex_union_rejected(self):
+        g = _diamond()
+        ctx = self._ctx(g)
+        splitter = next(n for n in g.nodes if n.spec.role is FilterRole.SPLITTER)
+        joiner = next(n for n in g.nodes if n.spec.role is FilterRole.JOINER)
+        assert not ctx.can_merge(1 << splitter.node_id, 1 << joiner.node_id)
+
+    def test_io_bound_neighbors_merge(self):
+        # zero-work copy chain: merging removes boundary traffic, so the
+        # PEE must prefer the union
+        g = linear_pipeline_graph("m", stages=2, rate=256, work=0.0)
+        ctx = self._ctx(g)
+        a = g.node_by_name("stage0").node_id
+        b = g.node_by_name("stage1").node_id
+        assert ctx.can_merge(1 << a, 1 << b)
+
+    def test_can_merge_many_requires_connectivity(self):
+        g = linear_pipeline_graph("m", stages=4, rate=64, work=0.0)
+        ctx = self._ctx(g)
+        s0 = 1 << g.node_by_name("stage0").node_id
+        s1 = 1 << g.node_by_name("stage1").node_id
+        s3 = 1 << g.node_by_name("stage3").node_id
+        assert not ctx.can_merge_many([s0, s3])
+        assert ctx.can_merge_many([s0, s1])
+
+    def test_can_merge_many_spill_control(self):
+        # a graph far larger than the SM: merging everything spills
+        g = linear_pipeline_graph("big", stages=4, rate=9000, work=0.0)
+        ctx = self._ctx(g)
+        masks = [1 << n.node_id for n in g.graph.nodes] if hasattr(g, "graph") else [
+            1 << n.node_id for n in g.nodes
+        ]
+        assert not ctx.can_merge_many(masks, allow_spill=False)

@@ -1,0 +1,198 @@
+"""Tests for Algorithm 1, the PDG builder, and the baseline partitioners."""
+
+import pytest
+
+from repro.graph.builder import linear_pipeline_graph
+from repro.graph.filters import FilterSpec, sink, source
+from repro.graph.flatten import flatten
+from repro.graph.structure import duplicate, join_roundrobin, pipeline, splitjoin
+from repro.gpu.specs import M2090
+from repro.partition.baseline import previous_work_partition, single_partition
+from repro.partition.heuristic import partition_stream_graph
+from repro.partition.pdg import build_pdg
+from repro.perf.engine import PerformanceEstimationEngine
+
+
+def _f(name, pop, push, **kw):
+    return FilterSpec(name=name, pop=pop, push=push, **kw)
+
+
+def _wide_app(branches=4, rate=64, work=30.0, depth=3):
+    """A split-join of pipelines: the shape Algorithm 1 is built for."""
+    branch_nodes = [
+        pipeline(*[_f(f"b{b}s{d}", rate, rate, work=work) for d in range(depth)])
+        for b in range(branches)
+    ]
+    sj = splitjoin(
+        duplicate(rate, branches), branch_nodes,
+        join_roundrobin(*([rate] * branches)),
+    )
+    return flatten(
+        pipeline(source("src", rate), sj, sink("snk", rate * branches)), "wide"
+    )
+
+
+def _partition_cover_ok(graph, partitions):
+    seen = set()
+    for members in partitions:
+        assert not (seen & members), "partitions overlap"
+        seen |= members
+    assert seen == {n.node_id for n in graph.nodes}, "not a cover"
+
+
+class TestHeuristic:
+    def test_result_is_a_partition_cover(self):
+        g = _wide_app()
+        result = partition_stream_graph(g)
+        _partition_cover_ok(g, result.partitions)
+
+    def test_all_partitions_convex_and_fit(self):
+        g = _wide_app()
+        result = partition_stream_graph(g)
+        for est in result.estimates:
+            assert est.fits_shared_memory
+        from repro.partition.convexity import ConvexityOracle
+
+        oracle = ConvexityOracle(g)
+        for members in result.partitions:
+            assert oracle.is_convex(oracle.mask_of(members))
+
+    def test_phase_counts_monotone_nonincreasing(self):
+        g = _wide_app()
+        result = partition_stream_graph(g)
+        counts = [
+            result.phase_counts[k]
+            for k in ("phase2", "phase3", "phase4")
+            if k in result.phase_counts
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_pipeline_graph_merges_into_few_partitions(self):
+        # an IO-dominated chain merges aggressively (shared buffers)
+        g = linear_pipeline_graph("chain", stages=6, rate=128, work=1.0)
+        result = partition_stream_graph(g)
+        assert len(result) <= 2
+
+    def test_compute_bound_chain_keeps_more_partitions(self):
+        light = partition_stream_graph(
+            linear_pipeline_graph("l", stages=6, rate=128, work=1.0)
+        )
+        heavy = partition_stream_graph(
+            linear_pipeline_graph("h", stages=6, rate=8, work=50_000.0)
+        )
+        assert len(heavy) >= len(light)
+
+    def test_deterministic(self):
+        g = _wide_app()
+        a = partition_stream_graph(g)
+        b = partition_stream_graph(g)
+        assert a.partitions == b.partitions
+
+    def test_phase_ablation_reduces_merging(self):
+        g = _wide_app()
+        full = partition_stream_graph(g, phases=(1, 2, 3, 4))
+        no_merge_phases = partition_stream_graph(g, phases=(1, 2))
+        assert len(no_merge_phases) >= len(full)
+
+    def test_singletons_when_only_phase3(self):
+        g = linear_pipeline_graph("s", stages=3, rate=16, work=10.0)
+        result = partition_stream_graph(g, phases=(3,))
+        _partition_cover_ok(g, result.partitions)
+
+    def test_total_t_not_worse_than_singletons(self):
+        g = _wide_app()
+        engine = PerformanceEstimationEngine(g)
+        result = partition_stream_graph(g, engine=engine)
+        singleton_total = sum(
+            engine.t([n.node_id]) for n in g.nodes
+        )
+        assert result.total_t <= singleton_total + 1e-6
+
+    def test_assignment_property(self):
+        g = _wide_app()
+        result = partition_stream_graph(g)
+        assignment = result.assignment
+        for pid, members in enumerate(result.partitions):
+            for nid in members:
+                assert assignment[nid] == pid
+
+
+class TestPdg:
+    def test_pdg_matches_partition_count(self):
+        g = _wide_app()
+        engine = PerformanceEstimationEngine(g)
+        result = partition_stream_graph(g, engine=engine)
+        pdg = build_pdg(g, result.partitions, engine)
+        assert len(pdg) == len(result)
+
+    def test_edge_weights_sum_crossing_channels(self):
+        g = linear_pipeline_graph("e", stages=4, rate=32, work=40_000.0)
+        engine = PerformanceEstimationEngine(g)
+        result = partition_stream_graph(g, engine=engine)
+        if len(result) < 2:
+            pytest.skip("graph merged to one partition")
+        pdg = build_pdg(g, result.partitions, engine)
+        assignment = result.assignment
+        for (src, dst), weight in pdg.edges.items():
+            expected = sum(
+                g.channel_bytes(ch)
+                for ch in g.channels
+                if assignment[ch.src] == src and assignment[ch.dst] == dst
+            )
+            assert weight == expected
+
+    def test_quotient_is_dag(self):
+        g = _wide_app()
+        engine = PerformanceEstimationEngine(g)
+        result = partition_stream_graph(g, engine=engine)
+        pdg = build_pdg(g, result.partitions, engine)
+        order = pdg.topological_order()
+        assert sorted(order) == list(range(len(pdg)))
+
+    def test_fragment_scaling(self):
+        g = _wide_app()
+        engine = PerformanceEstimationEngine(g)
+        result = partition_stream_graph(g, engine=engine)
+        pdg_small = build_pdg(g, result.partitions, engine, executions_per_fragment=64)
+        pdg_big = build_pdg(g, result.partitions, engine, executions_per_fragment=256)
+        if pdg_small.edges:
+            edge = next(iter(pdg_small.edges))
+            assert pdg_big.edge_fragment_bytes(edge) == 4 * pdg_small.edge_fragment_bytes(edge)
+        assert pdg_big.nodes[0].t_fragment >= pdg_small.nodes[0].t_fragment
+
+    def test_host_io_recorded(self):
+        g = _wide_app()
+        engine = PerformanceEstimationEngine(g)
+        result = partition_stream_graph(g, engine=engine)
+        pdg = build_pdg(g, result.partitions, engine)
+        total_in = sum(io[0] for io in pdg.host_io)
+        inp, out = g.io_elems()
+        assert total_in == inp * g.elem_bytes
+
+
+class TestBaselines:
+    def test_previous_work_is_a_cover(self):
+        g = _wide_app()
+        parts = previous_work_partition(g)
+        _partition_cover_ok(g, parts)
+
+    def test_previous_work_partitions_fit_sm(self):
+        from repro.gpu.memory import partition_memory
+
+        g = _wide_app()
+        for members in previous_work_partition(g):
+            assert partition_memory(g, members).smem_for(1) <= M2090.shared_mem_bytes
+
+    def test_previous_work_merges_more_than_ours_on_compute_bound(self):
+        """The kernel-count-ratio effect: on compute-bound apps, [7]
+        produces fewer partitions because it ignores compute time."""
+        g = _wide_app(branches=4, rate=16, work=8000.0, depth=4)
+        ours = partition_stream_graph(g)
+        prev = previous_work_partition(g)
+        assert len(prev) <= len(ours)
+
+    def test_single_partition(self):
+        g = _wide_app()
+        parts = single_partition(g)
+        assert len(parts) == 1
+        _partition_cover_ok(g, parts)

@@ -1,0 +1,95 @@
+"""Tests for the PEE facade and the C1/C2 regression."""
+
+import pytest
+
+from repro.graph.builder import linear_pipeline_graph
+from repro.gpu.simulator import KernelSimulator, SimCosts
+from repro.gpu.specs import C2070, M2090
+from repro.perf.engine import PerformanceEstimationEngine
+from repro.perf.model import ModelParams
+from repro.perf.regression import fit_transfer_constants
+
+
+def _engine(rate=32, stages=4, work=60.0, spec=M2090):
+    g = linear_pipeline_graph("eng", stages=stages, rate=rate, work=work)
+    return PerformanceEstimationEngine(g, spec=spec)
+
+
+class TestEngine:
+    def test_estimates_are_cached(self):
+        eng = _engine()
+        members = [n.node_id for n in eng.graph.nodes]
+        first = eng.estimate(members)
+        second = eng.estimate(members)
+        assert first is second
+        assert eng.cache_size == 1
+
+    def test_t_shorthand(self):
+        eng = _engine()
+        members = [n.node_id for n in eng.graph.nodes]
+        assert eng.t(members) == eng.estimate(members).t
+
+    def test_subset_estimates_differ(self):
+        # compute-bound workload so T depends on which filters are inside
+        eng = _engine(work=5000.0)
+        all_ids = [n.node_id for n in eng.graph.nodes]
+        assert eng.t(all_ids) != eng.t(all_ids[:2])
+
+    def test_measure_uses_selected_parameters(self):
+        eng = _engine()
+        members = [n.node_id for n in eng.graph.nodes]
+        pe = eng.estimate(members)
+        measurement = eng.measure(members)
+        assert measurement.config == pe.config
+
+    def test_prediction_close_to_measurement(self):
+        """The Figure 4.1 property, single data point: prediction within
+        ~25% of the simulated measurement for a well-formed partition."""
+        eng = _engine()
+        members = [n.node_id for n in eng.graph.nodes]
+        predicted = eng.t(members)
+        measured = eng.measure(members).per_execution
+        assert predicted == pytest.approx(measured, rel=0.25)
+
+    def test_mismatched_simulator_spec_rejected(self):
+        g = linear_pipeline_graph("mismatch", stages=2)
+        with pytest.raises(ValueError):
+            PerformanceEstimationEngine(
+                g, spec=M2090, simulator=KernelSimulator(C2070)
+            )
+
+    def test_empty_estimate_rejected(self):
+        eng = _engine()
+        with pytest.raises(ValueError):
+            eng.estimate([])
+
+
+class TestRegression:
+    def test_recovers_simulator_constants(self):
+        report = fit_transfer_constants(M2090)
+        assert report.c1 == pytest.approx(38.4, rel=0.15)
+        assert report.c2 == pytest.approx(11.2, rel=0.6)
+        assert report.r_squared > 0.95
+
+    def test_noise_free_fit_is_exact(self):
+        costs = SimCosts(
+            dt_noise=0.0, compute_noise=0.0, conflict_probability=0.0,
+            background_conflict=0.0, instruction_mix_spread=0.0,
+        )
+        sim = KernelSimulator(M2090, costs=costs)
+        report = fit_transfer_constants(M2090, simulator=sim)
+        assert report.c1 == pytest.approx(38.4, rel=0.02)
+        assert report.c2 == pytest.approx(11.2, rel=0.05)
+        assert report.r_squared > 0.999
+
+    def test_c2070_fit_rescales_to_reference(self):
+        report = fit_transfer_constants(C2070)
+        # constants are expressed in the M2090 reference frame, so the
+        # fit should land near the same values
+        assert report.c1 == pytest.approx(38.4, rel=0.2)
+
+    def test_as_params(self):
+        report = fit_transfer_constants(M2090)
+        params = report.as_params(ModelParams(spill_ns_per_elem=99.0))
+        assert params.c1 == report.c1
+        assert params.spill_ns_per_elem == 99.0

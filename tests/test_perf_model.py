@@ -1,0 +1,158 @@
+"""Tests for the analytic performance model and parameter search."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, linear_pipeline_graph
+from repro.graph.filters import FilterRole
+from repro.gpu.kernel import KernelConfig
+from repro.gpu.memory import partition_memory
+from repro.gpu.simulator import KernelSimulator
+from repro.gpu.specs import C2070, M2090
+from repro.perf.model import Estimate, ModelParams, compute_time, estimate_kernel
+from repro.perf.params import candidate_s, candidate_w, optimize_kernel_params
+from repro.perf.profiling import profile_graph
+
+
+def _graph(rate=32, stages=3, work=40.0):
+    return linear_pipeline_graph("perf", stages=stages, rate=rate, work=work)
+
+
+def _fixture(rate=32, stages=3, work=40.0, spec=M2090):
+    g = _graph(rate, stages, work)
+    sim = KernelSimulator(spec)
+    prof = profile_graph(g, sim)
+    members = [n.node_id for n in g.nodes]
+    mem = partition_memory(g, members)
+    return g, prof, members, mem
+
+
+class TestComputeTime:
+    def test_single_thread_sums_profile(self):
+        g, prof, members, _ = _fixture()
+        total = compute_time(g, members, prof, s=1)
+        expected = sum(prof[nid] * g.nodes[nid].firing for nid in members)
+        assert total == pytest.approx(expected)
+
+    def test_s_divides_by_min_firing(self):
+        # filter fires 8x: S=4 quarters its time, S=16 caps at 8
+        b = GraphBuilder("fires")
+        src = b.filter("s", pop=0, push=8, role=FilterRole.SOURCE)
+        f = b.filter("f", pop=1, push=1, work=80.0)
+        t = b.filter("t", pop=8, push=0, role=FilterRole.SINK)
+        b.connect(src, f, src_push=8)
+        b.connect(f, t, src_push=1, dst_pop=8)
+        g = b.build()
+        sim = KernelSimulator(M2090)
+        prof = profile_graph(g, sim)
+        fid = g.node_by_name("f").node_id
+        t1 = compute_time(g, [fid], prof, s=1)
+        t4 = compute_time(g, [fid], prof, s=4)
+        t16 = compute_time(g, [fid], prof, s=16)
+        assert t4 == pytest.approx(t1 / 4)
+        assert t16 == pytest.approx(t1 / 8)  # min(f_i, S) = 8
+
+    def test_stateful_filters_ignore_s(self):
+        b = GraphBuilder("state")
+        src = b.filter("s", pop=0, push=8, role=FilterRole.SOURCE)
+        f = b.filter("f", pop=1, push=1, work=80.0, stateful=True)
+        t = b.filter("t", pop=8, push=0, role=FilterRole.SINK)
+        b.connect(src, f, src_push=8)
+        b.connect(f, t, src_push=1, dst_pop=8)
+        g = b.build()
+        prof = profile_graph(g, KernelSimulator(M2090))
+        fid = g.node_by_name("f").node_id
+        assert compute_time(g, [fid], prof, s=8) == pytest.approx(
+            compute_time(g, [fid], prof, s=1)
+        )
+
+
+class TestEstimateKernel:
+    def test_components_follow_formulas(self):
+        g, prof, members, mem = _fixture()
+        params = ModelParams()
+        cfg = KernelConfig(2, 4, 64)
+        est = estimate_kernel(g, members, prof, cfg, mem, params)
+        d = cfg.w * (mem.io_bytes // g.elem_bytes)
+        assert est.t_dt == pytest.approx(params.c1 * d / cfg.f)
+        assert est.t_db == pytest.approx(params.c2 * d / cfg.total_threads)
+        assert est.t_exec == pytest.approx(
+            max(est.t_comp, est.t_dt) + est.t_db
+        )
+        assert est.per_execution == pytest.approx(est.t_exec / cfg.w)
+
+    def test_c_constants_rescale_with_bandwidth(self):
+        g, prof, members, mem = _fixture(spec=C2070)
+        cfg = KernelConfig(1, 1, 32)
+        m2090 = estimate_kernel(g, members, prof, cfg, mem, ModelParams(), spec=M2090)
+        c2070 = estimate_kernel(g, members, prof, cfg, mem, ModelParams(), spec=C2070)
+        assert c2070.t_dt > m2090.t_dt  # less bandwidth, slower transfers
+
+    def test_spill_term(self):
+        g, prof, members, mem = _fixture()
+        cfg = KernelConfig(1, 2, 32)
+        none = estimate_kernel(g, members, prof, cfg, mem, ModelParams())
+        spilled = estimate_kernel(
+            g, members, prof, cfg, mem, ModelParams(), spilled_bytes=4000
+        )
+        assert spilled.t_exec > none.t_exec
+
+    def test_boundedness_classification(self):
+        g, prof, members, mem = _fixture(work=4000.0)
+        cfg = KernelConfig(1, 1, 256)
+        est = estimate_kernel(g, members, prof, cfg, mem, ModelParams())
+        assert est.is_compute_bound
+        g2, prof2, members2, mem2 = _fixture(rate=512, work=0.0)
+        est2 = estimate_kernel(
+            g2, members2, prof2, KernelConfig(1, 1, 32), mem2, ModelParams()
+        )
+        assert not est2.is_compute_bound
+
+
+class TestCandidates:
+    def test_candidate_s_powers_of_two(self):
+        g, _, members, _ = _fixture(rate=32)
+        # stages fire once (rate matches), so S candidates collapse to [1]
+        assert candidate_s(g, members, 1024) == [1]
+
+    def test_candidate_w_respects_smem(self):
+        g, _, members, mem = _fixture(rate=16)
+        values, spilled = candidate_w(mem, M2090)
+        assert spilled == 0
+        assert all(mem.smem_for(w) <= M2090.shared_mem_bytes for w in values)
+        assert values[-1] == mem.max_executions(M2090.shared_mem_bytes)
+
+    def test_candidate_w_spill_mode(self):
+        g, _, members, mem = _fixture(rate=8192, stages=4)
+        values, spilled = candidate_w(mem, M2090)
+        assert values == [1]
+        assert spilled > 0
+
+
+class TestOptimizeParams:
+    def test_result_is_feasible(self):
+        g, prof, members, mem = _fixture()
+        cfg, est, spilled = optimize_kernel_params(g, members, prof)
+        assert cfg.total_threads <= M2090.max_threads_per_block
+        assert mem.smem_for(cfg.w) <= M2090.shared_mem_bytes
+        assert spilled == 0
+
+    def test_optimum_not_worse_than_default(self):
+        g, prof, members, _ = _fixture()
+        cfg, est, _ = optimize_kernel_params(g, members, prof)
+        base = estimate_kernel(
+            g, members, prof, KernelConfig(1, 1, 32),
+            partition_memory(g, members), ModelParams(),
+        )
+        assert est.per_execution <= base.per_execution + 1e-9
+
+    def test_io_heavy_partitions_get_more_dt_threads(self):
+        g1, prof1, m1, _ = _fixture(rate=512, work=0.5)
+        io_cfg, _, _ = optimize_kernel_params(g1, m1, prof1)
+        g2, prof2, m2, _ = _fixture(rate=8, work=4000.0)
+        comp_cfg, _, _ = optimize_kernel_params(g2, m2, prof2)
+        assert io_cfg.f >= comp_cfg.f
+
+    def test_empty_partition_rejected(self):
+        g, prof, _, _ = _fixture()
+        with pytest.raises(ValueError):
+            optimize_kernel_params(g, [], prof)

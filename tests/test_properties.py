@@ -1,0 +1,242 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.filters import FilterRole, FilterSpec
+from repro.graph.flatten import flatten
+from repro.graph.scheduling import steady_state_is_consistent
+from repro.graph.structure import (
+    duplicate,
+    join_roundrobin,
+    pipeline,
+    roundrobin,
+    splitjoin,
+)
+from repro.gpu.functional import FunctionalVM
+from repro.gpu.kernel import KernelConfig
+from repro.gpu.memory import partition_memory
+from repro.gpu.simulator import KernelSimulator, SimCosts
+from repro.gpu.specs import M2090
+from repro.gpu.topology import default_topology
+from repro.mapping.problem import MappingProblem
+from repro.metrics.stats import geometric_mean, r_squared
+from repro.partition.convexity import ConvexityOracle
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+rates = st.integers(min_value=1, max_value=16)
+
+
+@st.composite
+def chain_graphs(draw):
+    """A source -> k filters -> sink chain with arbitrary matched rates."""
+    k = draw(st.integers(min_value=1, max_value=5))
+    builder = GraphBuilder("chain")
+    first_rate = draw(rates)
+    src = builder.filter("src", pop=0, push=first_rate,
+                         role=FilterRole.SOURCE, semantics="source")
+    prev, prev_rate = src, first_rate
+    for i in range(k):
+        pop = draw(rates)
+        push = draw(rates)
+        nid = builder.filter(f"f{i}", pop=pop, push=push,
+                             work=float(draw(st.integers(1, 200))))
+        builder.connect(prev, nid)
+        prev, prev_rate = nid, push
+    snk = builder.filter("snk", pop=draw(rates), push=0,
+                         role=FilterRole.SINK, semantics="sink")
+    builder.connect(prev, snk)
+    return builder.build()
+
+
+@st.composite
+def splitjoin_graphs(draw):
+    """source -> split-join -> sink with matched branch rates."""
+    branches = draw(st.integers(min_value=1, max_value=4))
+    weight = draw(st.integers(min_value=1, max_value=8))
+    kind = draw(st.sampled_from(["dup", "rr"]))
+    branch_nodes = [
+        FilterSpec(name=f"b{i}", pop=weight, push=weight,
+                   work=float(draw(st.integers(1, 100))))
+        for i in range(branches)
+    ]
+    split = (
+        duplicate(weight, branches)
+        if kind == "dup"
+        else roundrobin(*([weight] * branches))
+    )
+    sj = splitjoin(split, branch_nodes, join_roundrobin(*([weight] * branches)))
+    total_out = weight * branches
+    root = pipeline(
+        FilterSpec(name="src", pop=0, push=split.pop_per_firing,
+                   role=FilterRole.SOURCE, semantics="source"),
+        sj,
+        FilterSpec(name="snk", pop=total_out, push=0, role=FilterRole.SINK,
+                   semantics="sink"),
+    )
+    return flatten(root, "sjprop")
+
+
+# ----------------------------------------------------------------------
+# steady-state properties
+# ----------------------------------------------------------------------
+@given(chain_graphs())
+@settings(max_examples=60, deadline=None)
+def test_repetition_vector_balances_every_channel(graph):
+    assert steady_state_is_consistent(graph)
+
+
+@given(chain_graphs())
+@settings(max_examples=60, deadline=None)
+def test_firings_are_minimal(graph):
+    gcd = 0
+    for node in graph.nodes:
+        gcd = math.gcd(gcd, node.firing)
+    assert gcd == 1
+
+
+@given(splitjoin_graphs())
+@settings(max_examples=40, deadline=None)
+def test_splitjoin_graphs_are_consistent(graph):
+    assert steady_state_is_consistent(graph)
+    assert graph.is_dag()
+
+
+# ----------------------------------------------------------------------
+# memory-model properties
+# ----------------------------------------------------------------------
+@given(chain_graphs())
+@settings(max_examples=40, deadline=None)
+def test_liveness_never_exceeds_static(graph):
+    members = [n.node_id for n in graph.nodes]
+    live = partition_memory(graph, members, policy="liveness")
+    static = partition_memory(graph, members, policy="static")
+    assert live.working_set <= static.working_set
+    assert live.io_bytes == static.io_bytes
+
+
+@given(chain_graphs(), st.integers(min_value=1, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_smem_monotone_in_w(graph, w):
+    mem = partition_memory(graph)
+    assert mem.smem_for(w + 1) >= mem.smem_for(w)
+
+
+@given(splitjoin_graphs())
+@settings(max_examples=30, deadline=None)
+def test_subset_io_at_least_graph_io(graph):
+    # any node subset's boundary traffic >= 0 and the full set's boundary
+    # equals primary I/O
+    inp, out = graph.io_elems()
+    mem = partition_memory(graph)
+    assert mem.io_in_traffic == inp * graph.elem_bytes
+    assert mem.io_out_traffic == out * graph.elem_bytes
+
+
+# ----------------------------------------------------------------------
+# simulator properties
+# ----------------------------------------------------------------------
+@given(
+    chain_graphs(),
+    st.integers(min_value=1, max_value=8),
+    st.sampled_from([32, 64, 128]),
+)
+@settings(max_examples=30, deadline=None)
+def test_simulator_deterministic_and_positive(graph, w, f):
+    sim = KernelSimulator(M2090)
+    members = [n.node_id for n in graph.nodes]
+    cfg = KernelConfig(1, w, f)
+    a = sim.measure(graph, members, cfg)
+    b = sim.measure(graph, members, cfg)
+    assert a.t_exec == b.t_exec
+    assert a.t_exec > 0
+
+
+@given(chain_graphs())
+@settings(max_examples=30, deadline=None)
+def test_more_transfer_threads_never_slow_dt(graph):
+    sim = KernelSimulator(M2090, costs=SimCosts(dt_noise=0.0))
+    members = [n.node_id for n in graph.nodes]
+    t32 = sim.measure(graph, members, KernelConfig(1, 1, 32)).t_dt
+    t128 = sim.measure(graph, members, KernelConfig(1, 1, 128)).t_dt
+    assert t128 <= t32 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# convexity properties
+# ----------------------------------------------------------------------
+@given(chain_graphs(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_chain_convexity_iff_contiguous(graph, data):
+    order = graph.topological_order()
+    oracle = ConvexityOracle(graph)
+    start = data.draw(st.integers(0, len(order) - 1))
+    end = data.draw(st.integers(start, len(order) - 1))
+    members = order[start : end + 1]
+    assert oracle.is_convex(oracle.mask_of(members))
+
+
+@given(splitjoin_graphs())
+@settings(max_examples=30, deadline=None)
+def test_singletons_always_convex(graph):
+    oracle = ConvexityOracle(graph)
+    for node in graph.nodes:
+        assert oracle.is_convex(1 << node.node_id)
+
+
+# ----------------------------------------------------------------------
+# mapping-evaluator properties
+# ----------------------------------------------------------------------
+@given(
+    st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=8),
+    st.integers(min_value=1, max_value=4),
+    st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_tmax_at_least_balance_bound(times, gpus, data):
+    problem = MappingProblem(
+        times=list(times),
+        edges={},
+        host_io=[(0.0, 0.0)] * len(times),
+        topology=default_topology(gpus),
+    )
+    assignment = [
+        data.draw(st.integers(0, gpus - 1)) for _ in times
+    ]
+    tmax = problem.tmax(assignment)
+    assert tmax >= sum(times) / gpus - 1e-6
+    assert tmax >= max(times) - 1e-6
+
+
+# ----------------------------------------------------------------------
+# VM properties
+# ----------------------------------------------------------------------
+@given(splitjoin_graphs(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=20, deadline=None)
+def test_vm_output_volume_matches_rates(graph, iterations):
+    vm = FunctionalVM(graph)
+    outputs = vm.run(iterations)
+    snk = graph.node_by_name("snk")
+    expected = snk.firing * snk.spec.pop * iterations
+    assert len(outputs.get("snk", [])) == expected
+
+
+# ----------------------------------------------------------------------
+# statistics properties
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=0.1, max_value=1e3), min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_geomean_bounded_by_extremes(values):
+    gm = geometric_mean(values)
+    assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+
+@given(st.lists(st.floats(min_value=1.0, max_value=1e3), min_size=2, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_r_squared_of_exact_prediction_is_one(values):
+    assert r_squared(values, list(values)) == 1.0

@@ -1,0 +1,136 @@
+"""Tests for mapping refinement and the Gantt renderer."""
+
+import itertools
+
+import pytest
+
+from repro.apps.registry import build_app
+from repro.flow import map_stream_graph
+from repro.gpu.specs import LinkSpec
+from repro.gpu.topology import default_topology
+from repro.mapping.greedy import round_robin_mapping
+from repro.mapping.problem import MappingProblem
+from repro.mapping.refine import refine_mapping
+from repro.runtime.gantt import gpu_rows_only, render_gantt
+from repro.runtime.trace import TraceEvent, record_trace
+
+
+def _problem(times, edges=None, gpus=2):
+    return MappingProblem(
+        times=list(times),
+        edges=dict(edges or {}),
+        host_io=[(0.0, 0.0)] * len(times),
+        topology=default_topology(gpus, LinkSpec(6.0, 10_000.0)),
+    )
+
+
+class TestRefine:
+    def test_improves_bad_assignment(self):
+        p = _problem([10.0, 10.0, 10.0, 10.0], gpus=2)
+        bad = [0, 0, 0, 0]
+        refined = refine_mapping(p, bad)
+        assert refined.tmax < p.tmax(bad)
+        assert refined.tmax == pytest.approx(20.0)
+
+    def test_reaches_optimum_on_balance_instance(self):
+        times = [9.0, 7.0, 5.0, 3.0, 1.0]
+        p = _problem(times, gpus=2)
+        best = min(
+            p.tmax(a) for a in itertools.product(range(2), repeat=5)
+        )
+        refined = refine_mapping(p, [0] * 5)
+        assert refined.tmax == pytest.approx(best, rel=1e-6)
+
+    def test_local_optima_exist_with_chatty_edges(self):
+        """Documenting the limitation: pairwise-coupled partitions can
+        trap first-improvement search — refinement never regresses, but
+        it is not exact (that is the ILP's job)."""
+        times = [9.0, 7.0, 5.0, 3.0, 1.0]
+        edges = {(0, 1): 60_000.0, (2, 3): 90_000.0}
+        p = _problem(times, edges, gpus=2)
+        start = [0] * 5
+        refined = refine_mapping(p, start)
+        best = min(
+            p.tmax(a) for a in itertools.product(range(2), repeat=5)
+        )
+        assert best <= refined.tmax <= p.tmax(start)
+
+    def test_leaves_optimum_alone(self):
+        p = _problem([10.0, 10.0], gpus=2)
+        refined = refine_mapping(p, [0, 1])
+        assert refined.tmax == pytest.approx(10.0)
+        steps = dict(refined.solve_stats)["refine_steps"]
+        assert steps == 0
+
+    def test_swap_needed_case(self):
+        # comm structure where only a swap (not a single move) helps:
+        # two chatty pairs placed crosswise
+        times = [10.0, 10.0, 10.0, 10.0]
+        edges = {(0, 1): 600_000.0, (2, 3): 600_000.0}
+        p = _problem(times, edges, gpus=2)
+        crosswise = [0, 1, 1, 0]
+        refined = refine_mapping(p, crosswise)
+        assert refined.tmax <= p.tmax(crosswise)
+        # pairs should end colocated
+        assert refined.assignment[0] == refined.assignment[1]
+        assert refined.assignment[2] == refined.assignment[3]
+
+    def test_refines_real_mapping(self):
+        graph = build_app("DCT", 14)
+        flow = map_stream_graph(graph, num_gpus=4, mapper="roundrobin")
+        from repro.mapping.problem import build_mapping_problem
+
+        problem = build_mapping_problem(flow.pdg, 4)
+        refined = refine_mapping(problem, flow.mapping.assignment)
+        assert refined.tmax <= flow.mapping.tmax + 1e-6
+
+    def test_length_validation(self):
+        p = _problem([1.0, 2.0], gpus=2)
+        with pytest.raises(ValueError):
+            refine_mapping(p, [0])
+
+
+class TestGantt:
+    def _events(self):
+        flow = map_stream_graph(build_app("FFT", 32), num_gpus=2)
+        _, events = record_trace(
+            flow.pdg, flow.mapping.assignment, default_topology(2),
+            flow.engine.simulator, flow.measurements,
+        )
+        return events
+
+    def test_renders_rows_per_resource(self):
+        events = self._events()
+        art = render_gantt(events, width=80)
+        assert "gpu0" in art and "|" in art
+        lines = art.splitlines()
+        assert all(len(line) > 0 for line in lines)
+
+    def test_kernel_cells_show_fragments(self):
+        events = self._events()
+        art = render_gantt(events, width=120, kinds=("kernel",))
+        digits = set("0123456789")
+        assert any(c in digits for line in art.splitlines() for c in line)
+
+    def test_empty_events(self):
+        assert render_gantt([]) == "(no events)"
+
+    def test_horizon_clipping(self):
+        events = self._events()
+        horizon = max(e.end_ns for e in events) / 4
+        art = render_gantt(events, width=40, until_ns=horizon)
+        assert f"{horizon:.0f} ns" in art
+
+    def test_gpu_rows_only_filter(self):
+        events = self._events()
+        kernels = gpu_rows_only(events)
+        assert kernels and all(e.kind == "kernel" for e in kernels)
+
+    def test_manual_events(self):
+        events = [
+            TraceEvent("kernel", "gpu0", "P0", 0.0, 50.0, 0),
+            TraceEvent("kernel", "gpu0", "P0", 50.0, 100.0, 1),
+            TraceEvent("transfer", "gpu0->sw1", "P0->P1", 50.0, 80.0, 0),
+        ]
+        art = render_gantt(events, width=10)
+        assert "gpu0" in art and "#" in art

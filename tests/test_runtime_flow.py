@@ -1,0 +1,175 @@
+"""Tests for the pipelined executor and the end-to-end flow facade."""
+
+import pytest
+
+from repro.flow import map_stream_graph
+from repro.graph.builder import linear_pipeline_graph
+from repro.graph.filters import FilterSpec, sink, source
+from repro.graph.flatten import flatten
+from repro.graph.structure import duplicate, join_roundrobin, pipeline, splitjoin
+from repro.gpu.simulator import KernelSimulator
+from repro.gpu.specs import M2090
+from repro.gpu.topology import default_topology
+from repro.partition.pdg import build_pdg
+from repro.perf.engine import PerformanceEstimationEngine
+from repro.runtime.executor import PipelinedExecutor, measure_partitions
+from repro.runtime.fragments import FragmentPlan
+from repro.runtime.throughput import speedup, utilization
+
+
+def _f(name, pop, push, **kw):
+    return FilterSpec(name=name, pop=pop, push=push, **kw)
+
+
+def _app(branches=4, rate=32, work=2000.0, depth=2):
+    branch_nodes = [
+        pipeline(*[_f(f"b{b}s{d}", rate, rate, work=work) for d in range(depth)])
+        for b in range(branches)
+    ]
+    sj = splitjoin(
+        duplicate(rate, branches), branch_nodes,
+        join_roundrobin(*([rate] * branches)),
+    )
+    return flatten(
+        pipeline(source("src", rate), sj, sink("snk", rate * branches)), "rt-app"
+    )
+
+
+def _pdg_fixture(num_parts=3, work=2000.0):
+    g = linear_pipeline_graph("chain", stages=6, rate=16, work=work)
+    engine = PerformanceEstimationEngine(g)
+    order = g.topological_order()
+    chunk = len(order) // num_parts
+    partitions = [
+        frozenset(order[i * chunk : (i + 1) * chunk if i < num_parts - 1 else None])
+        for i in range(num_parts)
+    ]
+    pdg = build_pdg(g, partitions, engine)
+    return g, engine, pdg
+
+
+class TestFragmentPlan:
+    def test_totals(self):
+        plan = FragmentPlan(8, 64)
+        assert plan.total_executions == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FragmentPlan(0, 1)
+        with pytest.raises(ValueError):
+            FragmentPlan(1, 0)
+
+
+class TestExecutor:
+    def _executor(self, gpus, assignment=None, pdg_parts=3):
+        g, engine, pdg = _pdg_fixture(pdg_parts)
+        topo = default_topology(gpus)
+        sim = engine.simulator
+        ms = measure_partitions(pdg, sim, engine)
+        assignment = assignment or [0] * len(pdg)
+        return PipelinedExecutor(pdg, assignment, topo, sim, ms), pdg
+
+    def test_single_gpu_serializes_kernels(self):
+        ex, pdg = self._executor(1)
+        plan = FragmentPlan(4, 128)
+        report = ex.run(plan)
+        # with everything on one GPU, busy time ~= sum of kernel times
+        assert report.gpu_busy_ns[0] <= report.makespan_ns
+
+    def test_more_fragments_longer_makespan(self):
+        ex, _ = self._executor(1)
+        short = ex.run(FragmentPlan(2, 128))
+        long = ex.run(FragmentPlan(8, 128))
+        assert long.makespan_ns > short.makespan_ns
+
+    def test_pipelining_beats_serial_scaling(self):
+        """Doubling fragments must far less than double the makespan once
+        the pipeline is full (overlap across GPUs)."""
+        ex, pdg = self._executor(3, assignment=[0, 1, 2])
+        a = ex.run(FragmentPlan(4, 128))
+        b = ex.run(FragmentPlan(8, 128))
+        assert b.makespan_ns < 2.0 * a.makespan_ns
+
+    def test_throughput_and_beat(self):
+        ex, _ = self._executor(2, assignment=[0, 0, 1])
+        report = ex.run(FragmentPlan(8, 128))
+        assert report.throughput > 0
+        assert report.beat_ns <= report.makespan_ns
+        assert report.pipeline_fill_ns <= report.makespan_ns
+
+    def test_validation(self):
+        g, engine, pdg = _pdg_fixture(3)
+        topo = default_topology(2)
+        ms = measure_partitions(pdg, engine.simulator, engine)
+        with pytest.raises(ValueError):
+            PipelinedExecutor(pdg, [0] * (len(pdg) - 1), topo, engine.simulator, ms)
+        with pytest.raises(ValueError):
+            PipelinedExecutor(pdg, [0, 0, 5], topo, engine.simulator, ms)
+        with pytest.raises(ValueError):
+            PipelinedExecutor(pdg, [0] * len(pdg), topo, engine.simulator, ms[:-1])
+
+    def test_via_host_slower_than_p2p(self):
+        g, engine, pdg = _pdg_fixture(3, work=50.0)
+        topo = default_topology(2)
+        ms = measure_partitions(pdg, engine.simulator, engine)
+        p2p = PipelinedExecutor(pdg, [0, 1, 0], topo, engine.simulator, ms,
+                                peer_to_peer=True).run(FragmentPlan(8, 128))
+        hosted = PipelinedExecutor(pdg, [0, 1, 0], topo, engine.simulator, ms,
+                                   peer_to_peer=False).run(FragmentPlan(8, 128))
+        assert hosted.makespan_ns >= p2p.makespan_ns
+
+    def test_utilization_bounds(self):
+        ex, _ = self._executor(2, assignment=[0, 1, 0])
+        report = ex.run(FragmentPlan(4, 128))
+        for gpu in range(2):
+            assert 0.0 <= utilization(report, gpu) <= 1.0
+
+
+class TestFlow:
+    def test_end_to_end_ours(self):
+        g = _app()
+        result = map_stream_graph(g, num_gpus=2)
+        assert result.num_partitions >= 1
+        assert result.throughput > 0
+        assert len(result.mapping.assignment) == result.num_partitions
+
+    def test_multi_gpu_helps_compute_bound(self):
+        g = _app(branches=4, rate=16, work=20_000.0, depth=3)
+        engine = PerformanceEstimationEngine(g)
+        one = map_stream_graph(g, num_gpus=1, engine=engine)
+        four = map_stream_graph(g, num_gpus=4, engine=engine)
+        assert speedup(four.report, one.report) > 1.5
+
+    def test_partitioner_strategies(self):
+        g = _app()
+        single = map_stream_graph(g, num_gpus=1, partitioner="single")
+        assert single.num_partitions == 1
+        prev = map_stream_graph(g, num_gpus=1, partitioner="previous")
+        assert prev.num_partitions >= 1
+
+    def test_mapper_strategies(self):
+        g = _app(work=8000.0)
+        for mapper in ("ilp", "ilp-nocomm", "lpt", "roundrobin"):
+            result = map_stream_graph(g, num_gpus=2, mapper=mapper)
+            assert result.report.makespan_ns > 0
+
+    def test_ilp_not_worse_than_lpt_on_tmax(self):
+        g = _app(branches=6, rate=32, work=5000.0, depth=3)
+        engine = PerformanceEstimationEngine(g)
+        ilp = map_stream_graph(g, num_gpus=4, mapper="ilp", engine=engine)
+        lpt = map_stream_graph(g, num_gpus=4, mapper="lpt", engine=engine)
+        assert ilp.mapping.tmax <= lpt.mapping.tmax + 1e-6
+
+    def test_unknown_strategy_rejected(self):
+        g = _app()
+        with pytest.raises(ValueError):
+            map_stream_graph(g, partitioner="magic")
+        with pytest.raises(ValueError):
+            map_stream_graph(g, mapper="magic")
+
+    def test_shared_engine_reuses_profile(self):
+        g = _app()
+        engine = PerformanceEstimationEngine(g)
+        r1 = map_stream_graph(g, num_gpus=1, engine=engine)
+        r2 = map_stream_graph(g, num_gpus=2, engine=engine)
+        assert r1.engine is r2.engine

@@ -1,0 +1,79 @@
+"""Tests for schedule utilities and the compiler report."""
+
+import pytest
+
+from repro.apps.registry import build_app
+from repro.cli import main as cli_main
+from repro.flow import map_stream_graph
+from repro.graph.builder import GraphBuilder, linear_pipeline_graph
+from repro.graph.filters import FilterRole
+from repro.graph.schedule import (
+    executions_for_elements,
+    schedule_string,
+    steady_state_schedule,
+)
+from repro.perf.report import flow_report
+
+
+class TestSchedule:
+    def test_topological_order(self):
+        g = linear_pipeline_graph("s", stages=2, rate=8)
+        names = [name for name, _ in steady_state_schedule(g)]
+        assert names == ["src", "stage0", "stage1", "snk"]
+
+    def test_firing_annotations(self):
+        b = GraphBuilder("fire")
+        src = b.filter("src", pop=0, push=6, role=FilterRole.SOURCE)
+        f = b.filter("f", pop=2, push=2)
+        t = b.filter("t", pop=3, push=0, role=FilterRole.SINK)
+        b.connect(src, f)
+        b.connect(f, t)
+        g = b.build()
+        text = schedule_string(g)
+        assert "3(f)" in text and "2(t)" in text
+
+    def test_subset_schedule(self):
+        g = linear_pipeline_graph("s", stages=3, rate=8)
+        sub = [g.node_by_name("stage1").node_id]
+        assert schedule_string(g, sub) == "stage1"
+
+    def test_executions_for_elements(self):
+        g = linear_pipeline_graph("s", stages=1, rate=8)
+        assert executions_for_elements(g, 8) == 1
+        assert executions_for_elements(g, 9) == 2
+
+    def test_executions_requires_input(self):
+        b = GraphBuilder("noin")
+        s = b.filter("gen", pop=0, push=2, role=FilterRole.SOURCE)
+        t = b.filter("t", pop=2, push=0, role=FilterRole.SINK)
+        b.connect(s, t)
+        g = b.build()
+        # sources still consume host input in our model, so craft a graph
+        # reporting zero input: impossible via builder; monkeypatch io
+        g.primary_input_elems = lambda nid: 0  # type: ignore
+        with pytest.raises(ValueError):
+            executions_for_elements(g, 4)
+
+
+class TestFlowReport:
+    def test_report_covers_all_partitions(self):
+        result = map_stream_graph(build_app("FFT", 32), num_gpus=2)
+        text = flow_report(result)
+        assert f"partitions: {result.num_partitions}" in text
+        for pid in range(result.num_partitions):
+            assert f"P{pid}" in text
+        assert "schedule:" in text
+        assert "throughput" in text
+
+    def test_report_flags_bottleneck(self):
+        result = map_stream_graph(build_app("DCT", 10), num_gpus=2)
+        text = flow_report(result)
+        assert result.mapping.bottleneck in text
+
+    def test_cli_report_flag(self, capsys):
+        assert cli_main(
+            ["--app", "MatMul2", "--n", "2", "--gpus", "2", "--report"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "=== mapping report:" in out
+        assert "schedule:" in out

@@ -1,0 +1,137 @@
+"""Tests for splitter/joiner elimination (Chapter V)."""
+
+import pytest
+
+from repro.apps.registry import build_app
+from repro.graph.filters import FilterRole, FilterSpec, sink, source
+from repro.graph.flatten import flatten
+from repro.graph.structure import (
+    duplicate,
+    join_roundrobin,
+    pipeline,
+    roundrobin,
+    splitjoin,
+)
+from repro.graph.validate import validate_graph
+from repro.gpu.functional import FunctionalVM
+from repro.gpu.memory import partition_memory
+from repro.opt.splitjoin_elim import eliminate_movers
+from repro.perf.engine import PerformanceEstimationEngine
+
+
+def _f(name, pop, push, **kw):
+    return FilterSpec(name=name, pop=pop, push=push, **kw)
+
+
+def _dup_graph():
+    sj = splitjoin(
+        duplicate(4, 2),
+        [_f("a", 4, 4, semantics="identity"),
+         _f("b", 4, 4, semantics="scale", params=(2.0,))],
+        join_roundrobin(4, 4),
+    )
+    return flatten(pipeline(source("s", 4), sj, sink("t", 8)), "dupapp")
+
+
+def _rr_graph():
+    sj = splitjoin(
+        roundrobin(2, 2),
+        [_f("lo", 2, 2, semantics="identity"),
+         _f("hi", 2, 2, semantics="scale", params=(10.0,))],
+        join_roundrobin(2, 2),
+    )
+    return flatten(pipeline(source("s", 4), sj, sink("t", 4)), "rrapp")
+
+
+class TestEliminationStructure:
+    def test_removes_movers(self):
+        g = _dup_graph()
+        out, report = eliminate_movers(g)
+        assert report.splitters_removed == 1
+        assert report.joiners_removed == 1
+        roles = [n.spec.role for n in out.nodes]
+        assert FilterRole.SPLITTER not in roles
+        assert FilterRole.JOINER not in roles
+
+    def test_result_is_valid_graph(self):
+        for g in (_dup_graph(), _rr_graph()):
+            out, _ = eliminate_movers(g)
+            validate_graph(out)
+
+    def test_selective_elimination(self):
+        g = _dup_graph()
+        only_split, rep = eliminate_movers(g, eliminate_joiners=False)
+        assert rep.splitters_removed == 1 and rep.joiners_removed == 0
+        roles = [n.spec.role for n in only_split.nodes]
+        assert FilterRole.JOINER in roles
+
+    def test_alias_groups_assigned(self):
+        g = _dup_graph()
+        out, _ = eliminate_movers(g, eliminate_joiners=False)
+        aliased = [ch for ch in out.channels if ch.alias_group is not None]
+        assert len(aliased) == 2  # both branches read the producer block
+
+    def test_rr_slices_assigned(self):
+        g = _rr_graph()
+        out, _ = eliminate_movers(g, eliminate_joiners=False)
+        sliced = [ch for ch in out.channels if ch.slice_period]
+        assert len(sliced) == 2
+        offsets = sorted(ch.slice_offset for ch in sliced)
+        assert offsets == [0, 2]
+
+    def test_interleave_pattern_recorded(self):
+        g = _rr_graph()
+        out, _ = eliminate_movers(g, eliminate_splitters=False)
+        sinks = [n for n in out.nodes if n.spec.role is FilterRole.SINK]
+        assert sinks[0].meta and "interleave" in sinks[0].meta
+
+
+class TestSemanticEquivalence:
+    """The transform must not change the program's output stream."""
+
+    @pytest.mark.parametrize("builder", [_dup_graph, _rr_graph])
+    def test_small_graphs(self, builder):
+        g = builder()
+        out, report = eliminate_movers(g)
+        assert report.total_removed > 0
+        base = FunctionalVM(g, source_fn=lambda n, i: float(i)).run(4)
+        enhanced = FunctionalVM(out, source_fn=lambda n, i: float(i)).run(4)
+        assert base == enhanced
+
+    @pytest.mark.parametrize("app,n", [("FFT", 16), ("Bitonic", 8)])
+    def test_benchmark_apps(self, app, n):
+        g = build_app(app, n)
+        out, report = eliminate_movers(g)
+        assert report.total_removed > 0
+        base = FunctionalVM(g).run(2)
+        enhanced = FunctionalVM(out).run(2)
+        for key in base:
+            assert base[key] == pytest.approx(enhanced[key])
+
+
+class TestPerformanceEffect:
+    def test_memory_footprint_drops(self):
+        g = build_app("Bitonic", 16)
+        out, _ = eliminate_movers(g)
+        before = partition_memory(g).working_set
+        after = partition_memory(out).working_set
+        assert after < before
+
+    def test_estimated_time_improves(self):
+        """The Table 5.1 effect: the enhanced version's whole-graph
+        estimate beats the original's."""
+        g = build_app("Bitonic", 16)
+        out, _ = eliminate_movers(g)
+        t_base = PerformanceEstimationEngine(g).t(
+            [n.node_id for n in g.nodes]
+        )
+        t_enh = PerformanceEstimationEngine(out).t(
+            [n.node_id for n in out.nodes]
+        )
+        assert t_enh < t_base
+
+    def test_fft_single_mover_pair(self):
+        g = build_app("FFT", 64)
+        out, report = eliminate_movers(g)
+        assert report.splitters_removed == 1
+        assert report.joiners_removed == 1
