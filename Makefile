@@ -1,0 +1,32 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test test-fast bench bench-sweep docs-check experiments clean
+
+## tier-1 verify: the full suite, benchmarks included (see ROADMAP.md)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## unit/property/integration tests only (skips the benchmark harnesses)
+test-fast:
+	$(PYTHON) -m pytest tests -x -q
+
+## the full benchmark suite
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## just the sweep-engine benchmark: serial-uncached vs parallel-cached
+bench-sweep:
+	$(PYTHON) -m pytest benchmarks/test_bench_sweep.py -q
+
+## fail if a public API symbol lacks a docstring / doctest example
+docs-check:
+	$(PYTHON) tools/docs_check.py
+
+## regenerate every paper table/figure (quick sweeps, cached)
+experiments:
+	$(PYTHON) -m repro.experiments all --cache-dir .sweep-cache
+
+clean:
+	rm -rf .sweep-cache .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

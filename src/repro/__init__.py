@@ -13,9 +13,18 @@ Typical entry points::
     result = map_stream_graph(graph, num_gpus=4)
     print(result.mapping.assignment, result.report.throughput)
 
-See :mod:`repro.flow` for the pipeline facade, :mod:`repro.experiments`
-for the paper's tables/figures, and ``repro-map`` / ``repro-experiments``
-for the command-line tools.
+Batched grids run through the sweep engine::
+
+    from repro import StageCache, SweepRunner, SweepSpec
+
+    spec = SweepSpec(cases=[("DES", 16)], gpu_counts=(1, 2, 4))
+    result = SweepRunner(cache=StageCache()).run(spec)
+
+See :mod:`repro.flow` for the pipeline facade and its stages,
+:mod:`repro.sweep` for the sweep engine, :mod:`repro.experiments` for
+the paper's tables/figures, and ``repro-map`` / ``repro sweep`` /
+``repro-experiments`` for the command-line tools.  ``README.md`` has the
+quickstart; ``docs/ARCHITECTURE.md`` walks the whole pipeline.
 """
 
 from repro.apps import build_app
@@ -28,6 +37,7 @@ from repro.graph import (
     FilterSpec,
     StreamGraph,
     flatten,
+    graph_fingerprint,
 )
 from repro.gpu import (
     C2070,
@@ -40,8 +50,14 @@ from repro.gpu import (
 )
 from repro.perf import PerformanceEstimationEngine
 from repro.partition import partition_stream_graph
+from repro.sweep import (
+    StageCache,
+    SweepPoint,
+    SweepRunner,
+    SweepSpec,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "C2070",
@@ -56,12 +72,17 @@ __all__ = [
     "KernelSimulator",
     "M2090",
     "PerformanceEstimationEngine",
+    "StageCache",
     "StreamGraph",
+    "SweepPoint",
+    "SweepRunner",
+    "SweepSpec",
     "__version__",
     "build_app",
     "compile_stream",
     "default_topology",
     "flatten",
+    "graph_fingerprint",
     "map_stream_graph",
     "parse_stream",
     "partition_stream_graph",

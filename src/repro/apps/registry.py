@@ -105,7 +105,16 @@ FIG43_APPS = ("DES", "DCT", "FFT", "MatMul3", "Bitonic")
 
 
 def build_app(name: str, n: int) -> StreamGraph:
-    """Build benchmark ``name`` at size ``n``."""
+    """Build benchmark ``name`` at size ``n``.
+
+    >>> graph = build_app("DES", 4)
+    >>> graph.name, len(graph.nodes) > 10
+    ('des-n4', True)
+    >>> build_app("NoSuchApp", 1)
+    Traceback (most recent call last):
+    ...
+    KeyError: "unknown app 'NoSuchApp'; known: Bitonic, BitonicRec, DCT, DES, FFT, FMRadio, MatMul2, MatMul3"
+    """
     try:
         info = APPS[name]
     except KeyError:

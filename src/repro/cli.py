@@ -1,16 +1,25 @@
-"""Command-line compiler front end.
+"""Command-line front end: single-graph mapping and batched sweeps.
 
-Mirrors how the paper's tool is used: take a stream graph (a bundled
-benchmark or a JSON file), run the mapping flow for a GPU count, and
-report the decisions — optionally emitting the generated CUDA source,
-a Graphviz rendering of the partitioned graph, and a Chrome trace of the
-simulated pipelined execution.
+``repro-map`` (or ``repro map``) mirrors how the paper's tool is used:
+take a stream graph (a bundled benchmark or a JSON file), run the
+mapping flow for a GPU count, and report the decisions — optionally
+emitting the generated CUDA source, a Graphviz rendering of the
+partitioned graph, and a Chrome trace of the simulated pipelined
+execution.
+
+``repro sweep`` runs a whole strategy grid through the sweep engine
+(:mod:`repro.sweep`) with pipeline-stage caching and an optional process
+pool, printing a result table plus cache-hit statistics.
 
 Examples::
 
     repro-map --app DES --n 8 --gpus 4
     repro-map --graph mygraph.json --gpus 2 --mapper lpt --emit-cuda out.cu
     repro-map --app Bitonic --n 32 --gpus 4 --dot parts.dot --trace t.json
+
+    repro sweep --grid ablation --cache-dir .sweep-cache
+    repro sweep --case DES:16 --case DCT:18 --gpus 1,2,4 \\
+                --mappers ilp,lpt --cache-dir .sweep-cache --parallel
 """
 
 from __future__ import annotations
@@ -24,10 +33,8 @@ from repro.flow import MAPPERS, PARTITIONERS, map_stream_graph
 from repro.graph import json_io
 from repro.graph.dot import partition_map, to_dot
 from repro.gpu.codegen import generate_program
-from repro.gpu.specs import C2070, M2090
 from repro.runtime.trace import record_trace, to_chrome_trace
-
-_SPECS = {"M2090": M2090, "C2070": C2070}
+from repro.sweep.runner import SPECS as _SPECS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,7 +74,136 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_case(text: str):
+    try:
+        app, n = text.split(":")
+        return app, int(n)
+    except ValueError:
+        raise SystemExit(
+            f"bad --case {text!r}: expected APP:N (e.g. DES:16)"
+        ) from None
+
+
+def _parse_csv(text: str, convert=str) -> tuple:
+    return tuple(convert(item) for item in text.split(",") if item)
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Run a strategy grid through the cached sweep engine.",
+    )
+    parser.add_argument(
+        "--grid", choices=("ablation",),
+        help="a predefined grid (ablation: the design-ablation points); "
+             "presets fix every axis, so the axis flags below are "
+             "rejected alongside it",
+    )
+    parser.add_argument(
+        "--case", action="append", default=[], metavar="APP:N",
+        help="grid case, repeatable (e.g. --case DES:16 --case DCT:18)",
+    )
+    parser.add_argument("--gpus", default=None,
+                        help="comma-separated GPU counts (default 1,2,4)")
+    parser.add_argument("--partitioners", default=None,
+                        help=f"comma-separated subset of {PARTITIONERS}")
+    parser.add_argument("--mappers", default=None,
+                        help=f"comma-separated subset of {MAPPERS}")
+    parser.add_argument("--p2p", choices=("on", "off", "both"), default=None,
+                        help="peer-to-peer axis (default on)")
+    parser.add_argument("--spec", choices=sorted(_SPECS), default=None)
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="persist stage results here for cross-run reuse")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the stage cache entirely")
+    parser.add_argument("--parallel", action="store_true",
+                        help="fan prefix groups out over a process pool")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: CPU count)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-point progress lines")
+    return parser
+
+
+def sweep_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro sweep``."""
+    from repro.experiments.common import render_table
+    from repro.sweep import StageCache, SweepRunner, SweepSpec
+
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
+
+    axis_flags = [
+        ("--case", args.case), ("--gpus", args.gpus),
+        ("--partitioners", args.partitioners), ("--mappers", args.mappers),
+        ("--p2p", args.p2p), ("--spec", args.spec),
+    ]
+    if args.grid == "ablation":
+        used = [name for name, value in axis_flags if value]
+        if used:
+            parser.error(
+                f"--grid fixes every axis; drop {', '.join(used)}"
+            )
+        from repro.experiments import ablations
+
+        points = ablations.full_grid()
+    else:
+        if not args.case:
+            parser.error("give --grid ablation or at least one --case APP:N")
+        cases = [_parse_case(text) for text in args.case]
+        unknown = sorted({app for app, _ in cases} - set(APPS))
+        if unknown:
+            parser.error(
+                f"unknown app(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(APPS))}"
+            )
+        p2p_axis = {
+            "on": (True,), "off": (False,), "both": (True, False),
+        }[args.p2p or "on"]
+        try:
+            spec = SweepSpec(
+                cases=cases,
+                gpu_counts=_parse_csv(args.gpus or "1,2,4", int),
+                specs=(args.spec or "M2090",),
+                partitioners=_parse_csv(args.partitioners or "ours"),
+                mappers=_parse_csv(args.mappers or "ilp"),
+                peer_to_peer=p2p_axis,
+            )
+            points = spec.expand()
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    cache = None
+    if not args.no_cache:
+        try:
+            cache = StageCache(args.cache_dir)
+        except OSError as exc:
+            parser.error(f"unusable --cache-dir {args.cache_dir!r}: {exc}")
+    runner = SweepRunner(
+        cache=cache,
+        parallel=args.parallel,
+        workers=args.workers,
+        progress=not args.quiet,
+    )
+    result = runner.run(points)
+
+    print(render_table(result.rows()))
+    print()
+    print(f"{len(result)} points in {result.wall_s:.1f}s "
+          f"({len(result) / result.wall_s:.2f} points/s)")
+    if result.cache_stats is not None and result.cache_stats.lookups:
+        print(f"stage cache: {result.cache_stats.render()}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
+    if argv and argv[0] == "map":
+        argv = argv[1:]
     parser = build_parser()
     args = parser.parse_args(argv)
 

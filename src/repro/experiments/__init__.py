@@ -10,7 +10,13 @@ One module per paper artifact:
 * :mod:`repro.experiments.ablations` — design-choice ablations.
 
 Run them via ``python -m repro.experiments <which>`` (``all`` works), with
-``--full`` for the complete paper-scale sweeps.
+``--full`` for the complete paper-scale sweeps and ``--cache-dir`` to
+persist pipeline-stage results across runs.
+
+Every module executes through :class:`repro.sweep.SweepRunner` — pass
+``runner=SweepRunner(cache=StageCache(...))`` to share profile/partition/
+mapping/measurement work across experiments; results are bit-identical
+with or without the cache because every pipeline stage is deterministic.
 """
 
 from repro.experiments.common import ExperimentResult

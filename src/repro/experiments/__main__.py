@@ -3,8 +3,13 @@
 Usage::
 
     python -m repro.experiments fig4.1 [--full]
-    python -m repro.experiments all [--full]
+    python -m repro.experiments all [--full] [--cache-dir .sweep-cache]
     repro-experiments table5.1
+
+``--cache-dir`` persists pipeline-stage results (profile, partition,
+ILP mapping, kernel measurement) across experiments *and* across runs:
+with a warm cache, regenerating a table replays cached stages instead of
+recomputing them, and the run ends with a cache-hit summary.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List
+from typing import List, Optional
 
 from repro.experiments import (
     ablations,
@@ -25,22 +30,29 @@ from repro.experiments import (
     table5_1,
 )
 from repro.experiments.common import ExperimentResult
+from repro.sweep import StageCache, SweepRunner
 
 _RUNNERS = {
-    "fig2.1": lambda quick: [fig2_1.run(quick)],
-    "fig3.2": lambda quick: [fig3_2.run(quick)],
-    "fig4.1": lambda quick: [fig4_1.run(quick)],
-    "fig4.2": lambda quick: [fig4_2.run(quick)],
-    "fig4.3": lambda quick: [fig4_3.run(quick)],
-    "fig4.4": lambda quick: [fig4_4.run(quick)],
-    "table5.1": lambda quick: [table5_1.run(quick)],
-    "ablation.mapping": lambda quick: [ablations.run_mapping(quick)],
-    "ablation.phases": lambda quick: [ablations.run_phases(quick)],
-    "ablation.comm": lambda quick: [ablations.run_comm(quick)],
+    "fig2.1": lambda quick, runner: [fig2_1.run(quick, runner=runner)],
+    "fig3.2": lambda quick, runner: [fig3_2.run(quick, runner=runner)],
+    "fig4.1": lambda quick, runner: [fig4_1.run(quick, runner=runner)],
+    "fig4.2": lambda quick, runner: [fig4_2.run(quick, runner=runner)],
+    "fig4.3": lambda quick, runner: [fig4_3.run(quick, runner=runner)],
+    "fig4.4": lambda quick, runner: [fig4_4.run(quick, runner=runner)],
+    "table5.1": lambda quick, runner: [table5_1.run(quick, runner=runner)],
+    "ablation.mapping": lambda quick, runner: [
+        ablations.run_mapping(quick, runner=runner)
+    ],
+    "ablation.phases": lambda quick, runner: [
+        ablations.run_phases(quick, runner=runner)
+    ],
+    "ablation.comm": lambda quick, runner: [
+        ablations.run_comm(quick, runner=runner)
+    ],
 }
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -55,8 +67,24 @@ def main(argv: List[str] = None) -> int:
         action="store_true",
         help="full paper-scale sweeps (default: 3-point quick sweeps)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist pipeline-stage results here and reuse them across "
+             "experiments and runs",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per executed sweep point to stderr",
+    )
     args = parser.parse_args(argv)
     quick = not args.full
+    try:
+        cache = StageCache(args.cache_dir) if args.cache_dir else StageCache()
+    except OSError as exc:
+        parser.error(f"unusable --cache-dir {args.cache_dir!r}: {exc}")
+    runner = SweepRunner(cache=cache, progress=args.progress)
 
     if args.which == "all":
         names = sorted(_RUNNERS)
@@ -67,11 +95,13 @@ def main(argv: List[str] = None) -> int:
 
     for name in names:
         start = time.time()
-        results: List[ExperimentResult] = _RUNNERS[name](quick)
+        results: List[ExperimentResult] = _RUNNERS[name](quick, runner)
         for result in results:
             print(result.render())
             print(f"[{name} took {time.time() - start:.1f}s]")
             print()
+    if cache.stats().lookups:
+        print(f"[stage cache: {cache.stats().render()}]", file=sys.stderr)
     return 0
 
 

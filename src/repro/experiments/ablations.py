@@ -6,40 +6,66 @@
   merge phases of Section 3.1.2.
 * ``comm``     — the full ILP vs the ILP without link constraints:
   isolates communication-awareness (the paper's core claim).
+
+All three execute through the sweep engine; because each ablation keeps
+the graph and partitioning fixed while varying downstream knobs, the
+stage cache collapses most of the grid into shared prefixes (this file
+is the showcase grid of ``benchmarks/test_bench_sweep.py``).
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List, Optional, Sequence
 
 from repro.apps.registry import build_app
-from repro.experiments.common import ExperimentResult
-from repro.flow import map_stream_graph
+from repro.experiments.common import ExperimentResult, experiment_runner
+from repro.flow import partition_stage, profile_stage
 from repro.metrics.stats import geometric_mean
-from repro.partition.heuristic import partition_stream_graph
-from repro.perf.engine import PerformanceEstimationEngine
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import SweepPoint
 
 #: representative instances: one compute-bound, one wide, one IO-bound
 DEFAULT_CASES = (("DES", 16), ("DCT", 18), ("Bitonic", 32))
+
+#: phase subsets of the partitioning ablation
+PHASE_VARIANTS = {
+    "full": (1, 2, 3, 4),
+    "no-phase4": (1, 2, 3),
+    "no-phase3/4": (1, 2),
+    "phase2-only": (2,),
+}
+
+
+def mapping_grid(
+    cases: Sequence = DEFAULT_CASES, num_gpus: int = 4
+) -> List[SweepPoint]:
+    """The mapping-ablation grid as sweep points."""
+    return [
+        SweepPoint(app=app, n=n, num_gpus=num_gpus, mapper=mapper)
+        for app, n in cases
+        for mapper in ("ilp", "lpt", "roundrobin")
+    ]
 
 
 def run_mapping(
     quick: bool = True,
     cases: Sequence = DEFAULT_CASES,
     num_gpus: int = 4,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Mapping-strategy ablation on fixed partitions."""
+    runner = experiment_runner(runner)
+    sweep = runner.run(mapping_grid(cases, num_gpus), keep_flows=True)
     rows: List[Dict[str, object]] = []
     advantages = []
     for app, n in cases:
-        graph = build_app(app, n)
-        engine = PerformanceEstimationEngine(graph)
-        results = {}
-        for mapper in ("ilp", "lpt", "roundrobin"):
-            flow = map_stream_graph(
-                graph, num_gpus=num_gpus, mapper=mapper, engine=engine
+        results = {
+            mapper: sweep.flow(
+                SweepPoint(app=app, n=n, num_gpus=num_gpus, mapper=mapper)
             )
-            results[mapper] = flow
+            for mapper in ("ilp", "lpt", "roundrobin")
+        }
         row: Dict[str, object] = {"app": app, "N": n}
         ilp_thr = results["ilp"].throughput
         for mapper, flow in results.items():
@@ -57,27 +83,29 @@ def run_mapping(
     )
 
 
+def _phase_row(case, cache=None) -> Dict[str, object]:
+    """One case of the phase ablation (module-level for pool pickling)."""
+    app, n = case
+    graph = build_app(app, n)
+    engine = profile_stage(graph, cache=cache)
+    row: Dict[str, object] = {"app": app, "N": n}
+    for label, phases in PHASE_VARIANTS.items():
+        partitions, partitioning = partition_stage(
+            graph, engine, phases=phases, cache=cache
+        )
+        row[f"{label} P"] = len(partitions)
+        row[f"{label} T(us)"] = partitioning.total_t / 1e3
+    return row
+
+
 def run_phases(
     quick: bool = True,
     cases: Sequence = DEFAULT_CASES,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Partitioning-phase ablation."""
-    variants = {
-        "full": (1, 2, 3, 4),
-        "no-phase4": (1, 2, 3),
-        "no-phase3/4": (1, 2),
-        "phase2-only": (2,),
-    }
-    rows: List[Dict[str, object]] = []
-    for app, n in cases:
-        graph = build_app(app, n)
-        engine = PerformanceEstimationEngine(graph)
-        row: Dict[str, object] = {"app": app, "N": n}
-        for label, phases in variants.items():
-            result = partition_stream_graph(graph, engine=engine, phases=phases)
-            row[f"{label} P"] = len(result)
-            row[f"{label} T(us)"] = result.total_t / 1e3
-        rows.append(row)
+    runner = experiment_runner(runner)
+    rows = runner.map(partial(_phase_row, cache=runner.cache), cases)
     improves = sum(
         1 for row in rows if row["full T(us)"] <= row["phase2-only T(us)"] + 1e-9
     )
@@ -89,22 +117,34 @@ def run_phases(
     )
 
 
+def comm_grid(
+    cases: Sequence = DEFAULT_CASES, num_gpus: int = 4
+) -> List[SweepPoint]:
+    """The communication-awareness grid as sweep points."""
+    return [
+        SweepPoint(app=app, n=n, num_gpus=num_gpus, mapper=mapper)
+        for app, n in cases
+        for mapper in ("ilp", "ilp-nocomm")
+    ]
+
+
 def run_comm(
     quick: bool = True,
     cases: Sequence = DEFAULT_CASES,
     num_gpus: int = 4,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Communication-awareness ablation of the ILP."""
+    runner = experiment_runner(runner)
+    sweep = runner.run(comm_grid(cases, num_gpus), keep_flows=True)
     rows: List[Dict[str, object]] = []
     gains = []
     for app, n in cases:
-        graph = build_app(app, n)
-        engine = PerformanceEstimationEngine(graph)
-        aware = map_stream_graph(
-            graph, num_gpus=num_gpus, mapper="ilp", engine=engine
+        aware = sweep.flow(
+            SweepPoint(app=app, n=n, num_gpus=num_gpus, mapper="ilp")
         )
-        blind = map_stream_graph(
-            graph, num_gpus=num_gpus, mapper="ilp-nocomm", engine=engine
+        blind = sweep.flow(
+            SweepPoint(app=app, n=n, num_gpus=num_gpus, mapper="ilp-nocomm")
         )
         gain = aware.throughput / blind.throughput
         gains.append(gain)
@@ -125,6 +165,25 @@ def run_comm(
     )
 
 
-def run(quick: bool = True) -> List[ExperimentResult]:
+def full_grid(
+    cases: Sequence = DEFAULT_CASES, num_gpus: int = 4
+) -> List[SweepPoint]:
+    """Every flow-level point the ablations touch (the benchmark grid)."""
+    points = mapping_grid(cases, num_gpus)
+    seen = set(points)
+    for point in comm_grid(cases, num_gpus):
+        if point not in seen:
+            points.append(point)
+            seen.add(point)
+    return points
+
+
+def run(
+    quick: bool = True, runner: Optional[SweepRunner] = None
+) -> List[ExperimentResult]:
     """All ablations."""
-    return [run_mapping(quick), run_phases(quick), run_comm(quick)]
+    return [
+        run_mapping(quick, runner=runner),
+        run_phases(quick, runner=runner),
+        run_comm(quick, runner=runner),
+    ]

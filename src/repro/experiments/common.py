@@ -1,4 +1,15 @@
-"""Shared experiment infrastructure: result records and table rendering."""
+"""Shared experiment infrastructure: result records, table rendering,
+and the bridge onto the sweep engine.
+
+Every experiment module accepts an optional
+:class:`~repro.sweep.runner.SweepRunner` and routes its pipeline
+invocations through it (:func:`experiment_runner` supplies the default).
+That makes the runner's stage cache — and, for map-style experiments,
+its process pool — available to the whole reproduction with one
+argument, without changing a single reported number: the pipeline stages
+are deterministic (see the time-limit caveat in
+:mod:`repro.sweep.runner`), so cached runs replay the same results.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.registry import APPS
+from repro.sweep.runner import SweepRunner
 
 
 @dataclass
@@ -79,3 +91,15 @@ def sweep_n_values(app: str, quick: bool) -> Tuple[int, ...]:
 def gpu_counts(quick: bool) -> Tuple[int, ...]:
     """GPU counts to evaluate."""
     return (1, 2, 4) if quick else (1, 2, 3, 4)
+
+
+def experiment_runner(runner: Optional[SweepRunner] = None) -> SweepRunner:
+    """The runner an experiment should execute through.
+
+    Experiments assemble their tables from full
+    :class:`~repro.flow.FlowResult` objects, which only a serial run
+    retains (``keep_flows=True``), so the default is a plain serial
+    runner; callers pass a cached runner to share pipeline prefixes
+    across experiments (see ``python -m repro.experiments --cache-dir``).
+    """
+    return runner if runner is not None else SweepRunner()

@@ -13,11 +13,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.apps.registry import build_app
-from repro.experiments.common import ExperimentResult
-from repro.flow import map_stream_graph
+from repro.experiments.common import ExperimentResult, experiment_runner
 from repro.metrics.stats import geometric_mean
-from repro.perf.engine import PerformanceEstimationEngine
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import SweepPoint
 
 #: (app, small N, large N)
 DEFAULT_CASES = (
@@ -27,21 +26,38 @@ DEFAULT_CASES = (
 )
 
 
-def run(quick: bool = True, cases: Sequence = DEFAULT_CASES) -> ExperimentResult:
+def grid(cases: Sequence = DEFAULT_CASES) -> List[SweepPoint]:
+    """The Figure 2.1 grid: three partitioners per (app, N), one GPU."""
+    return [
+        SweepPoint(app=app, n=n, num_gpus=1, partitioner=partitioner)
+        for app, small_n, large_n in cases
+        for n in (small_n, large_n)
+        for partitioner in ("perfilter", "single", "ours")
+    ]
+
+
+def run(
+    quick: bool = True,
+    cases: Sequence = DEFAULT_CASES,
+    runner: Optional[SweepRunner] = None,
+) -> ExperimentResult:
     """Compare one-kernel-per-filter vs one-kernel-for-graph vs ours."""
+    runner = experiment_runner(runner)
+    sweep = runner.run(grid(cases), keep_flows=True)
     rows: List[Dict[str, object]] = []
     fused_gains: List[float] = []
     for app, small_n, large_n in cases:
         for n in (small_n, large_n):
-            graph = build_app(app, n)
-            engine = PerformanceEstimationEngine(graph)
-            per_filter = map_stream_graph(
-                graph, num_gpus=1, partitioner="perfilter", engine=engine
-            )
-            fused = map_stream_graph(
-                graph, num_gpus=1, partitioner="single", engine=engine
-            )
-            ours = map_stream_graph(graph, num_gpus=1, engine=engine)
+            flows = {
+                partitioner: sweep.flow(
+                    SweepPoint(app=app, n=n, num_gpus=1,
+                               partitioner=partitioner)
+                )
+                for partitioner in ("perfilter", "single", "ours")
+            }
+            per_filter = flows["perfilter"]
+            fused = flows["single"]
+            ours = flows["ours"]
             gain = fused.throughput / per_filter.throughput
             rows.append(
                 {
@@ -52,7 +68,7 @@ def run(quick: bool = True, cases: Sequence = DEFAULT_CASES) -> ExperimentResult
                     "fused/per-filter": gain,
                     "ours/per-filter": ours.throughput / per_filter.throughput,
                     "fused spills": bool(
-                        engine.estimate(fused.partitions[0]).spilled_bytes
+                        fused.engine.estimate(fused.partitions[0]).spilled_bytes
                     ),
                 }
             )

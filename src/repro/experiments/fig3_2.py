@@ -10,9 +10,10 @@ widths/depths and reports the ratio.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, experiment_runner
 from repro.graph.filters import FilterSpec, sink, source
 from repro.graph.flatten import flatten
 from repro.graph.structure import (
@@ -50,29 +51,31 @@ def _split_graph(width: int, rate: int):
     )
 
 
-def run(quick: bool = True, rate: int = 64) -> ExperimentResult:
+def _contrast_row(size: int, rate: int = 64) -> Dict[str, object]:
+    """One pipeline-vs-split memory contrast (module-level so the sweep
+    runner's process pool can pickle it)."""
+    pipe = _pipeline_graph(size, rate)
+    split = _split_graph(size, rate)
+    pipe_live = partition_memory(pipe, policy="liveness").working_set
+    split_live = partition_memory(split, policy="liveness").working_set
+    return {
+        "size (depth/width)": size,
+        "pipeline live peak (B)": pipe_live,
+        "split live peak (B)": split_live,
+        "split/pipeline": split_live / pipe_live,
+        "pipeline static (B)": partition_memory(pipe).working_set,
+        "split static (B)": partition_memory(split).working_set,
+    }
+
+
+def run(
+    quick: bool = True, rate: int = 64, runner=None
+) -> ExperimentResult:
     """Regenerate the Figure 3.2 contrast."""
+    runner = experiment_runner(runner)
     sizes = (2, 4, 8) if quick else (2, 4, 8, 16)
-    rows: List[Dict[str, object]] = []
-    ratios = []
-    for size in sizes:
-        pipe = _pipeline_graph(size, rate)
-        split = _split_graph(size, rate)
-        pipe_live = partition_memory(pipe, policy="liveness").working_set
-        split_live = partition_memory(split, policy="liveness").working_set
-        pipe_static = partition_memory(pipe).working_set
-        split_static = partition_memory(split).working_set
-        ratios.append(split_live / pipe_live)
-        rows.append(
-            {
-                "size (depth/width)": size,
-                "pipeline live peak (B)": pipe_live,
-                "split live peak (B)": split_live,
-                "split/pipeline": split_live / pipe_live,
-                "pipeline static (B)": pipe_static,
-                "split static (B)": split_static,
-            }
-        )
+    rows = runner.map(partial(_contrast_row, rate=rate), sizes)
+    ratios = [row["split/pipeline"] for row in rows]
     return ExperimentResult(
         experiment="fig3.2",
         description="pipeline vs split shared-memory requirements",

@@ -9,48 +9,80 @@ prediction (SM bank conflicts).
 Here the simulator plays the profiler.  For every (app, N) instance we
 run the partitioning heuristic, predict T(p) per partition, "measure" the
 same kernel with the PEE-chosen parameters, and aggregate the scatter.
+The per-app scatters execute through the sweep runner, so a stage cache
+skips re-partitioning instances other experiments already processed.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.registry import FIG42_ORDER, build_app
-from repro.experiments.common import ExperimentResult, sweep_n_values
+from repro.experiments.common import (
+    ExperimentResult,
+    experiment_runner,
+    sweep_n_values,
+)
+from repro.flow import partition_stage, profile_stage
 from repro.metrics.stats import r_squared
-from repro.partition.heuristic import partition_stream_graph
-from repro.perf.engine import PerformanceEstimationEngine
+from repro.sweep.runner import SweepRunner
 
 #: the paper's headline correlation
 PAPER_R_SQUARED = 0.972
+
+
+def _instance_points(
+    app: str, n: int, cache=None
+) -> List[Tuple[float, float]]:
+    """(predicted, measured) per heuristic-selected partition of one
+    (app, N) instance — the shared scatter kernel of run()/run_points()."""
+    graph = build_app(app, n)
+    engine = profile_stage(graph, cache=cache)
+    partitions, _ = partition_stage(graph, engine, cache=cache)
+    return [
+        (
+            engine.estimate(members).estimate.t_exec,
+            engine.measure(members).t_exec,
+        )
+        for members in partitions
+    ]
+
+
+def _app_scatter(
+    app: str, quick: bool = True, cache=None
+) -> Tuple[List[float], List[float], int]:
+    """(predicted, measured, severe-outlier count) for one app's sweep."""
+    predicted: List[float] = []
+    measured: List[float] = []
+    outliers = 0
+    for n in sweep_n_values(app, quick):
+        for pred, meas in _instance_points(app, n, cache=cache):
+            predicted.append(pred)
+            measured.append(meas)
+            if meas > 1.3 * pred:
+                outliers += 1
+    return predicted, measured, outliers
 
 
 def run(
     quick: bool = True,
     apps: Optional[Sequence[str]] = None,
     seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 4.1 scatter."""
+    runner = experiment_runner(runner)
     apps = list(apps) if apps is not None else list(FIG42_ORDER)
+    scatters = runner.map(
+        partial(_app_scatter, quick=quick, cache=runner.cache), apps
+    )
     predicted: List[float] = []
     measured: List[float] = []
     outliers = 0
     per_app_rows = []
-    for app in apps:
-        n_values = sweep_n_values(app, quick)
-        app_pred: List[float] = []
-        app_meas: List[float] = []
-        for n in n_values:
-            graph = build_app(app, n)
-            engine = PerformanceEstimationEngine(graph)
-            result = partition_stream_graph(graph, engine=engine)
-            for members in result.partitions:
-                estimate = engine.estimate(members)
-                measurement = engine.measure(members)
-                app_pred.append(estimate.estimate.t_exec)
-                app_meas.append(measurement.t_exec)
-                if measurement.t_exec > 1.3 * estimate.estimate.t_exec:
-                    outliers += 1
+    for app, (app_pred, app_meas, app_outliers) in zip(apps, scatters):
+        outliers += app_outliers
         predicted.extend(app_pred)
         measured.extend(app_meas)
         per_app_rows.append(
@@ -82,20 +114,16 @@ def run(
 
 
 def run_points(
-    quick: bool = True, apps: Optional[Sequence[str]] = None
+    quick: bool = True,
+    apps: Optional[Sequence[str]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> List[tuple]:
     """The raw (predicted, measured) scatter points, for plotting."""
+    runner = experiment_runner(runner)
     apps = list(apps) if apps is not None else list(FIG42_ORDER)
     points = []
     for app in apps:
         for n in sweep_n_values(app, quick):
-            graph = build_app(app, n)
-            engine = PerformanceEstimationEngine(graph)
-            result = partition_stream_graph(graph, engine=engine)
-            for members in result.partitions:
-                estimate = engine.estimate(members)
-                measurement = engine.measure(members)
-                points.append(
-                    (app, n, estimate.estimate.t_exec, measurement.t_exec)
-                )
+            for pred, meas in _instance_points(app, n, cache=runner.cache):
+                points.append((app, n, pred, meas))
     return points

@@ -8,34 +8,53 @@ N.  Headline: with the largest N, 2/3/4 GPUs average 1.8x / 2.6x / 3.2x.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.apps.registry import FIG42_ORDER, build_app
-from repro.experiments.common import ExperimentResult, gpu_counts, sweep_n_values
-from repro.flow import map_stream_graph
+from repro.experiments.common import (
+    ExperimentResult,
+    experiment_runner,
+    gpu_counts,
+    sweep_n_values,
+)
+from repro.apps.registry import FIG42_ORDER
 from repro.metrics.stats import geometric_mean
-from repro.perf.engine import PerformanceEstimationEngine
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import SweepPoint
 
 #: the paper's average final-N speedups for 2/3/4 GPUs
 PAPER_FINAL_SPEEDUPS = {2: 1.8, 3: 2.6, 4: 3.2}
+
+
+def grid(
+    apps: Sequence[str], quick: bool
+) -> List[SweepPoint]:
+    """The Figure 4.2 grid: every (app, N, GPU count) of the sweep."""
+    gpus = gpu_counts(quick)
+    return [
+        SweepPoint(app=app, n=n, num_gpus=g)
+        for app in apps
+        for n in sweep_n_values(app, quick)
+        for g in gpus
+    ]
 
 
 def run(
     quick: bool = True,
     apps: Optional[Sequence[str]] = None,
     seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 4.2 scalability sweep."""
+    runner = experiment_runner(runner)
     apps = list(apps) if apps is not None else list(FIG42_ORDER)
     gpus = gpu_counts(quick)
+    sweep = runner.run(grid(apps, quick), keep_flows=True)
     rows = []
     final_speedups: Dict[int, list] = {g: [] for g in gpus if g > 1}
     for app in apps:
         n_values = sweep_n_values(app, quick)
         for n in n_values:
-            graph = build_app(app, n)
-            engine = PerformanceEstimationEngine(graph)
-            baseline = map_stream_graph(graph, num_gpus=1, engine=engine)
+            baseline = sweep.flow(SweepPoint(app=app, n=n, num_gpus=1))
             row: Dict[str, object] = {
                 "app": app,
                 "N": n,
@@ -45,7 +64,7 @@ def run(
                 if g == 1:
                     row["1-GPU"] = 1.0
                     continue
-                mapped = map_stream_graph(graph, num_gpus=g, engine=engine)
+                mapped = sweep.flow(SweepPoint(app=app, n=n, num_gpus=g))
                 speedup = mapped.throughput / baseline.throughput
                 row[f"{g}-GPU"] = speedup
                 if n == n_values[-1]:

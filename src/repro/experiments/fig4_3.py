@@ -15,47 +15,71 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.apps.registry import FIG43_APPS, build_app
-from repro.experiments.common import ExperimentResult, gpu_counts, sweep_n_values
-from repro.flow import map_stream_graph
+from repro.apps.registry import FIG43_APPS
+from repro.experiments.common import (
+    ExperimentResult,
+    experiment_runner,
+    gpu_counts,
+    sweep_n_values,
+)
 from repro.metrics.sosp import sosp
 from repro.metrics.stats import geometric_mean
-from repro.perf.engine import PerformanceEstimationEngine
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import SweepPoint
 
 #: the paper's average SOSP ratios for 1..4 GPUs
 PAPER_AVG_RATIOS = {1: 1.17, 2: 1.33, 3: 1.40, 4: 1.47}
+
+
+def _spsg_point(app: str, n: int) -> SweepPoint:
+    return SweepPoint(app=app, n=n, num_gpus=1, partitioner="single")
+
+
+def _ours_point(app: str, n: int, g: int) -> SweepPoint:
+    return SweepPoint(app=app, n=n, num_gpus=g)
+
+
+def _prev_point(app: str, n: int, g: int) -> SweepPoint:
+    return SweepPoint(
+        app=app, n=n, num_gpus=g, partitioner="previous", mapper="lpt",
+        peer_to_peer=False, static_workload_balance=True,
+    )
+
+
+def grid(apps: Sequence[str], quick: bool) -> List[SweepPoint]:
+    """The Figure 4.3 grid: SPSG baseline plus ours/previous per G."""
+    gpus = gpu_counts(quick)
+    points: List[SweepPoint] = []
+    for app in apps:
+        for n in sweep_n_values(app, quick):
+            points.append(_spsg_point(app, n))
+            for g in gpus:
+                points.append(_ours_point(app, n, g))
+                points.append(_prev_point(app, n, g))
+    return points
 
 
 def run(
     quick: bool = True,
     apps: Optional[Sequence[str]] = None,
     seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 4.3 SOSP comparison."""
+    runner = experiment_runner(runner)
     apps = list(apps) if apps is not None else list(FIG43_APPS)
     gpus = gpu_counts(quick)
+    sweep = runner.run(grid(apps, quick), keep_flows=True)
     rows: List[Dict[str, object]] = []
     ratios: Dict[int, list] = {g: [] for g in gpus}
     for app in apps:
         n_values = sweep_n_values(app, quick)
         for n in n_values:
-            graph = build_app(app, n)
-            engine = PerformanceEstimationEngine(graph)
-            spsg = map_stream_graph(
-                graph, num_gpus=1, partitioner="single", engine=engine
-            )
+            spsg = sweep.flow(_spsg_point(app, n))
             row: Dict[str, object] = {"app": app, "N": n}
             for g in gpus:
-                ours = map_stream_graph(graph, num_gpus=g, engine=engine)
-                prev = map_stream_graph(
-                    graph,
-                    num_gpus=g,
-                    partitioner="previous",
-                    mapper="lpt",
-                    peer_to_peer=False,
-                    static_workload_balance=True,
-                    engine=engine,
-                )
+                ours = sweep.flow(_ours_point(app, n, g))
+                prev = sweep.flow(_prev_point(app, n, g))
                 ours_sosp = sosp(ours.report, spsg.report)
                 prev_sosp = sosp(prev.report, spsg.report)
                 row[f"ours-{g}G"] = ours_sosp

@@ -14,16 +14,22 @@ code on both simulated GPUs, comparing the two SOSP values per app.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.registry import FIG43_APPS, build_app
-from repro.experiments.common import ExperimentResult, sweep_n_values
-from repro.flow import FlowResult, map_stream_graph
+from repro.experiments.common import (
+    ExperimentResult,
+    experiment_runner,
+    sweep_n_values,
+)
+from repro.flow import FlowResult, map_stream_graph, profile_stage
+from repro.graph.fingerprint import graph_fingerprint
 from repro.gpu.simulator import KernelSimulator
 from repro.gpu.specs import C2070, M2090, GpuSpec
 from repro.gpu.topology import default_topology
 from repro.metrics.sosp import SospAnalysis, sosp_validity_bound
-from repro.perf.engine import PerformanceEstimationEngine
+from repro.sweep.runner import SweepRunner
 from repro.runtime.executor import PipelinedExecutor
 
 
@@ -53,11 +59,75 @@ def _replay_throughput(flow: FlowResult, spec: GpuSpec, seed: int) -> float:
     return executor.run().throughput
 
 
+def _app_analyses(
+    app: str,
+    quick: bool = True,
+    num_gpus: int = 4,
+    seed: int = 0,
+    cache=None,
+) -> Tuple[List[Dict[str, object]], Dict[str, List[SospAnalysis]]]:
+    """Freeze the two software variants on G2 and replay on both GPUs
+    for one app (module-level so the runner's pool can pickle it)."""
+    n_values = sweep_n_values(app, quick)
+    n = n_values[len(n_values) // 2]
+    graph = build_app(app, n)
+    graph_fp = graph_fingerprint(graph) if cache is not None else None
+    engine = profile_stage(
+        graph, spec=M2090, simulator=KernelSimulator(M2090, seed=seed),
+        cache=cache, graph_fp=graph_fp,
+    )
+    spsg = map_stream_graph(
+        graph, num_gpus=1, spec=M2090, partitioner="single",
+        engine=engine, cache=cache, graph_fp=graph_fp,
+    )
+    variants = {
+        "previous": map_stream_graph(
+            graph, num_gpus=num_gpus, spec=M2090, partitioner="previous",
+            mapper="lpt", static_workload_balance=True,
+            peer_to_peer=False, engine=engine, cache=cache,
+            graph_fp=graph_fp,
+        ),
+        "ours": map_stream_graph(
+            graph, num_gpus=num_gpus, spec=M2090, engine=engine, cache=cache,
+            graph_fp=graph_fp,
+        ),
+    }
+    rows: List[Dict[str, object]] = []
+    by_variant: Dict[str, List[SospAnalysis]] = {"previous": [], "ours": []}
+    for label, mpmg in variants.items():
+        per_gpu: Dict[str, float] = {}
+        for spec in (C2070, M2090):
+            spsg_thr = _replay_throughput(spsg, spec, seed)
+            mpmg_thr = _replay_throughput(mpmg, spec, seed)
+            per_gpu[spec.name] = mpmg_thr / spsg_thr
+        analysis = SospAnalysis(
+            app=app,
+            n=n,
+            num_gpus=num_gpus,
+            sosp_g1=per_gpu[C2070.name],
+            sosp_g2=per_gpu[M2090.name],
+        )
+        by_variant[label].append(analysis)
+        rows.append(
+            {
+                "app": app,
+                "N": n,
+                "software": label,
+                "SOSP on C2070 (G1)": analysis.sosp_g1,
+                "SOSP on M2090 (G2)": analysis.sosp_g2,
+                "cross-GPU error": analysis.relative_error,
+                "within 12% bound": analysis.within_bound(),
+            }
+        )
+    return rows, by_variant
+
+
 def run(
     quick: bool = True,
     apps: Optional[Sequence[str]] = None,
     num_gpus: int = 4,
     seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 4.4 four-case analysis.
 
@@ -71,55 +141,21 @@ def run(
       the error can exceed the paper's bound — a limit of the SOSP-
       transfer argument the paper does not discuss.
     """
+    runner = experiment_runner(runner)
     apps = list(apps) if apps is not None else list(FIG43_APPS)
+    per_app = runner.map(
+        partial(
+            _app_analyses, quick=quick, num_gpus=num_gpus, seed=seed,
+            cache=runner.cache,
+        ),
+        apps,
+    )
     rows: List[Dict[str, object]] = []
     by_variant: Dict[str, List[SospAnalysis]] = {"previous": [], "ours": []}
-    for app in apps:
-        n_values = sweep_n_values(app, quick)
-        n = n_values[len(n_values) // 2]
-        graph = build_app(app, n)
-        engine = PerformanceEstimationEngine(
-            graph, spec=M2090, simulator=KernelSimulator(M2090, seed=seed)
-        )
-        spsg = map_stream_graph(
-            graph, num_gpus=1, spec=M2090, partitioner="single",
-            engine=engine,
-        )
-        variants = {
-            "previous": map_stream_graph(
-                graph, num_gpus=num_gpus, spec=M2090, partitioner="previous",
-                mapper="lpt", static_workload_balance=True,
-                peer_to_peer=False, engine=engine,
-            ),
-            "ours": map_stream_graph(
-                graph, num_gpus=num_gpus, spec=M2090, engine=engine
-            ),
-        }
-        for label, mpmg in variants.items():
-            per_gpu: Dict[str, float] = {}
-            for spec in (C2070, M2090):
-                spsg_thr = _replay_throughput(spsg, spec, seed)
-                mpmg_thr = _replay_throughput(mpmg, spec, seed)
-                per_gpu[spec.name] = mpmg_thr / spsg_thr
-            analysis = SospAnalysis(
-                app=app,
-                n=n,
-                num_gpus=num_gpus,
-                sosp_g1=per_gpu[C2070.name],
-                sosp_g2=per_gpu[M2090.name],
-            )
-            by_variant[label].append(analysis)
-            rows.append(
-                {
-                    "app": app,
-                    "N": n,
-                    "software": label,
-                    "SOSP on C2070 (G1)": analysis.sosp_g1,
-                    "SOSP on M2090 (G2)": analysis.sosp_g2,
-                    "cross-GPU error": analysis.relative_error,
-                    "within 12% bound": analysis.within_bound(),
-                }
-            )
+    for app_rows, app_by_variant in per_app:
+        rows.extend(app_rows)
+        for label, analyses in app_by_variant.items():
+            by_variant[label].extend(analyses)
 
     bound = sosp_validity_bound()
     prev = by_variant["previous"]

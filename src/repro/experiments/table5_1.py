@@ -16,10 +16,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.registry import build_app
-from repro.experiments.common import ExperimentResult
-from repro.flow import map_stream_graph
+from repro.experiments.common import ExperimentResult, experiment_runner
 from repro.opt.splitjoin_elim import eliminate_movers
-from repro.perf.engine import PerformanceEstimationEngine
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import SweepPoint
 
 #: (app, N, paper speedup)
 PAPER_ROWS: Tuple[Tuple[str, int, float], ...] = (
@@ -32,24 +32,50 @@ PAPER_ROWS: Tuple[Tuple[str, int, float], ...] = (
 )
 
 
+def _original_point(app: str, n: int) -> SweepPoint:
+    return SweepPoint(app=app, n=n, num_gpus=1, partitioner="single")
+
+
+def _enhanced_point(app: str, n: int) -> SweepPoint:
+    return SweepPoint(
+        app=app, n=n, num_gpus=1, partitioner="single",
+        transform="eliminate-movers",
+    )
+
+
+def grid(
+    cases: Sequence[Tuple[str, int, float]]
+) -> List[SweepPoint]:
+    """The Table 5.1 grid: original vs mover-eliminated SPSG per case."""
+    points: List[SweepPoint] = []
+    for app, n, _ in cases:
+        points.append(_original_point(app, n))
+        points.append(_enhanced_point(app, n))
+    return points
+
+
 def run(
     quick: bool = True,
     cases: Optional[Sequence[Tuple[str, int, float]]] = None,
     seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Regenerate Table 5.1 on the simulator (SPSG, one GPU)."""
+    runner = experiment_runner(runner)
     cases = list(cases) if cases is not None else list(PAPER_ROWS)
     if quick:
         cases = [case for case in cases if case[1] <= 256]
+    sweep = runner.run(grid(cases), keep_flows=True)
     rows: List[Dict[str, object]] = []
     gains = []
     for app, n, paper_speedup in cases:
-        graph = build_app(app, n)
-        original = map_stream_graph(graph, num_gpus=1, partitioner="single")
-        enhanced_graph, report = eliminate_movers(graph)
-        enhanced = map_stream_graph(
-            enhanced_graph, num_gpus=1, partitioner="single"
-        )
+        original = sweep.flow(_original_point(app, n))
+        enhanced = sweep.flow(_enhanced_point(app, n))
+        # the transform point already eliminated movers inside the sweep,
+        # but its ElimReport is not carried through PointResult; redoing
+        # the (cheap, simulation-free) graph surgery buys the row's
+        # "movers removed" count
+        _, report = eliminate_movers(build_app(app, n))
         speedup = original.report.makespan_ns / enhanced.report.makespan_ns
         gains.append(speedup)
         rows.append(

@@ -18,14 +18,27 @@ paper's technique or the baselines it compares against:
 
 ``peer_to_peer=False`` additionally reroutes all inter-GPU traffic through
 the host, matching [7]'s execution model.
+
+The pipeline is exposed both as the one-call facade and as explicit
+stages (:func:`profile_stage`, :func:`partition_stage`, :func:`pdg_stage`,
+:func:`mapping_stage`, :func:`measure_stage`, :func:`execute_stage`).
+Every expensive stage accepts a ``cache`` — any object with
+``get(key) -> value | None`` and ``put(key, value)`` over JSON values,
+such as :class:`repro.sweep.StageCache` — keyed on the graph fingerprint
+plus every knob the stage reads, so sweeps over many strategies compute
+each shared prefix once (see :mod:`repro.sweep`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.graph.fingerprint import graph_fingerprint
 from repro.graph.stream_graph import StreamGraph
+from repro.gpu.kernel import KernelConfig
 from repro.gpu.simulator import KernelMeasurement, KernelSimulator
 from repro.gpu.specs import GpuSpec, M2090
 from repro.gpu.topology import GpuTopology, default_topology
@@ -80,6 +93,323 @@ class FlowResult:
         return len(self.partitions)
 
 
+# ----------------------------------------------------------------------
+# cache keys
+# ----------------------------------------------------------------------
+def stage_key(stage: str, **parts: object) -> str:
+    """Content-addressed cache key for one stage invocation.
+
+    The key digests the stage name plus every knob the stage reads; two
+    invocations share a key iff they are guaranteed to produce identical
+    results (all stages are deterministic functions of their knobs).
+    """
+    payload = json.dumps(
+        {"stage": stage, **parts}, sort_keys=True, separators=(",", ":"),
+        default=str,
+    )
+    return f"{stage}.{hashlib.sha256(payload.encode()).hexdigest()}"
+
+
+def engine_key_parts(engine: PerformanceEstimationEngine) -> Dict[str, object]:
+    """The engine-identity knobs every PEE-derived stage result depends
+    on: target device, simulator cost constants and noise seed, and the
+    model's regression constants."""
+    return _engine_parts(engine.spec, engine.simulator, engine.params)
+
+
+def _engine_parts(
+    spec: GpuSpec, simulator: KernelSimulator, params=None
+) -> Dict[str, object]:
+    from repro.perf.model import ModelParams
+
+    return {
+        "spec": asdict(spec),
+        "costs": asdict(simulator.costs),
+        "seed": simulator.seed,
+        "params": asdict(params or ModelParams()),
+    }
+
+
+def topology_key_parts(topology: GpuTopology) -> Dict[str, object]:
+    """The interconnect-identity knobs mapping/execution depend on."""
+    return {
+        "parents": topology.tree_edges(),
+        "num_gpus": topology.num_gpus,
+        "link_spec": asdict(topology.link_spec),
+    }
+
+
+def _cache_get(cache, key: str):
+    return cache.get(key) if cache is not None else None
+
+
+def _cache_put(cache, key: str, value) -> None:
+    if cache is not None:
+        cache.put(key, value)
+
+
+# ----------------------------------------------------------------------
+# stages
+# ----------------------------------------------------------------------
+def profile_stage(
+    graph: StreamGraph,
+    spec: GpuSpec = M2090,
+    simulator: Optional[KernelSimulator] = None,
+    seed: int = 0,
+    cache=None,
+    graph_fp: Optional[str] = None,
+) -> PerformanceEstimationEngine:
+    """Profile every filter and build the Performance Estimation Engine.
+
+    This is the per-filter measurement step of Figure 3.1 (the ``t_i``
+    annotation).  With a ``cache``, the profile of a previously-seen
+    (graph, device, seed) triple is replayed instead of re-measured.
+    """
+    simulator = simulator or KernelSimulator(spec, seed=seed)
+    key = None
+    if cache is not None:
+        key = stage_key(
+            "profile",
+            graph=graph_fp or graph_fingerprint(graph),
+            engine=_engine_parts(spec, simulator),
+        )
+        hit = _cache_get(cache, key)
+        if hit is not None:
+            profile = {int(nid): t for nid, t in hit.items()}
+            return PerformanceEstimationEngine(
+                graph, spec=spec, simulator=simulator, profile=profile
+            )
+    engine = PerformanceEstimationEngine(graph, spec=spec, simulator=simulator)
+    if key is not None:
+        _cache_put(cache, key, {str(nid): t for nid, t in engine.profile.items()})
+    return engine
+
+
+def partition_stage(
+    graph: StreamGraph,
+    engine: PerformanceEstimationEngine,
+    partitioner: str = "ours",
+    spec: GpuSpec = M2090,
+    phases: Tuple[int, ...] = (1, 2, 3, 4),
+    cache=None,
+    graph_fp: Optional[str] = None,
+) -> Tuple[List[FrozenSet[int]], Optional[PartitioningResult]]:
+    """Partition the graph with the selected strategy.
+
+    Returns the partition list plus, for ``"ours"``, the full
+    :class:`~repro.partition.heuristic.PartitioningResult`.  A cache hit
+    skips the heuristic's thousands of candidate-merge probes and only
+    re-estimates the final partitions (memoized on the engine).
+    """
+    if partitioner not in PARTITIONERS:
+        raise ValueError(f"unknown partitioner {partitioner!r}")
+    key = None
+    if cache is not None:
+        key = stage_key(
+            "partition",
+            graph=graph_fp or graph_fingerprint(graph),
+            engine=engine_key_parts(engine),
+            # spec is keyed separately from the engine: the baseline
+            # partitioners read it directly (shared-memory fit) and do
+            # not consult the engine at all
+            spec=asdict(spec),
+            partitioner=partitioner,
+            phases=sorted(phases),
+        )
+        hit = _cache_get(cache, key)
+        if hit is not None:
+            partitions = [frozenset(members) for members in hit["partitions"]]
+            partitioning = None
+            if hit["phase_counts"] is not None:
+                partitioning = PartitioningResult(
+                    graph=graph,
+                    partitions=partitions,
+                    estimates=[engine.estimate(m) for m in partitions],
+                    phase_counts=dict(hit["phase_counts"]),
+                )
+            return partitions, partitioning
+
+    partitioning: Optional[PartitioningResult] = None
+    if partitioner == "ours":
+        partitioning = partition_stream_graph(
+            graph, engine=engine, spec=spec, phases=phases
+        )
+        partitions = partitioning.partitions
+    elif partitioner == "previous":
+        partitions = previous_work_partition(graph, spec=spec)
+    elif partitioner == "perfilter":
+        partitions = one_kernel_per_filter(graph)
+    else:
+        partitions = single_partition(graph)
+    if key is not None:
+        _cache_put(cache, key, {
+            "partitions": [sorted(members) for members in partitions],
+            "phase_counts": (
+                dict(partitioning.phase_counts) if partitioning else None
+            ),
+        })
+    return list(partitions), partitioning
+
+
+def pdg_stage(
+    graph: StreamGraph,
+    partitions: Sequence[FrozenSet[int]],
+    engine: PerformanceEstimationEngine,
+    executions_per_fragment: int = 128,
+    partitioning: Optional[PartitioningResult] = None,
+) -> PartitionDependenceGraph:
+    """Assemble the Partition Dependence Graph (cheap, never cached)."""
+    estimates = partitioning.estimates if partitioning is not None else None
+    return build_pdg(
+        graph,
+        partitions,
+        engine,
+        executions_per_fragment=executions_per_fragment,
+        estimates=estimates,
+    )
+
+
+def mapping_stage(
+    pdg: PartitionDependenceGraph,
+    num_gpus: int,
+    engine: PerformanceEstimationEngine,
+    mapper: str = "ilp",
+    topology: Optional[GpuTopology] = None,
+    peer_to_peer: bool = True,
+    static_workload_balance: bool = False,
+    gpu_slowdown: Optional[Sequence[float]] = None,
+    cache=None,
+    graph_fp: Optional[str] = None,
+) -> MappingResult:
+    """Assign partitions to GPUs with the selected mapper.
+
+    The ILP solve dominates sweep runtimes on large graphs, so its result
+    (assignment + score breakdown) is cacheable like the other stages.
+    """
+    if mapper not in MAPPERS:
+        raise ValueError(f"unknown mapper {mapper!r}")
+    topology = topology or default_topology(num_gpus)
+    key = None
+    if cache is not None:
+        key = stage_key(
+            "mapping",
+            graph=graph_fp or graph_fingerprint(pdg.graph),
+            engine=engine_key_parts(engine),
+            partitions=[sorted(node.members) for node in pdg.nodes],
+            executions_per_fragment=pdg.executions_per_fragment,
+            num_gpus=num_gpus,
+            mapper=mapper,
+            topology=topology_key_parts(topology),
+            peer_to_peer=peer_to_peer,
+            static_workload_balance=static_workload_balance,
+            gpu_slowdown=list(gpu_slowdown) if gpu_slowdown else None,
+        )
+        hit = _cache_get(cache, key)
+        if hit is not None:
+            return MappingResult(
+                assignment=tuple(hit["assignment"]),
+                tmax=hit["tmax"],
+                gpu_times=tuple(hit["gpu_times"]),
+                link_times=tuple(hit["link_times"]),
+                solver=hit["solver"],
+                optimal=hit["optimal"],
+                solve_stats=tuple(
+                    (name, value) for name, value in hit["solve_stats"]
+                ),
+            )
+    problem = build_mapping_problem(
+        pdg, num_gpus, topology=topology, peer_to_peer=peer_to_peer,
+        gpu_slowdown=list(gpu_slowdown) if gpu_slowdown else None,
+    )
+    mapping = _solve(
+        problem, mapper, pdg.graph,
+        [node.members for node in pdg.nodes],
+        static_workload_balance, pdg,
+    )
+    if key is not None:
+        _cache_put(cache, key, {
+            "assignment": list(mapping.assignment),
+            "tmax": mapping.tmax,
+            "gpu_times": list(mapping.gpu_times),
+            "link_times": list(mapping.link_times),
+            "solver": mapping.solver,
+            "optimal": mapping.optimal,
+            "solve_stats": [list(item) for item in mapping.solve_stats],
+        })
+    return mapping
+
+
+def measure_stage(
+    pdg: PartitionDependenceGraph,
+    engine: PerformanceEstimationEngine,
+    cache=None,
+    graph_fp: Optional[str] = None,
+) -> List[KernelMeasurement]:
+    """Measure every partition's kernel on the simulator (the "run the
+    generated code" step the paper's evaluation performs per mapping)."""
+    key = None
+    if cache is not None:
+        key = stage_key(
+            "measure",
+            graph=graph_fp or graph_fingerprint(pdg.graph),
+            engine=engine_key_parts(engine),
+            partitions=[sorted(node.members) for node in pdg.nodes],
+        )
+        hit = _cache_get(cache, key)
+        if hit is not None:
+            return [
+                KernelMeasurement(
+                    t_comp=m["t_comp"],
+                    t_dt=m["t_dt"],
+                    t_db=m["t_db"],
+                    conflict_penalty=m["conflict_penalty"],
+                    spill_penalty=m["spill_penalty"],
+                    launch_ns=m["launch_ns"],
+                    config=KernelConfig(*m["config"]),
+                )
+                for m in hit
+            ]
+    measurements = measure_partitions(pdg, engine.simulator, engine)
+    if key is not None:
+        _cache_put(cache, key, [
+            {
+                "t_comp": m.t_comp,
+                "t_dt": m.t_dt,
+                "t_db": m.t_db,
+                "conflict_penalty": m.conflict_penalty,
+                "spill_penalty": m.spill_penalty,
+                "launch_ns": m.launch_ns,
+                "config": [m.config.s, m.config.w, m.config.f],
+            }
+            for m in measurements
+        ])
+    return measurements
+
+
+def execute_stage(
+    pdg: PartitionDependenceGraph,
+    mapping: MappingResult,
+    engine: PerformanceEstimationEngine,
+    measurements: Sequence[KernelMeasurement],
+    topology: GpuTopology,
+    peer_to_peer: bool = True,
+    plan: Optional[FragmentPlan] = None,
+) -> ExecutionReport:
+    """Simulate the pipelined multi-GPU execution (Figure 3.5)."""
+    executor = PipelinedExecutor(
+        pdg,
+        mapping.assignment,
+        topology,
+        engine.simulator,
+        list(measurements),
+        peer_to_peer=peer_to_peer,
+    )
+    return executor.run(plan)
+
+
+# ----------------------------------------------------------------------
+# facade
+# ----------------------------------------------------------------------
 def map_stream_graph(
     graph: StreamGraph,
     num_gpus: int = 1,
@@ -94,6 +424,8 @@ def map_stream_graph(
     static_workload_balance: bool = False,
     gpu_slowdown: Optional[Sequence[float]] = None,
     seed: int = 0,
+    cache=None,
+    graph_fp: Optional[str] = None,
 ) -> FlowResult:
     """Run the full mapping flow and simulate the pipelined execution.
 
@@ -106,57 +438,51 @@ def map_stream_graph(
     mapping time.  The runtime simulator remains homogeneous (kernels are
     measured on ``spec``), so with slowdowns the mapping is exercised but
     the reported execution assumes uniform devices.
+
+    ``cache`` plugs a stage cache (e.g. :class:`repro.sweep.StageCache`)
+    into the profile, partition, mapping, and measurement stages; every
+    stage is a deterministic function of its knobs, so cached replays are
+    bit-identical to fresh runs.  ``graph_fp`` optionally supplies the
+    graph's precomputed fingerprint so batch callers (the sweep runner)
+    hash each graph once instead of once per strategy point.
+
+    >>> from repro.apps import build_app
+    >>> result = map_stream_graph(build_app("Bitonic", 8), num_gpus=2)
+    >>> result.num_partitions >= 1 and result.throughput > 0
+    True
     """
     if partitioner not in PARTITIONERS:
         raise ValueError(f"unknown partitioner {partitioner!r}")
     if mapper not in MAPPERS:
         raise ValueError(f"unknown mapper {mapper!r}")
-    engine = engine or PerformanceEstimationEngine(
-        graph, spec=spec, simulator=KernelSimulator(spec, seed=seed)
-    )
+    if graph_fp is None and cache is not None:
+        graph_fp = graph_fingerprint(graph)
+    if engine is None:
+        engine = profile_stage(
+            graph, spec=spec, seed=seed, cache=cache, graph_fp=graph_fp
+        )
     topology = topology or default_topology(num_gpus)
 
-    partitioning: Optional[PartitioningResult] = None
-    if partitioner == "ours":
-        partitioning = partition_stream_graph(graph, engine=engine, spec=spec)
-        partitions = partitioning.partitions
-        estimates = partitioning.estimates
-    elif partitioner == "previous":
-        partitions = previous_work_partition(graph, spec=spec)
-        estimates = None
-    elif partitioner == "perfilter":
-        partitions = one_kernel_per_filter(graph)
-        estimates = None
-    else:
-        partitions = single_partition(graph)
-        estimates = None
-
-    pdg = build_pdg(
-        graph,
-        partitions,
-        engine,
+    partitions, partitioning = partition_stage(
+        graph, engine, partitioner=partitioner, spec=spec,
+        cache=cache, graph_fp=graph_fp,
+    )
+    pdg = pdg_stage(
+        graph, partitions, engine,
         executions_per_fragment=executions_per_fragment,
-        estimates=estimates,
+        partitioning=partitioning,
     )
-    problem = build_mapping_problem(
-        pdg, num_gpus, topology=topology, peer_to_peer=peer_to_peer,
-        gpu_slowdown=list(gpu_slowdown) if gpu_slowdown else None,
-    )
-    mapping = _solve(
-        problem, mapper, graph, partitions, static_workload_balance, pdg
-    )
-
-    simulator = engine.simulator
-    measurements = measure_partitions(pdg, simulator, engine)
-    executor = PipelinedExecutor(
-        pdg,
-        mapping.assignment,
-        topology,
-        simulator,
-        measurements,
+    mapping = mapping_stage(
+        pdg, num_gpus, engine, mapper=mapper, topology=topology,
         peer_to_peer=peer_to_peer,
+        static_workload_balance=static_workload_balance,
+        gpu_slowdown=gpu_slowdown, cache=cache, graph_fp=graph_fp,
     )
-    report = executor.run(plan)
+    measurements = measure_stage(pdg, engine, cache=cache, graph_fp=graph_fp)
+    report = execute_stage(
+        pdg, mapping, engine, measurements, topology,
+        peer_to_peer=peer_to_peer, plan=plan,
+    )
     return FlowResult(
         graph=graph,
         num_gpus=num_gpus,

@@ -299,7 +299,18 @@ class _Parser:
 
 
 def parse_stream(source: str) -> Pipeline:
-    """Parse a stream-language program into a structure tree."""
+    """Parse a stream-language program into a structure tree.
+
+    >>> tree = parse_stream('''
+    ...     pipeline Main {
+    ...         filter src(push=2, role=source);
+    ...         filter f(pop=2, push=2, work=10.0);
+    ...         filter snk(pop=2, role=sink);
+    ...     }
+    ... ''')
+    >>> tree.name, len(tree.children)
+    ('Main', 3)
+    """
     try:
         tokens = tokenize(source)
     except LexError as exc:
@@ -311,6 +322,15 @@ def compile_stream(source: str, name: Optional[str] = None) -> StreamGraph:
     """Parse and flatten a stream-language program.
 
     The graph name defaults to the root pipeline's name.
+
+    >>> graph = compile_stream('''
+    ...     pipeline Tiny {
+    ...         filter src(push=1, role=source);
+    ...         filter snk(pop=1, role=sink);
+    ...     }
+    ... ''')
+    >>> graph.name, len(graph.nodes)
+    ('Tiny', 2)
     """
     root = parse_stream(source)
     return flatten(root, name or root.name)

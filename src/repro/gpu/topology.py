@@ -99,6 +99,12 @@ class GpuTopology:
     # ------------------------------------------------------------------
     # structure
     # ------------------------------------------------------------------
+    def tree_edges(self) -> List[Tuple[str, str]]:
+        """The (child, parent) tree edges, sorted — together with
+        ``num_gpus`` and ``link_spec`` this is the topology's complete
+        identity (the sweep engine keys cached mappings on it)."""
+        return sorted(self._parent.items())
+
     @property
     def num_links(self) -> int:
         return len(self.links)
@@ -244,6 +250,12 @@ def default_topology(
     * 2 GPUs: host - sw1 - {gpu0, gpu1}
     * 3 GPUs: host - sw1 - {sw2 - {gpu0, gpu1}, sw3 - {gpu2}}
     * 4 GPUs: host - sw1 - {sw2 - {gpu0, gpu1}, sw3 - {gpu2, gpu3}}
+
+    >>> topo = default_topology(4)
+    >>> topo.num_gpus, topo.num_links
+    (4, 14)
+    >>> topo.route(0, 1) != topo.route(0, 2)  # siblings vs cross-switch
+    True
     """
     if num_gpus < 1:
         raise ValueError("need at least one GPU")

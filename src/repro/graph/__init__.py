@@ -27,6 +27,7 @@ from repro.graph.structure import (
     SplitSpec,
 )
 from repro.graph.stream_graph import Channel, FilterNode, StreamGraph
+from repro.graph.fingerprint import canonical_graph, graph_fingerprint
 from repro.graph.flatten import flatten
 from repro.graph.scheduling import RateConsistencyError, solve_repetition_vector
 from repro.graph.validate import GraphValidationError, validate_graph
@@ -46,7 +47,9 @@ __all__ = [
     "SplitKind",
     "SplitSpec",
     "StreamGraph",
+    "canonical_graph",
     "flatten",
+    "graph_fingerprint",
     "solve_repetition_vector",
     "validate_graph",
 ]

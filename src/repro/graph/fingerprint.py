@@ -1,0 +1,91 @@
+"""Content-addressed fingerprints of stream graphs.
+
+The sweep engine (:mod:`repro.sweep`) keys its stage cache on *what the
+pipeline actually consumes*: the flat, rate-annotated graph.  Two graphs
+with identical structure, rates, firings, and filter declarations map
+identically under every strategy, so their pipeline stages are
+interchangeable — a fingerprint collision across semantically different
+graphs would silently serve wrong cached results, which is why every
+field that reaches the partitioner, the performance model, or the
+executor participates in the digest.
+
+>>> from repro.apps import build_app
+>>> a = graph_fingerprint(build_app("DES", 4))
+>>> b = graph_fingerprint(build_app("DES", 4))
+>>> c = graph_fingerprint(build_app("DES", 8))
+>>> a == b and a != c
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.graph.stream_graph import StreamGraph
+
+#: bump when the canonical form below changes shape, so stale on-disk
+#: cache entries written by older code can never be confused for current
+#: ones
+FINGERPRINT_VERSION = 1
+
+
+def canonical_graph(graph: StreamGraph) -> dict:
+    """A JSON-able canonical form of everything the mapping flow reads.
+
+    Node order and channel order are part of the canonical form: node ids
+    are positional, and the flow's outputs (partitions, assignments) are
+    expressed in terms of them.
+    """
+    return {
+        "version": FINGERPRINT_VERSION,
+        "name": graph.name,
+        "elem_bytes": graph.elem_bytes,
+        "nodes": [
+            [
+                node.spec.name,
+                node.spec.pop,
+                node.spec.push,
+                node.spec.peek,
+                node.spec.work,
+                node.spec.role.name,
+                node.spec.semantics,
+                list(node.spec.params),
+                node.spec.stateful,
+                node.firing,
+                node.pipeline_id,
+                node.meta,
+            ]
+            for node in graph.nodes
+        ],
+        "channels": [
+            [
+                ch.src,
+                ch.dst,
+                ch.src_push,
+                ch.dst_pop,
+                ch.dst_peek,
+                ch.delay,
+                ch.alias_group,
+                ch.slice_offset,
+                ch.slice_period,
+                ch.slice_width,
+            ]
+            for ch in graph.channels
+        ],
+        "pipelines": [list(seg) for seg in graph.pipelines],
+    }
+
+
+def graph_fingerprint(graph: StreamGraph) -> str:
+    """Stable hex digest identifying ``graph`` for cache keys.
+
+    >>> from repro.apps import build_app
+    >>> fp = graph_fingerprint(build_app("Bitonic", 8))
+    >>> len(fp)
+    64
+    """
+    payload = json.dumps(
+        canonical_graph(graph), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -231,6 +231,19 @@ def flatten(
 
     When ``solve_rates`` is true (default) the repetition vector is solved
     and the graph is returned fully annotated, ready for the mapping flow.
+
+    >>> from repro.graph.filters import FilterSpec, sink, source
+    >>> from repro.graph.structure import Filt, pipeline
+    >>> tree = pipeline(
+    ...     source("src", 2),
+    ...     FilterSpec(name="f", pop=2, push=1, work=8.0),
+    ...     sink("snk", 1),
+    ... )
+    >>> graph = flatten(tree, "tiny")
+    >>> [node.name for node in graph.nodes]
+    ['src', 'f', 'snk']
+    >>> [node.firing for node in graph.nodes]  # steady-state repetitions
+    [1, 1, 1]
     """
     graph = StreamGraph(name, elem_bytes=elem_bytes)
     flattener = _Flattener(graph, mover_work_per_elem)

@@ -72,6 +72,15 @@ def partition_stream_graph(
 
     ``phases`` selects which phases run (all four by default); disabling
     phases is the ablation hook used by the experiments.
+
+    >>> from repro.apps import build_app
+    >>> result = partition_stream_graph(build_app("Bitonic", 8))
+    >>> partitions = result.partitions
+    >>> sorted(nid for members in partitions for nid in members) == list(
+    ...     range(len(result.graph.nodes)))  # a true partition of the nodes
+    True
+    >>> result.total_t > 0
+    True
     """
     engine = engine or PerformanceEstimationEngine(graph, spec=spec)
     ctx = MergeContext(engine)

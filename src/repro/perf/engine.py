@@ -81,6 +81,11 @@ class PerformanceEstimationEngine:
         given.
     params:
         Model constants; defaults to the paper's C1/C2.
+    profile:
+        Pre-computed per-node firing times (the ``t_i`` annotation).  When
+        given, the profiling step is skipped entirely — the sweep engine
+        uses this to replay a cached profile instead of re-measuring.
+        The times must come from an identically-configured simulator.
     """
 
     def __init__(
@@ -89,6 +94,7 @@ class PerformanceEstimationEngine:
         spec: GpuSpec = M2090,
         simulator: Optional[KernelSimulator] = None,
         params: Optional[ModelParams] = None,
+        profile: Optional[Dict[int, float]] = None,
     ) -> None:
         self.graph = graph
         self.spec = spec
@@ -96,7 +102,10 @@ class PerformanceEstimationEngine:
         if self.simulator.spec is not spec:
             raise ValueError("simulator and engine must target the same GPU spec")
         self.params = params or ModelParams()
-        self.profile: Dict[int, float] = profile_graph(graph, self.simulator)
+        self.profile: Dict[int, float] = (
+            dict(profile) if profile is not None
+            else profile_graph(graph, self.simulator)
+        )
         self._cache: Dict[FrozenSet[int], PartitionEstimate] = {}
 
     # ------------------------------------------------------------------

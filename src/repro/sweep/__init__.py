@@ -1,0 +1,52 @@
+"""Batched experiment sweeps with pipeline-stage caching.
+
+This package is the execution substrate behind every experiment module
+and the ``repro sweep`` command line.  It splits into three pieces:
+
+* :mod:`repro.sweep.spec` — declare a grid of (app, N, GPU count,
+  device, partitioner, mapper, peer-to-peer) points;
+* :mod:`repro.sweep.cache` — a content-addressed stage cache (memory +
+  optional on-disk JSON) keyed on graph fingerprints and strategy knobs;
+* :mod:`repro.sweep.runner` — execute points serially or over a process
+  pool, deduplicating shared pipeline prefixes.
+
+The stages themselves live in :mod:`repro.flow`; the end-to-end pipeline
+they form is documented in ``docs/ARCHITECTURE.md``.
+
+Quick example — two strategies over one app, sharing the profile and
+partition work::
+
+    from repro.sweep import StageCache, SweepRunner, SweepSpec
+
+    spec = SweepSpec(cases=[("DES", 8)], gpu_counts=(2,),
+                     mappers=("ilp", "lpt"))
+    result = SweepRunner(cache=StageCache()).run(spec)
+    for rec in result.records:
+        print(rec.point.label(), rec.throughput)
+    print(result.cache_stats.render())
+
+>>> from repro.sweep import SweepSpec
+>>> SweepSpec(cases=[("DES", 8)], mappers=("ilp", "lpt")).size()
+2
+"""
+
+from repro.sweep.cache import CacheStats, StageCache
+from repro.sweep.runner import (
+    PointResult,
+    SweepResult,
+    SweepRunner,
+    run_point,
+)
+from repro.sweep.spec import SweepPoint, SweepSpec, group_points
+
+__all__ = [
+    "CacheStats",
+    "PointResult",
+    "StageCache",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "group_points",
+    "run_point",
+]

@@ -1,0 +1,170 @@
+"""Content-addressed stage cache backing the sweep engine.
+
+Keys come from :func:`repro.flow.stage_key`: ``"<stage>.<sha256>"``
+where the digest covers the graph fingerprint plus every knob the stage
+reads.  Values are plain JSON — exactly what the flow's stage functions
+serialize — so one cache serves both the in-memory fast path and the
+optional on-disk store for cross-run (and cross-process) reuse.
+
+>>> cache = StageCache()
+>>> cache.put("partition.abc", {"partitions": [[0, 1]], "phase_counts": None})
+>>> cache.get("partition.abc")["partitions"]
+[[0, 1]]
+>>> cache.get("partition.missing") is None
+True
+>>> cache.stats().hits, cache.stats().misses
+(1, 1)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, overall and per pipeline stage."""
+
+    hits: int = 0
+    misses: int = 0
+    by_stage: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def record(self, stage: str, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        bucket = self.by_stage.setdefault(stage, {"hits": 0, "misses": 0})
+        bucket["hits" if hit else "misses"] += 1
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another counter set in (used to aggregate worker stats)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        for stage, bucket in other.by_stage.items():
+            mine = self.by_stage.setdefault(stage, {"hits": 0, "misses": 0})
+            mine["hits"] += bucket["hits"]
+            mine["misses"] += bucket["misses"]
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def render(self) -> str:
+        """One-line human summary, e.g. ``7/12 hits (58%)``."""
+        parts = [
+            f"{self.hits}/{self.lookups} hits ({self.hit_rate:.0%})"
+        ]
+        for stage in sorted(self.by_stage):
+            bucket = self.by_stage[stage]
+            parts.append(f"{stage} {bucket['hits']}/{bucket['hits'] + bucket['misses']}")
+        return ", ".join(parts)
+
+    def to_json(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "by_stage": {k: dict(v) for k, v in self.by_stage.items()},
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CacheStats":
+        stats = cls(hits=payload["hits"], misses=payload["misses"])
+        stats.by_stage = {k: dict(v) for k, v in payload["by_stage"].items()}
+        return stats
+
+    def since(self, baseline: dict) -> "CacheStats":
+        """The counters accumulated after a ``to_json()`` snapshot —
+        how one run reports its own lookups on a long-lived cache."""
+        delta = CacheStats(
+            hits=self.hits - baseline["hits"],
+            misses=self.misses - baseline["misses"],
+        )
+        for stage, bucket in self.by_stage.items():
+            base = baseline["by_stage"].get(stage, {"hits": 0, "misses": 0})
+            delta.by_stage[stage] = {
+                "hits": bucket["hits"] - base["hits"],
+                "misses": bucket["misses"] - base["misses"],
+            }
+        return delta
+
+
+class StageCache:
+    """Two-level (memory + optional disk) store of stage results.
+
+    Parameters
+    ----------
+    path:
+        Directory for the on-disk JSON store.  ``None`` keeps the cache
+        purely in memory (one process, one run).  With a path, entries
+        are persisted one file per key — concurrent writers (the process
+        pool) stay safe because writes go through an atomic rename, and
+        a racing duplicate write is idempotent (same key, same content).
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._memory: Dict[str, object] = {}
+        self._stats = CacheStats()
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stage_of(key: str) -> str:
+        return key.split(".", 1)[0]
+
+    def _file(self, key: str) -> str:
+        return os.path.join(self.path, f"{key}.json")
+
+    def get(self, key: str):
+        """The cached value, or ``None``; every call counts in the stats."""
+        if key in self._memory:
+            self._stats.record(self._stage_of(key), hit=True)
+            return self._memory[key]
+        if self.path is not None:
+            try:
+                with open(self._file(key)) as fh:
+                    value = json.load(fh)
+            except (FileNotFoundError, json.JSONDecodeError):
+                pass
+            else:
+                self._memory[key] = value
+                self._stats.record(self._stage_of(key), hit=True)
+                return value
+        self._stats.record(self._stage_of(key), hit=False)
+        return None
+
+    def put(self, key: str, value) -> None:
+        """Store a JSON-serializable stage result."""
+        self._memory[key] = value
+        if self.path is not None:
+            fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(value, fh)
+                os.replace(tmp, self._file(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
+    def stats(self) -> CacheStats:
+        return self._stats
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk entries are kept)."""
+        self._memory.clear()

@@ -1,0 +1,394 @@
+"""The sweep execution engine: batched, cached, optionally parallel.
+
+``SweepRunner`` is the single execution substrate for every experiment
+in :mod:`repro.experiments` and for the ``repro sweep`` command line.
+It takes the points of a :class:`~repro.sweep.spec.SweepSpec`, groups
+them by shared pipeline prefix (same graph, same device), and runs each
+point through the staged flow of :mod:`repro.flow`:
+
+* within a group, one graph build and one profiling pass serve every
+  strategy variant (the engine and its estimate memo are shared);
+* across groups and runs, the :class:`~repro.sweep.cache.StageCache`
+  replays profile, partition, ILP-mapping, and kernel-measurement
+  results keyed on content fingerprints;
+* with ``parallel=True``, prefix groups fan out over a
+  ``concurrent.futures`` process pool, each worker warming the same
+  on-disk cache.
+
+Every stage is a deterministic function of its knobs, with one caveat:
+the MILP solve carries a wall-clock time limit, so a very large
+instance that hits the limit can resolve differently under different
+machine load.  The stage cache removes exactly that irreproducibility —
+the first computed result is pinned and every replay (same run, later
+run, other worker) is bit-identical to it.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.apps.registry import build_app
+from repro.flow import FlowResult, map_stream_graph, profile_stage
+from repro.graph.fingerprint import graph_fingerprint
+from repro.graph.stream_graph import StreamGraph
+from repro.sweep.cache import CacheStats, StageCache
+from repro.sweep.spec import (
+    SPECS,
+    TRANSFORMS,
+    SweepPoint,
+    SweepSpec,
+    group_points,
+)
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Headline numbers of one executed sweep point.
+
+    Compact and picklable: this is what crosses the process-pool
+    boundary.  The full :class:`~repro.flow.FlowResult` is retained only
+    for serial runs with ``keep_flows=True`` (see
+    :meth:`SweepResult.flow`).
+    """
+
+    point: SweepPoint
+    throughput: float
+    tmax: float
+    beat_ns: float
+    makespan_ns: float
+    num_partitions: int
+    assignment: Tuple[int, ...]
+    solver: str
+    optimal: bool
+    wall_s: float
+
+    def row(self) -> Dict[str, object]:
+        """The point as a report-table row."""
+        return {
+            "app": self.point.app,
+            "N": self.point.n,
+            "gpus": self.point.num_gpus,
+            "partitioner": self.point.partitioner,
+            "mapper": self.point.mapper,
+            "p2p": self.point.peer_to_peer,
+            "P": self.num_partitions,
+            "tmax(us)": self.tmax / 1e3,
+            "beat(us)": self.beat_ns / 1e3,
+            "thr(exec/ms)": self.throughput * 1e6,
+            "wall(s)": self.wall_s,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished sweep produced."""
+
+    records: List[PointResult]
+    wall_s: float
+    cache_stats: Optional[CacheStats] = None
+    _flows: Optional[Dict[SweepPoint, FlowResult]] = field(
+        default=None, repr=False
+    )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def record(self, point: SweepPoint) -> PointResult:
+        """The record of ``point`` (KeyError if it was not in the sweep)."""
+        for rec in self.records:
+            if rec.point == point:
+                return rec
+        raise KeyError(point)
+
+    def flow(self, point: SweepPoint) -> FlowResult:
+        """The full FlowResult of ``point``.
+
+        Only available from serial runs with ``keep_flows=True``; the
+        parallel executor ships compact records only.
+        """
+        if self._flows is None:
+            raise RuntimeError(
+                "FlowResults were not retained; run serially with "
+                "keep_flows=True"
+            )
+        return self._flows[point]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """All records as report-table rows."""
+        return [rec.row() for rec in self.records]
+
+
+def build_point_graph(point: SweepPoint) -> StreamGraph:
+    """Build (and optionally transform) the stream graph of a point."""
+    graph = build_app(point.app, point.n)
+    try:
+        transform = TRANSFORMS[point.transform]
+    except KeyError:
+        raise ValueError(f"unknown graph transform {point.transform!r}") from None
+    return transform(graph)
+
+
+def run_point(
+    point: SweepPoint,
+    engine=None,
+    cache: Optional[StageCache] = None,
+    graph: Optional[StreamGraph] = None,
+    graph_fp: Optional[str] = None,
+) -> Tuple[FlowResult, float]:
+    """Execute one point; returns (FlowResult, wall seconds).
+
+    ``engine``/``graph``/``graph_fp`` let a caller executing a prefix
+    group amortize the graph build and profiling across the group's
+    points; omitted, they are created here.
+
+    >>> from repro.sweep.spec import SweepPoint
+    >>> flow, wall = run_point(SweepPoint(app="Bitonic", n=8, num_gpus=2))
+    >>> flow.num_gpus, flow.throughput > 0
+    (2, True)
+    """
+    start = time.perf_counter()
+    if graph is None:
+        graph = build_point_graph(point)
+    spec = SPECS[point.spec]
+    flow = map_stream_graph(
+        graph,
+        num_gpus=point.num_gpus,
+        spec=spec,
+        partitioner=point.partitioner,
+        mapper=point.mapper,
+        peer_to_peer=point.peer_to_peer,
+        engine=engine,
+        executions_per_fragment=point.executions_per_fragment,
+        static_workload_balance=point.static_workload_balance,
+        gpu_slowdown=(
+            list(point.gpu_slowdown) if point.gpu_slowdown else None
+        ),
+        seed=point.seed,
+        cache=cache,
+        graph_fp=graph_fp,
+    )
+    return flow, time.perf_counter() - start
+
+
+def _point_record(point: SweepPoint, flow: FlowResult, wall: float) -> PointResult:
+    return PointResult(
+        point=point,
+        throughput=flow.throughput,
+        tmax=flow.mapping.tmax,
+        beat_ns=flow.report.beat_ns,
+        makespan_ns=flow.report.makespan_ns,
+        num_partitions=flow.num_partitions,
+        assignment=tuple(flow.mapping.assignment),
+        solver=flow.mapping.solver,
+        optimal=flow.mapping.optimal,
+        wall_s=wall,
+    )
+
+
+def _run_group(
+    points: Sequence[SweepPoint],
+    cache: Optional[StageCache],
+    keep_flows: bool,
+    progress: Optional[Callable[[str], None]] = None,
+    done_offset: int = 0,
+    total: Optional[int] = None,
+) -> Tuple[List[PointResult], Dict[SweepPoint, FlowResult]]:
+    """Execute one prefix group with a shared graph + engine."""
+    records: List[PointResult] = []
+    flows: Dict[SweepPoint, FlowResult] = {}
+    first = points[0]
+    graph = build_point_graph(first)
+    graph_fp = graph_fingerprint(graph) if cache is not None else None
+    engine = profile_stage(
+        graph, spec=SPECS[first.spec], seed=first.seed,
+        cache=cache, graph_fp=graph_fp,
+    )
+    for i, point in enumerate(points):
+        flow, wall = run_point(
+            point, engine=engine, cache=cache, graph=graph, graph_fp=graph_fp
+        )
+        records.append(_point_record(point, flow, wall))
+        if keep_flows:
+            flows[point] = flow
+        if progress is not None:
+            count = f"[{done_offset + i + 1}/{total}] " if total else ""
+            progress(f"{count}{point.label()}  {wall:.2f}s")
+    return records, flows
+
+
+def _pool_worker(
+    payload: Tuple[List[SweepPoint], Optional[str]]
+) -> Tuple[List[PointResult], dict]:
+    """Process-pool entry: run one prefix group against the shared
+    on-disk cache — or uncached, when the parent runner has no cache."""
+    points, cache_path = payload
+    cache = StageCache(cache_path) if cache_path is not None else None
+    records, _ = _run_group(points, cache, keep_flows=False)
+    stats = cache.stats().to_json() if cache is not None else CacheStats().to_json()
+    return records, stats
+
+
+class SweepRunner:
+    """Execute sweep points serially or over a process pool.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`~repro.sweep.cache.StageCache`; ``None`` disables
+        caching.  For parallel runs, give the cache an on-disk ``path``
+        so workers share entries (each worker opens the same directory);
+        a memory-only cache cannot cross the pool boundary, so with one
+        configured the runner executes serially instead.
+    parallel:
+        Fan prefix groups out over a process pool.
+    workers:
+        Pool size (default: ``os.cpu_count()``).
+    progress:
+        ``True`` prints one line per finished point/group to stderr; a
+        callable receives the lines instead.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[StageCache] = None,
+        parallel: bool = False,
+        workers: Optional[int] = None,
+        progress: Union[bool, Callable[[str], None], None] = None,
+    ) -> None:
+        self.cache = cache
+        self.parallel = parallel
+        self.workers = workers
+        if progress is True:
+            self._progress: Optional[Callable[[str], None]] = (
+                lambda msg: print(msg, file=sys.stderr)
+            )
+        elif callable(progress):
+            self._progress = progress
+        else:
+            self._progress = None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec_or_points: Union[SweepSpec, Sequence[SweepPoint]],
+        keep_flows: bool = False,
+    ) -> SweepResult:
+        """Execute a grid and collect records (spec order preserved).
+
+        >>> from repro.sweep import SweepSpec
+        >>> spec = SweepSpec(cases=[("Bitonic", 8)], gpu_counts=(1, 2))
+        >>> result = SweepRunner(cache=StageCache()).run(spec)
+        >>> [rec.point.num_gpus for rec in result.records]
+        [1, 2]
+        """
+        points = (
+            spec_or_points.expand()
+            if isinstance(spec_or_points, SweepSpec)
+            else list(spec_or_points)
+        )
+        groups = group_points(points)
+        start = time.perf_counter()
+        flows: Optional[Dict[SweepPoint, FlowResult]] = None
+        # a memory-only cache cannot cross the pool boundary (workers
+        # would fill private copies), so it forces serial execution —
+        # same policy as map(); its reuse beats pool overhead anyway
+        memory_cache = self.cache is not None and self.cache.path is None
+        if self.parallel and len(groups) > 1 and not memory_cache:
+            if keep_flows:
+                raise ValueError(
+                    "keep_flows requires a serial run (FlowResults do not "
+                    "cross the process-pool boundary)"
+                )
+            records, stats = self._run_parallel(groups)
+        else:
+            # single-group sweeps run serially even on a parallel runner,
+            # so their FlowResults are available and keep_flows honors them
+            records, flows, stats = self._run_serial(groups, keep_flows, points)
+        wall = time.perf_counter() - start
+        by_point = {rec.point: rec for rec in records}
+        ordered = [by_point[point] for point in points]
+        result = SweepResult(
+            records=ordered, wall_s=wall, cache_stats=stats,
+        )
+        if keep_flows and flows is not None:
+            result._flows = flows
+        return result
+
+    def _run_serial(self, groups, keep_flows, points):
+        records: List[PointResult] = []
+        flows: Dict[SweepPoint, FlowResult] = {}
+        done = 0
+        baseline = (
+            self.cache.stats().to_json() if self.cache is not None else None
+        )
+        for group in groups:
+            group_records, group_flows = _run_group(
+                group, self.cache, keep_flows,
+                progress=self._progress, done_offset=done, total=len(points),
+            )
+            records.extend(group_records)
+            flows.update(group_flows)
+            done += len(group)
+        # report this run's lookups, not the cache's lifetime counters
+        stats = (
+            self.cache.stats().since(baseline)
+            if self.cache is not None else None
+        )
+        return records, flows, stats
+
+    def _run_parallel(self, groups):
+        cache_path = self.cache.path if self.cache is not None else None
+        stats = CacheStats()
+        records: List[PointResult] = []
+        done = 0
+        total = sum(len(g) for g in groups)
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            payloads = [(group, cache_path) for group in groups]
+            for group_records, stats_json in pool.map(_pool_worker, payloads):
+                records.extend(group_records)
+                stats.merge(CacheStats.from_json(stats_json))
+                done += len(group_records)
+                if self._progress is not None:
+                    first = group_records[0].point
+                    self._progress(
+                        f"[{done}/{total}] group {first.app}/{first.n} "
+                        f"{first.spec} done ({len(group_records)} points)"
+                    )
+        return records, stats
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable, items: Iterable) -> List:
+        """Run ``fn`` over ``items`` through the runner's executor.
+
+        The generic escape hatch for experiment steps that are not plain
+        flow invocations (model-validation scatters, cross-GPU replays).
+        Order is preserved.  Under ``parallel=True`` the callable must be
+        picklable (a module-level function or ``functools.partial``).
+
+        Caching across the pool boundary only works through the disk: a
+        callable closing over an in-memory-only StageCache would mutate
+        pickled copies whose entries never return, so in that
+        configuration the runner executes serially instead (the cache's
+        reuse is worth more than pool overhead on shared-core boxes).
+        With a disk-backed cache workers share entries through the
+        store, though their hit/miss stats are not folded back here.
+        """
+        items = list(items)
+        in_memory_cache = self.cache is not None and self.cache.path is None
+        if self.parallel and len(items) > 1 and not in_memory_cache:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                return list(pool.map(fn, items))
+        out = []
+        for i, item in enumerate(items):
+            start = time.perf_counter()
+            out.append(fn(item))
+            if self._progress is not None:
+                self._progress(
+                    f"[{i + 1}/{len(items)}] {item!r}  "
+                    f"{time.perf_counter() - start:.2f}s"
+                )
+        return out

@@ -1,0 +1,187 @@
+"""Sweep grids: declarative (app × machine × strategy) experiment spaces.
+
+A :class:`SweepSpec` names the axes; :meth:`SweepSpec.expand` produces
+the cross product as :class:`SweepPoint` records, ordered so that points
+sharing a pipeline prefix (same graph, same device, same partitioner)
+are adjacent — the runner exploits that adjacency to profile and
+partition each unique prefix once.
+
+>>> spec = SweepSpec(cases=[("DES", 4)], gpu_counts=(1, 2), mappers=("ilp", "lpt"))
+>>> points = spec.expand()
+>>> len(points)
+4
+>>> points[0].label()
+'DES/4 M2090 g1 ours/ilp p2p'
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.flow import MAPPERS, PARTITIONERS
+from repro.gpu.specs import C2070, M2090, GpuSpec
+from repro.graph.stream_graph import StreamGraph
+
+#: named devices a SweepPoint may target
+SPECS: Dict[str, GpuSpec] = {"M2090": M2090, "C2070": C2070}
+
+
+def _transform_none(graph: StreamGraph) -> StreamGraph:
+    return graph
+
+
+def _transform_eliminate_movers(graph: StreamGraph) -> StreamGraph:
+    from repro.opt.splitjoin_elim import eliminate_movers
+
+    return eliminate_movers(graph)[0]
+
+
+#: named graph transforms applied between build_app and the flow;
+#: referenced by name so SweepPoints stay picklable
+TRANSFORMS: Dict[str, Callable[[StreamGraph], StreamGraph]] = {
+    "none": _transform_none,
+    "eliminate-movers": _transform_eliminate_movers,
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-specified run of the mapping flow.
+
+    Points are immutable, hashable, and built from primitives only, so
+    they pickle cleanly across the process-pool boundary and can serve
+    as dictionary keys when assembling result tables.
+    """
+
+    app: str
+    n: int
+    num_gpus: int = 1
+    spec: str = "M2090"
+    partitioner: str = "ours"
+    mapper: str = "ilp"
+    peer_to_peer: bool = True
+    seed: int = 0
+    static_workload_balance: bool = False
+    gpu_slowdown: Optional[Tuple[float, ...]] = None
+    executions_per_fragment: int = 128
+    #: named graph transform applied after build_app (see
+    #: repro.sweep.runner.TRANSFORMS); "none" is the identity
+    transform: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.partitioner not in PARTITIONERS:
+            raise ValueError(f"unknown partitioner {self.partitioner!r}")
+        if self.mapper not in MAPPERS:
+            raise ValueError(f"unknown mapper {self.mapper!r}")
+        if self.num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if self.spec not in SPECS:
+            raise ValueError(
+                f"unknown spec {self.spec!r}; known: {', '.join(sorted(SPECS))}"
+            )
+        if self.transform not in TRANSFORMS:
+            raise ValueError(
+                f"unknown transform {self.transform!r}; "
+                f"known: {', '.join(sorted(TRANSFORMS))}"
+            )
+
+    def group_key(self) -> Tuple:
+        """Points with equal group keys share a graph and an engine —
+        the unit of prefix deduplication (and of process-pool work)."""
+        return (self.app, self.n, self.spec, self.seed, self.transform)
+
+    def label(self) -> str:
+        """Compact human-readable identity for progress lines."""
+        p2p = "p2p" if self.peer_to_peer else "via-host"
+        extra = "" if self.transform == "none" else f" +{self.transform}"
+        return (
+            f"{self.app}/{self.n} {self.spec} g{self.num_gpus} "
+            f"{self.partitioner}/{self.mapper} {p2p}{extra}"
+        )
+
+
+@dataclass
+class SweepSpec:
+    """A grid of sweep points.
+
+    ``cases`` lists (app, N) instances; the remaining axes multiply.
+    Axis values mirror the knobs of :func:`repro.flow.map_stream_graph`.
+
+    >>> SweepSpec(cases=[("DCT", 6)], partitioners=("ours", "single")).size()
+    2
+    """
+
+    cases: Sequence[Tuple[str, int]] = field(default_factory=list)
+    gpu_counts: Sequence[int] = (1,)
+    specs: Sequence[str] = ("M2090",)
+    partitioners: Sequence[str] = ("ours",)
+    mappers: Sequence[str] = ("ilp",)
+    peer_to_peer: Sequence[bool] = (True,)
+    seed: int = 0
+    executions_per_fragment: int = 128
+
+    def size(self) -> int:
+        """Number of points :meth:`expand` will produce."""
+        return (
+            len(self.cases) * len(self.gpu_counts) * len(self.specs)
+            * len(self.partitioners) * len(self.mappers)
+            * len(self.peer_to_peer)
+        )
+
+    def expand(self) -> List[SweepPoint]:
+        """The grid as an ordered point list.
+
+        Prefix-friendly order: all points of one (app, N, device) group
+        are adjacent, and within a group all points of one partitioner
+        are adjacent, so a warm cache (or shared engine) serves every
+        repeat of the prefix immediately after it is first computed.
+        """
+        points: List[SweepPoint] = []
+        for (app, n), spec in itertools.product(self.cases, self.specs):
+            for partitioner in self.partitioners:
+                for gpus, mapper, p2p in itertools.product(
+                    self.gpu_counts, self.mappers, self.peer_to_peer
+                ):
+                    points.append(
+                        SweepPoint(
+                            app=app,
+                            n=n,
+                            num_gpus=gpus,
+                            spec=spec,
+                            partitioner=partitioner,
+                            mapper=mapper,
+                            peer_to_peer=p2p,
+                            seed=self.seed,
+                            executions_per_fragment=(
+                                self.executions_per_fragment
+                            ),
+                        )
+                    )
+        return points
+
+
+def group_points(
+    points: Iterable[SweepPoint],
+) -> List[List[SweepPoint]]:
+    """Partition points into prefix groups, preserving first-seen order.
+
+    Each group shares (app, N, device, seed, transform): one graph
+    build, one profiling pass, one engine.  Groups are the scheduling
+    unit of the process-pool executor so intra-group reuse happens
+    inside one worker.
+
+    >>> spec = SweepSpec(cases=[("DES", 4), ("DCT", 6)], gpu_counts=(1, 2))
+    >>> [len(group) for group in group_points(spec.expand())]
+    [2, 2]
+    """
+    order: List[Tuple] = []
+    buckets = {}
+    for point in points:
+        key = point.group_key()
+        if key not in buckets:
+            buckets[key] = []
+            order.append(key)
+        buckets[key].append(point)
+    return [buckets[key] for key in order]

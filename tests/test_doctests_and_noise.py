@@ -1,17 +1,39 @@
 """Doctest execution and statistical checks on the simulator's noise."""
 
 import doctest
+import importlib
 import statistics
 
-import repro.graph.builder as builder_module
+import pytest
+
 from repro.graph.builder import linear_pipeline_graph
 from repro.gpu.kernel import KernelConfig
 from repro.gpu.simulator import KernelSimulator, SimCosts, _hash01, _signed
 from repro.gpu.specs import M2090
 
+#: every module whose public API carries executable examples; the
+#: docs-check target (tools/docs_check.py) keeps this honest for the
+#: top-level exports
+DOCTEST_MODULES = [
+    "repro.apps.registry",
+    "repro.flow",
+    "repro.frontend.parser",
+    "repro.gpu.topology",
+    "repro.graph.builder",
+    "repro.graph.fingerprint",
+    "repro.graph.flatten",
+    "repro.partition.heuristic",
+    "repro.sweep",
+    "repro.sweep.cache",
+    "repro.sweep.runner",
+    "repro.sweep.spec",
+]
 
-def test_builder_doctests():
-    results = doctest.testmod(builder_module)
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_public_api_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module)
     assert results.failed == 0
     assert results.attempted > 0
 

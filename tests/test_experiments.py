@@ -122,6 +122,30 @@ class TestAblations:
         assert result.summary["geomean gain from comm-awareness"] > 0
 
 
+class TestRunnerIntegration:
+    """Experiments execute through SweepRunner: a cached runner must
+    reproduce the default runner's rows exactly."""
+
+    def test_cached_runner_reproduces_rows(self):
+        from repro.sweep import StageCache, SweepRunner
+
+        cases = (("DCT", 10),)
+        plain = ablations.run_mapping(cases=cases, num_gpus=2)
+        cache = StageCache()
+        cached_runner = SweepRunner(cache=cache)
+        first = ablations.run_mapping(cases=cases, num_gpus=2,
+                                      runner=cached_runner)
+        again = ablations.run_mapping(cases=cases, num_gpus=2,
+                                      runner=cached_runner)
+        assert first.rows == plain.rows == again.rows
+        assert cache.stats().hits > 0  # second pass replayed the stages
+
+    def test_table51_transform_grid(self):
+        result = table5_1.run(quick=True,
+                              cases=[("Bitonic", 16, 1.05)])
+        assert result.rows[0]["movers removed"] > 0
+
+
 class TestCliEntry:
     def test_main_runs_one_experiment(self, capsys):
         assert experiments_main(["fig3.2"]) == 0

@@ -1,5 +1,7 @@
 """Round-trip property tests: print(parse(...)) and parse(print(...))."""
 
+import os
+
 from hypothesis import given, settings, strategies as st
 
 from repro.frontend.parser import parse_stream
@@ -137,7 +139,10 @@ def test_feedback_roundtrip():
 
 
 def test_bundled_str_example_parses():
-    with open("examples/adaptive_beamformer.str") as fh:
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "examples", "adaptive_beamformer.str"
+    )
+    with open(path) as fh:
         tree = parse_stream(fh.read())
     text = print_stream(tree)
     assert _canonical(parse_stream(text)) == _canonical(tree)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Documentation gate: every public API symbol must be documented.
+
+Checks, for every name in ``repro.__all__`` and ``repro.sweep.__all__``:
+
+* the symbol carries a non-empty docstring (classes and functions), and
+* exported *functions* carry an executable example (a ``>>>`` doctest
+  line) — the examples themselves are executed by
+  ``tests/test_doctests_and_noise.py``.
+
+Exits non-zero listing every violation; run via ``make docs-check``.
+"""
+
+from __future__ import annotations
+
+import inspect
+import sys
+
+
+def check_module(module, require_examples: bool) -> list:
+    problems = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if not (inspect.isclass(obj) or callable(obj)):
+            continue  # plain constants (e.g. __version__, GPU spec objects)
+        doc = inspect.getdoc(obj)
+        where = f"{module.__name__}.{name}"
+        if not doc or not doc.strip():
+            problems.append(f"{where}: missing docstring")
+            continue
+        if (
+            require_examples
+            and inspect.isfunction(obj)
+            and ">>>" not in doc
+        ):
+            problems.append(f"{where}: function lacks a doctest example")
+    return problems
+
+
+def main() -> int:
+    sys.path.insert(0, "src")
+    import repro
+    import repro.sweep
+
+    problems = check_module(repro, require_examples=True)
+    problems += check_module(repro.sweep, require_examples=True)
+    if problems:
+        print("docs-check FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    count = len(repro.__all__) + len(repro.sweep.__all__)
+    print(f"docs-check OK: {count} public symbols documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
