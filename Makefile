@@ -1,15 +1,24 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast bench bench-sweep docs-check experiments clean
+.PHONY: test test-fast test-slow synth-check bench bench-sweep docs-check experiments clean
 
-## tier-1 verify: the full suite, benchmarks included (see ROADMAP.md)
-test:
+## tier-1 verify: the full suite, benchmarks included (see ROADMAP.md);
+## gated on the synth generate+diffcheck smoke check
+test: synth-check
 	$(PYTHON) -m pytest -x -q
 
 ## unit/property/integration tests only (skips the benchmark harnesses)
 test-fast:
 	$(PYTHON) -m pytest tests -x -q
+
+## opt-in wide synthetic-corpus sweeps (pytest -m slow, REPRO_SLOW gate)
+test-slow:
+	REPRO_SLOW=1 $(PYTHON) -m pytest tests -m slow -q
+
+## generate + differential-check the tiny synthetic corpus (CI gate)
+synth-check:
+	$(PYTHON) -m repro.cli synth --check --quiet
 
 ## the full benchmark suite
 bench:

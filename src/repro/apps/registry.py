@@ -104,17 +104,52 @@ FIG42_ORDER = (
 FIG43_APPS = ("DES", "DCT", "FFT", "MatMul3", "Bitonic")
 
 
+def is_known_app(name: str) -> bool:
+    """Whether ``name`` resolves to a bundled or synthetic app.
+
+    >>> is_known_app("DES"), is_known_app("synth:pipeline"), is_known_app("Nope")
+    (True, True, False)
+    """
+    if name in APPS:
+        return True
+    if name.startswith("synth:"):
+        from repro.synth import SynthError, SynthSpec, parse_app_name
+
+        try:
+            family, overrides = parse_app_name(name)
+            # validates the family, every parameter name, and the
+            # parameter floors up front (build_app can still reject an
+            # *extreme* parameter combination whose steady state blows
+            # the generator's firing guard — that check needs the seed)
+            SynthSpec.make(family, 0, overrides or None)
+        except SynthError:
+            return False
+        return True
+    return False
+
+
 def build_app(name: str, n: int) -> StreamGraph:
     """Build benchmark ``name`` at size ``n``.
+
+    ``synth:<family>[;key=value...]`` names route to the synthetic
+    generator (:mod:`repro.synth`) with ``n`` as the seed, so sweep
+    points and CLI cases address generated corpora exactly like the
+    bundled benchmarks.
 
     >>> graph = build_app("DES", 4)
     >>> graph.name, len(graph.nodes) > 10
     ('des-n4', True)
+    >>> build_app("synth:pipeline", 7).name
+    'synth-pipeline-s7'
     >>> build_app("NoSuchApp", 1)
     Traceback (most recent call last):
     ...
     KeyError: "unknown app 'NoSuchApp'; known: Bitonic, BitonicRec, DCT, DES, FFT, FMRadio, MatMul2, MatMul3"
     """
+    if name.startswith("synth:"):
+        from repro.synth import build_synth_app
+
+        return build_synth_app(name, n)
     try:
         info = APPS[name]
     except KeyError:

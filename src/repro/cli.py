@@ -11,6 +11,10 @@ execution.
 (:mod:`repro.sweep`) with pipeline-stage caching and an optional process
 pool, printing a result table plus cache-hit statistics.
 
+``repro synth`` generates synthetic stream graphs (:mod:`repro.synth`):
+deterministic seeded instances exported as ``.str``/JSON, plus the
+differential solver-correctness harness over pinned corpora.
+
 Examples::
 
     repro-map --app DES --n 8 --gpus 4
@@ -18,8 +22,12 @@ Examples::
     repro-map --app Bitonic --n 32 --gpus 4 --dot parts.dot --trace t.json
 
     repro sweep --grid ablation --cache-dir .sweep-cache
-    repro sweep --case DES:16 --case DCT:18 --gpus 1,2,4 \\
+    repro sweep --case DES:16 --case synth:dag:7 --gpus 1,2,4 \\
                 --mappers ilp,lpt --cache-dir .sweep-cache --parallel
+
+    repro synth --family splitjoin --seed 7 --out-str sj7.str --out-json sj7.json
+    repro synth --corpus pinned --diffcheck
+    repro synth --check
 """
 
 from __future__ import annotations
@@ -28,7 +36,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.apps.registry import APPS, build_app
+from repro.apps.registry import APPS, build_app, is_known_app
 from repro.flow import MAPPERS, PARTITIONERS, map_stream_graph
 from repro.graph import json_io
 from repro.graph.dot import partition_map, to_dot
@@ -44,7 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument(
-        "--app", choices=sorted(APPS), help="bundled benchmark application"
+        "--app",
+        help="bundled benchmark application "
+             f"({', '.join(sorted(APPS))}) or synth:<family>[;key=value...] "
+             "(seed via --n)",
     )
     source.add_argument("--graph", help="stream graph JSON file")
     source.add_argument(
@@ -75,12 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _parse_case(text: str):
+    # rsplit keeps synth app names (synth:family;k=v) intact
     try:
-        app, n = text.split(":")
+        app, n = text.rsplit(":", 1)
         return app, int(n)
     except ValueError:
         raise SystemExit(
-            f"bad --case {text!r}: expected APP:N (e.g. DES:16)"
+            f"bad --case {text!r}: expected APP:N (e.g. DES:16 or "
+            f"synth:dag:7)"
         ) from None
 
 
@@ -153,11 +166,13 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
         if not args.case:
             parser.error("give --grid ablation or at least one --case APP:N")
         cases = [_parse_case(text) for text in args.case]
-        unknown = sorted({app for app, _ in cases} - set(APPS))
+        unknown = sorted(
+            {app for app, _ in cases if not is_known_app(app)}
+        )
         if unknown:
             parser.error(
                 f"unknown app(s) {', '.join(unknown)}; "
-                f"known: {', '.join(sorted(APPS))}"
+                f"known: {', '.join(sorted(APPS))} plus synth:<family>"
             )
         p2p_axis = {
             "on": (True,), "off": (False,), "both": (True, False),
@@ -198,10 +213,174 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def build_synth_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro synth",
+        description="Generate synthetic stream graphs and run the "
+                    "differential solver-correctness harness.",
+    )
+    parser.add_argument("--family", help="graph family (see --list-families)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="generator seed (default 0)")
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="KEY=N",
+        help="family parameter override, repeatable "
+             "(e.g. --param depth=12)",
+    )
+    parser.add_argument("--list-families", action="store_true",
+                        help="list the graph families and their parameters")
+    parser.add_argument("--out-str", metavar="FILE",
+                        help="write the instance as stream-language source")
+    parser.add_argument("--out-json", metavar="FILE",
+                        help="write the instance as flat-graph JSON")
+    parser.add_argument("--show", choices=("str", "json"),
+                        help="print the instance in the given format")
+    parser.add_argument("--diffcheck", action="store_true",
+                        help="cross-check greedy/B&B/MILP on the instance "
+                             "(or, with --corpus, on the whole corpus)")
+    parser.add_argument("--corpus", choices=("pinned", "tiny"),
+                        help="operate on a bundled corpus instead of one "
+                             "(--family, --seed) instance")
+    parser.add_argument("--check", action="store_true",
+                        help="generate + diffcheck the tiny corpus and exit "
+                             "non-zero on any violation (CI gate)")
+    parser.add_argument("--gpus", type=int, default=2, choices=(1, 2, 3, 4),
+                        help="GPU count for --diffcheck (default 2)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-instance progress lines")
+    return parser
+
+
+def _parse_params(items: List[str], parser: argparse.ArgumentParser) -> dict:
+    from repro.synth import SynthError, parse_param
+
+    overrides = {}
+    for item in items:
+        try:
+            key, value = parse_param(item)
+        except SynthError as exc:
+            parser.error(f"--param: {exc}")
+        overrides[key] = value
+    return overrides
+
+
+def synth_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro synth``."""
+    from repro import synth
+
+    parser = build_synth_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_families:
+        for family in synth.FAMILIES:
+            defaults = ", ".join(
+                f"{k}={v}" for k, v in sorted(
+                    synth.FAMILY_DEFAULTS[family].items()
+                )
+            )
+            print(f"{family:10s} {synth.FAMILY_DESCRIPTIONS[family]}")
+            print(f"{'':10s} params: {defaults}")
+        return 0
+
+    progress = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr)
+    )
+
+    if args.check or args.corpus:
+        instance_flags = [
+            name for name, value in (
+                ("--family", args.family), ("--out-str", args.out_str),
+                ("--out-json", args.out_json), ("--show", args.show),
+            ) if value
+        ]
+        if instance_flags:
+            parser.error(
+                "--check/--corpus operate on whole corpora; drop "
+                + ", ".join(instance_flags)
+            )
+        # --check defaults to the tiny gate corpus, but an explicit
+        # --corpus choice always wins (--check --corpus pinned gates on
+        # all 30 instances)
+        corpus = args.corpus or ("tiny" if args.check else None)
+        entries = (
+            synth.TINY_CORPUS if corpus == "tiny" else synth.PINNED_CORPUS
+        )
+        if args.diffcheck or args.check:
+            report = synth.diffcheck_corpus(
+                entries, num_gpus=args.gpus, progress=progress
+            )
+            print(
+                f"{len(report.instances)} instances, "
+                f"{len(report.violations)} violations, "
+                f"{len(report.skips)} skips"
+            )
+            for violation in report.violations:
+                print(f"VIOLATION: {violation}")
+            return 0 if report.ok else 1
+        for instance in synth.generate_corpus(entries):
+            graph = instance.graph
+            print(
+                f"{instance.spec.instance_name}: {len(graph.nodes)} filters, "
+                f"{len(graph.channels)} channels, "
+                f"fingerprint {instance.fingerprint[:16]}"
+            )
+        return 0
+
+    if not args.family:
+        parser.error("give --family (see --list-families), --corpus, "
+                     "or --check")
+    try:
+        instance = synth.generate(
+            args.family, args.seed,
+            _parse_params(args.param, parser) or None,
+        )
+    except synth.SynthError as exc:
+        parser.error(str(exc))
+
+    graph = instance.graph
+    print(f"instance   : {instance.spec.instance_name}")
+    print(f"graph      : {len(graph.nodes)} filters, "
+          f"{len(graph.channels)} channels, "
+          f"{sum(n.firing for n in graph.nodes)} firings/steady state")
+    print(f"fingerprint: {instance.fingerprint}")
+
+    if args.out_str:
+        try:
+            text = instance.source()
+        except synth.SourceUnavailableError as exc:
+            parser.error(str(exc))
+        with open(args.out_str, "w") as fh:
+            fh.write(text)
+        print(f"wrote stream source to {args.out_str}")
+    if args.out_json:
+        with open(args.out_json, "w") as fh:
+            fh.write(instance.json())
+        print(f"wrote graph JSON to {args.out_json}")
+    if args.show == "str":
+        try:
+            print(instance.source(), end="")
+        except synth.SourceUnavailableError as exc:
+            parser.error(str(exc))
+    elif args.show == "json":
+        print(instance.json(), end="")
+
+    if args.diffcheck:
+        report = synth.diffcheck_graph(instance, num_gpus=args.gpus)
+        print(report.render())
+        for violation in report.violations:
+            print(f"VIOLATION: {violation}")
+        for skip in report.skips:
+            print(f"skipped: {skip}")
+        return 0 if report.ok else 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "synth":
+        return synth_main(argv[1:])
     if argv and argv[0] == "map":
         argv = argv[1:]
     parser = build_parser()
@@ -210,6 +389,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.app:
         if args.n is None:
             parser.error("--app requires --n")
+        if not is_known_app(args.app):
+            parser.error(
+                f"unknown app {args.app!r}; known: {', '.join(sorted(APPS))} "
+                "plus synth:<family>"
+            )
         graph = build_app(args.app, args.n)
     elif args.stream:
         from repro.frontend import compile_stream

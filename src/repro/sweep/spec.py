@@ -121,11 +121,30 @@ class SweepSpec:
     peer_to_peer: Sequence[bool] = (True,)
     seed: int = 0
     executions_per_fragment: int = 128
+    #: synthetic-corpus axis: (family, seed) instances from
+    #: :mod:`repro.synth`, addressed as ``synth:<family>`` apps with the
+    #: generator seed riding in the point's ``n`` — they expand, group,
+    #: cache, and parallelize exactly like bundled-benchmark cases
+    synth_cases: Sequence[Tuple[str, int]] = field(default_factory=list)
+
+    def _all_cases(self) -> List[Tuple[str, int]]:
+        """Bundled cases plus synth cases in app-name form.
+
+        >>> spec = SweepSpec(cases=[("DES", 4)], synth_cases=[("dag", 7)])
+        >>> spec._all_cases()
+        [('DES', 4), ('synth:dag', 7)]
+        """
+        cases = list(self.cases)
+        for family, seed in self.synth_cases:
+            app = family if family.startswith("synth:") else f"synth:{family}"
+            cases.append((app, seed))
+        return cases
 
     def size(self) -> int:
         """Number of points :meth:`expand` will produce."""
         return (
-            len(self.cases) * len(self.gpu_counts) * len(self.specs)
+            (len(self.cases) + len(self.synth_cases))
+            * len(self.gpu_counts) * len(self.specs)
             * len(self.partitioners) * len(self.mappers)
             * len(self.peer_to_peer)
         )
@@ -139,7 +158,7 @@ class SweepSpec:
         repeat of the prefix immediately after it is first computed.
         """
         points: List[SweepPoint] = []
-        for (app, n), spec in itertools.product(self.cases, self.specs):
+        for (app, n), spec in itertools.product(self._all_cases(), self.specs):
             for partitioner in self.partitioners:
                 for gpus, mapper, p2p in itertools.product(
                     self.gpu_counts, self.mappers, self.peer_to_peer

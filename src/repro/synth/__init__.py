@@ -1,0 +1,145 @@
+"""Synthetic stream-graph generation and differential solver checking.
+
+The paper evaluates on eight hand-written benchmarks; this package opens
+the workload space: seedable, parameterized graph *families* (deep
+pipelines, wide/nested split-joins, butterfly exchanges, feedback loops,
+random series-parallel mixes, irregular SDF DAGs) whose every instance
+is reproducible from ``(family, seed, params)`` and stable under
+:func:`repro.graph.fingerprint.graph_fingerprint` — so generated corpora
+flow through the sweep engine's stage cache exactly like the bundled
+apps.  On top sits :mod:`repro.synth.diffcheck`, a differential harness
+that runs greedy, branch-and-bound, and MILP mappers on the same
+instances and cross-checks their answers.
+
+Entry points::
+
+    from repro.synth import generate, diffcheck_corpus
+
+    g = generate("splitjoin", seed=7)        # SynthGraph
+    print(g.fingerprint)                     # stable content hash
+    print(g.source())                        # stream-language .str text
+    report = diffcheck_corpus()              # pinned 30-instance check
+    assert report.ok
+
+Sweep integration: ``SweepSpec(synth_cases=[("butterfly", 3)])`` — or
+the app-name form ``build_app("synth:butterfly", 3)`` — routes generated
+graphs through :class:`~repro.sweep.SweepRunner` with stage caching.
+The ``repro synth`` CLI generates, exports (.str/JSON), fingerprints,
+and diff-checks instances from the shell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.graph.stream_graph import StreamGraph
+from repro.synth.corpus import (
+    PINNED_CORPUS,
+    TINY_CORPUS,
+    corpus_specs,
+    generate_corpus,
+)
+from repro.synth.diffcheck import (
+    CorpusReport,
+    InstanceReport,
+    diffcheck_corpus,
+    diffcheck_graph,
+    diffcheck_problem,
+)
+from repro.synth.families import (
+    FAMILIES,
+    FAMILY_DEFAULTS,
+    FAMILY_DESCRIPTIONS,
+    TREE_FAMILIES,
+    SourceUnavailableError,
+    SynthError,
+    SynthGraph,
+    SynthSpec,
+    generate,
+    parse_param,
+)
+from repro.synth.rng import SynthRng
+
+#: app-name prefix routing :func:`repro.apps.registry.build_app` (and
+#: therefore SweepPoints) into the generator
+APP_PREFIX = "synth:"
+
+__all__ = [
+    "APP_PREFIX",
+    "CorpusReport",
+    "FAMILIES",
+    "FAMILY_DEFAULTS",
+    "FAMILY_DESCRIPTIONS",
+    "InstanceReport",
+    "PINNED_CORPUS",
+    "SourceUnavailableError",
+    "SynthError",
+    "SynthGraph",
+    "SynthRng",
+    "SynthSpec",
+    "TINY_CORPUS",
+    "TREE_FAMILIES",
+    "build_synth_app",
+    "corpus_specs",
+    "diffcheck_corpus",
+    "diffcheck_graph",
+    "diffcheck_problem",
+    "generate",
+    "generate_corpus",
+    "parse_app_name",
+    "parse_param",
+    "synth_app_name",
+]
+
+
+def parse_app_name(name: str) -> Tuple[str, Dict[str, int]]:
+    """Split a ``synth:`` app name into (family, param overrides).
+
+    The sweep engine identifies graphs by ``(app, n)`` string/int pairs
+    (hashable, picklable), so synthetic instances are addressed as
+    ``synth:<family>[;key=value;...]`` with the seed riding in ``n``.
+
+    >>> parse_app_name("synth:pipeline")
+    ('pipeline', {})
+    >>> parse_app_name("synth:dag;layers=6;width=2")
+    ('dag', {'layers': 6, 'width': 2})
+    """
+    if not name.startswith(APP_PREFIX):
+        raise SynthError(f"not a synth app name: {name!r}")
+    body = name[len(APP_PREFIX):]
+    parts = body.split(";")
+    family = parts[0]
+    overrides: Dict[str, int] = {}
+    for item in parts[1:]:
+        if not item:
+            continue
+        key, value = parse_param(item)
+        overrides[key] = value
+    return family, overrides
+
+
+def synth_app_name(family: str, params: Dict[str, int] = None) -> str:
+    """The ``synth:`` app name addressing a family (+ overrides).
+
+    >>> synth_app_name("dag", {"layers": 6})
+    'synth:dag;layers=6'
+    """
+    name = APP_PREFIX + family
+    for key, value in sorted((params or {}).items()):
+        name += f";{key}={value}"
+    return name
+
+
+def build_synth_app(name: str, seed: int) -> StreamGraph:
+    """Build a synthetic instance from its app name and seed.
+
+    This is the :func:`repro.apps.build_app` back end for ``synth:``
+    names, so sweep points and the CLI address generated graphs exactly
+    like bundled benchmarks.
+
+    >>> g = build_synth_app("synth:butterfly", 3)
+    >>> g.name
+    'synth-butterfly-s3'
+    """
+    family, overrides = parse_app_name(name)
+    return generate(family, seed, overrides or None).graph

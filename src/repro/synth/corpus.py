@@ -1,0 +1,97 @@
+"""Pinned synthetic corpora.
+
+The differential regression tests (and ``repro synth --corpus``) run
+against a *pinned* 30-instance corpus: a fixed list of
+``(family, seed, params)`` triples chosen to cover every family, both
+splitter kinds, nesting, feedback, and irregular DAGs, while staying
+small enough that greedy, branch-and-bound, and MILP all solve within
+the tier-1 test budget.  Because generation is deterministic, pinning
+the specs pins the graphs — their fingerprints never change unless the
+generator itself changes, which is exactly the regression we want to
+catch.
+
+>>> len(PINNED_CORPUS)
+30
+>>> instances = generate_corpus(PINNED_CORPUS[:2])
+>>> [g.spec.family for g in instances]
+['pipeline', 'pipeline']
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.synth.families import SynthGraph, SynthSpec, generate
+
+#: (family, seed, param overrides) — edit only with a fingerprint-golden
+#: update; the differential tests pin solver behaviour on these graphs
+PINNED_CORPUS: Tuple[Tuple[str, int, Optional[Dict[str, int]]], ...] = (
+    ("pipeline", 1, None),
+    ("pipeline", 2, None),
+    ("pipeline", 3, {"depth": 12}),
+    ("pipeline", 4, {"depth": 5, "max_rate": 6}),
+    ("pipeline", 5, {"max_work": 256}),
+    ("splitjoin", 1, None),
+    ("splitjoin", 2, None),
+    ("splitjoin", 3, {"width": 6}),
+    ("splitjoin", 4, {"nest": 2}),
+    ("splitjoin", 5, {"width": 3, "chain": 3}),
+    ("butterfly", 1, None),
+    ("butterfly", 2, {"stages": 2}),
+    ("butterfly", 3, {"stages": 2, "base": 3}),
+    ("butterfly", 4, {"base": 1}),
+    ("butterfly", 5, {"stages": 4, "base": 1, "max_work": 4}),
+    ("feedback", 1, None),
+    ("feedback", 2, None),
+    ("feedback", 3, {"loops": 2}),
+    ("feedback", 4, {"chain": 3}),
+    ("feedback", 5, {"loops": 2, "max_rate": 6}),
+    ("random", 1, None),
+    ("random", 2, None),
+    ("random", 3, {"depth": 4}),
+    ("random", 4, {"max_branch": 4}),
+    ("random", 5, {"depth": 2, "max_rate": 6}),
+    ("dag", 1, None),
+    ("dag", 2, None),
+    ("dag", 3, {"layers": 6}),
+    ("dag", 4, {"width": 4}),
+    ("dag", 5, {"layers": 5, "width": 2}),
+)
+
+#: a three-instance corpus for ``make synth-check`` / ``repro synth --check``
+TINY_CORPUS: Tuple[Tuple[str, int, Optional[Dict[str, int]]], ...] = (
+    ("pipeline", 1, {"depth": 4}),
+    ("splitjoin", 1, {"width": 2, "nest": 1}),
+    ("dag", 1, {"layers": 3, "width": 2}),
+)
+
+
+def corpus_specs(
+    entries: Iterable[Tuple[str, int, Optional[Dict[str, int]]]]
+) -> List[SynthSpec]:
+    """Resolve corpus entries into full :class:`SynthSpec` records.
+
+    >>> corpus_specs(TINY_CORPUS)[0].family
+    'pipeline'
+    """
+    return [
+        SynthSpec.make(family, seed, overrides)
+        for family, seed, overrides in entries
+    ]
+
+
+def generate_corpus(
+    entries: Optional[Sequence[Tuple[str, int, Optional[Dict[str, int]]]]] = None,
+) -> List[SynthGraph]:
+    """Generate every instance of a corpus (default: the pinned 30).
+
+    >>> tiny = generate_corpus(TINY_CORPUS)
+    >>> len(tiny)
+    3
+    """
+    if entries is None:
+        entries = PINNED_CORPUS
+    return [
+        generate(family, seed, overrides)
+        for family, seed, overrides in entries
+    ]

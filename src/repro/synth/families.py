@@ -1,0 +1,803 @@
+"""Parameterized synthetic stream-graph families.
+
+Each family builder turns ``(family, seed, params)`` into a stream graph
+through the deterministic :class:`~repro.synth.rng.SynthRng`, so every
+instance is reproducible from its :class:`SynthSpec` alone and stable
+under :func:`repro.graph.fingerprint.graph_fingerprint`.  Five families
+build hierarchical structure trees (printable as stream-language source
+and parseable back); the ``dag`` family builds irregular flat SDF DAGs
+directly, beyond what the series-parallel structure tree can express.
+
+=============  ==========================================================
+``pipeline``   deep chains with varied rates, sliding-window peeks, and
+               occasional up/down-sampling stages
+``splitjoin``  wide and nested split-joins (duplicate and round-robin)
+               with weight-consistent joiners over gain-carrying branches
+``butterfly``  FFT-like recursive exchange patterns (split halves,
+               recurse, combine)
+``feedback``   pipelines threaded through delay-initialized feedback
+               loops
+``random``     irregular random series-parallel compositions mixing all
+               of the above
+``dag``        layered irregular SDF DAGs with per-node firing targets
+               (not series-parallel; JSON/flat-graph output only)
+=============  ==========================================================
+
+Weight consistency is by construction: every composite tracks its
+*gain* (elements out per element in, an exact :class:`~fractions.Fraction`)
+and joiner weights are scaled so the SDF balance equations always have a
+positive solution — generation never fails rate checking.  Nested
+composites draw from damped rate/weight palettes because branch demands
+lcm into splitter firing counts and multiply across nesting levels; a
+:data:`MAX_TOTAL_FIRINGS` guard raises a clear :class:`SynthError` for
+extreme parameter combinations instead of silently producing
+million-firing steady states.
+
+>>> g = generate("splitjoin", seed=7)
+>>> g.spec.family, g.spec.seed, len(g.graph.nodes) > 4
+('splitjoin', 7, True)
+>>> generate("splitjoin", seed=7).fingerprint == g.fingerprint
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.filters import FilterRole, FilterSpec, sink, source
+from repro.graph.flatten import flatten
+from repro.graph.fingerprint import graph_fingerprint
+from repro.graph.json_io import dumps as json_dumps
+from repro.graph.stream_graph import StreamGraph
+from repro.graph.structure import (
+    FeedbackLoop,
+    Filt,
+    SplitSpec,
+    StreamNode,
+    duplicate,
+    join_roundrobin,
+    pipeline,
+    roundrobin,
+    splitjoin,
+)
+from repro.graph.validate import validate_graph
+from repro.synth.rng import SynthRng
+
+#: steady states whose total firing count exceeds this are generator bugs
+#: (weights are scaled to keep repetition vectors small)
+MAX_TOTAL_FIRINGS = 200_000
+
+
+class SynthError(ValueError):
+    """Raised for unknown families, bad parameters, or generator bugs."""
+
+
+class SourceUnavailableError(SynthError):
+    """Raised when a family cannot be rendered as stream-language source
+    (the ``dag`` family is not series-parallel)."""
+
+
+def parse_param(item: str) -> Tuple[str, int]:
+    """Parse one ``key=value`` family-parameter item.
+
+    The single syntax shared by CLI ``--param`` flags and
+    ``synth:<family>;key=value`` app names.
+
+    >>> parse_param("depth=12")
+    ('depth', 12)
+    >>> parse_param("depth=lots")
+    Traceback (most recent call last):
+    ...
+    repro.synth.families.SynthError: bad parameter 'depth=lots' (expected key=integer)
+    """
+    try:
+        key, value = item.split("=", 1)
+        return key.strip(), int(value)
+    except ValueError:
+        raise SynthError(
+            f"bad parameter {item!r} (expected key=integer)"
+        ) from None
+
+
+@dataclass(frozen=True)
+class SynthSpec:
+    """Full provenance of one generated instance.
+
+    ``params`` is the *merged* parameter set (defaults plus overrides),
+    canonically sorted, so equal specs generate identical graphs.
+
+    >>> SynthSpec.make("pipeline", 3).instance_name
+    'synth-pipeline-s3'
+    >>> SynthSpec.make("pipeline", 3, {"depth": 12}).params[0]
+    ('depth', 12)
+    """
+
+    family: str
+    seed: int
+    params: Tuple[Tuple[str, int], ...]
+
+    @classmethod
+    def make(
+        cls, family: str, seed: int, overrides: Optional[Dict[str, int]] = None
+    ) -> "SynthSpec":
+        if family not in FAMILIES:
+            raise SynthError(
+                f"unknown synth family {family!r}; "
+                f"known: {', '.join(sorted(FAMILIES))}"
+            )
+        defaults = dict(FAMILY_DEFAULTS[family])
+        minimums = FAMILY_MINIMUMS.get(family, {})
+        for key, value in (overrides or {}).items():
+            if key not in defaults:
+                raise SynthError(
+                    f"family {family!r} has no parameter {key!r}; "
+                    f"known: {', '.join(sorted(defaults))}"
+                )
+            floor = minimums.get(key, 1)
+            if int(value) < floor:
+                raise SynthError(
+                    f"parameter {key}={value} must be >= {floor}"
+                )
+            defaults[key] = int(value)
+        return cls(family, int(seed), tuple(sorted(defaults.items())))
+
+    @property
+    def token(self) -> str:
+        """Canonical provenance string; seeds the RNG stream."""
+        params = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.family}|{self.seed}|{params}"
+
+    @property
+    def instance_name(self) -> str:
+        """Deterministic graph name carrying the full provenance.
+
+        The name participates in :func:`graph_fingerprint`'s canonical
+        form, so two distinct ``(family, seed, params)`` triples can
+        never share a fingerprint — even if their random draws happen to
+        produce structurally identical graphs.  This is what makes
+        :class:`~repro.sweep.cache.StageCache` keys collision-free for
+        synthetic corpora.
+        """
+        base = f"synth-{self.family}-s{self.seed}"
+        if self.params != tuple(sorted(FAMILY_DEFAULTS[self.family].items())):
+            digest = hashlib.sha256(self.token.encode()).hexdigest()[:8]
+            base += f"-p{digest}"
+        return base
+
+    @property
+    def tree_name(self) -> str:
+        """Identifier-safe name for the root of the structure tree."""
+        return f"synth_{self.family}_s{self.seed}"
+
+
+@dataclass
+class SynthGraph:
+    """One generated instance: provenance, tree (if any), flat graph."""
+
+    spec: SynthSpec
+    tree: Optional[StreamNode]
+    graph: StreamGraph
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the flat graph (stable across runs)."""
+        return graph_fingerprint(self.graph)
+
+    def source(self) -> str:
+        """Stream-language source (raises for non-series-parallel
+        families such as ``dag``)."""
+        if self.tree is None:
+            raise SourceUnavailableError(
+                f"family {self.spec.family!r} is not series-parallel; "
+                "use JSON output instead"
+            )
+        from repro.frontend.printer import print_stream
+
+        return print_stream(self.tree) + "\n"
+
+    def json(self) -> str:
+        """Flat-graph JSON (works for every family)."""
+        return json_dumps(self.graph) + "\n"
+
+
+# ----------------------------------------------------------------------
+# shared helpers
+# ----------------------------------------------------------------------
+def _work(rng: SynthRng, max_work: int) -> float:
+    return float(rng.randint(1, max_work))
+
+
+def _chain_specs(
+    rng: SynthRng,
+    prefix: str,
+    count: int,
+    max_rate: int,
+    max_work: int,
+    allow_peek: bool = True,
+) -> List[FilterSpec]:
+    """A gain-1 filter chain: each stage pops and pushes the same rate
+    (rates vary across stages; firing ratios telescope and stay small)."""
+    specs = []
+    for i in range(count):
+        rate = rng.randint(1, max_rate)
+        peek = 0
+        if allow_peek and rng.chance(1, 5):
+            peek = rate + rng.randint(1, 2 * rate)
+        specs.append(
+            FilterSpec(
+                name=f"{prefix}{i}",
+                pop=rate,
+                push=rate,
+                peek=peek,
+                work=_work(rng, max_work),
+                stateful=rng.chance(1, 10),
+            )
+        )
+    return specs
+
+
+def _lcm(values: List[int]) -> int:
+    out = 1
+    for v in values:
+        out = out * v // math.gcd(out, v)
+    return out
+
+
+def _split_join_weights(
+    rng: SynthRng,
+    gains: List[Fraction],
+    unit: bool,
+    max_multiplier: int,
+) -> Tuple[SplitSpec, List[int]]:
+    """Derive a consistent (splitter, joiner weights) pair from branch
+    gains: weights are scaled by the gain denominators so every joiner
+    weight is a positive integer and the balance equations close.
+
+    ``unit`` pins the weight multiplier to 1 — used at nested levels,
+    where branch demands lcm into the splitter firing count and large
+    weights would multiply across levels.
+    """
+
+    def multiplier() -> int:
+        return 1 if unit else rng.randint(1, max_multiplier)
+
+    if rng.chance(1, 3):  # duplicate splitter
+        weight = multiplier() * _lcm([g.denominator for g in gains])
+        split = duplicate(weight, len(gains))
+        join_weights = [int(weight * g) for g in gains]
+    else:  # round-robin splitter
+        weights = [multiplier() * g.denominator for g in gains]
+        split = roundrobin(*weights)
+        join_weights = [int(w * g) for w, g in zip(weights, gains)]
+    return split, join_weights
+
+
+def _normalize_gain(
+    node: StreamNode, gain: Fraction, prefix: str
+) -> Tuple[StreamNode, Fraction]:
+    """Append a rate adapter so ``node``'s gain becomes exactly 1.
+
+    Nested split-joins accumulate fractional gains whose denominators
+    would otherwise multiply into the enclosing joiner weights and blow
+    up the repetition vector; a single ``pop=numerator,
+    push=denominator`` filter cancels the gain exactly, keeping weights
+    (and steady-state firings) bounded at every nesting level.  The
+    adapter is built without RNG draws, so graphs that need no
+    normalization are byte-identical to pre-normalization ones.
+    """
+    if gain == 1:
+        return node, gain
+    adapter = FilterSpec(
+        name=f"{prefix}adapt",
+        pop=gain.numerator,
+        push=gain.denominator,
+        work=float(gain.numerator + gain.denominator),
+    )
+    return pipeline(node, adapter, name=f"{prefix}norm"), Fraction(1)
+
+
+# ----------------------------------------------------------------------
+# family: pipeline
+# ----------------------------------------------------------------------
+def _build_pipeline(rng: SynthRng, p: Dict[str, int]) -> StreamNode:
+    """Deep chain; up to two stages resample (push or pop scaled up)."""
+    depth, max_rate, max_work = p["depth"], p["max_rate"], p["max_work"]
+    specs: List[FilterSpec] = []
+    resamples = 0
+    for i in range(depth):
+        rate = rng.randint(1, max_rate)
+        pop = push = rate
+        if resamples < 2 and rng.chance(1, 6):
+            factor = rng.randint(2, 3)
+            if rng.chance(1, 2):
+                push = rate * factor  # upsampler
+            else:
+                pop = rate * factor  # decimator
+            resamples += 1
+        peek = 0
+        if pop == push and rng.chance(1, 5):
+            peek = pop + rng.randint(1, 2 * pop)
+        specs.append(
+            FilterSpec(
+                name=f"s{i}",
+                pop=pop,
+                push=push,
+                peek=peek,
+                work=_work(rng, max_work),
+                stateful=rng.chance(1, 10),
+            )
+        )
+    head = rng.randint(1, max_rate)
+    return pipeline(
+        source("src", head, work=float(head)),
+        *specs,
+        sink("snk", specs[-1].push, work=float(specs[-1].push)),
+        name="Main",
+    )
+
+
+# ----------------------------------------------------------------------
+# family: splitjoin
+# ----------------------------------------------------------------------
+def _branch_chain(
+    rng: SynthRng, prefix: str, p: Dict[str, int], nested: bool = False
+) -> Tuple[StreamNode, Fraction]:
+    """A branch pipeline with a tracked integer gain.
+
+    ``nested`` branches (inside an inner split-join) draw from a damped
+    rate palette and carry no gain filters: the lcm requirements of
+    branch-internal rates multiply across nesting levels, so keeping
+    the inner palette small is what keeps deep nests' repetition
+    vectors bounded.
+    """
+    count = rng.randint(1, p["chain"])
+    max_rate = 2 if nested else p["max_rate"]
+    specs = _chain_specs(rng, prefix, count, max_rate, p["max_work"])
+    gain = Fraction(1)
+    if not nested and rng.chance(1, 6):
+        rate = rng.randint(1, p["max_rate"])
+        factor = rng.randint(2, 3)
+        specs.append(
+            FilterSpec(
+                name=f"{prefix}g",
+                pop=rate,
+                push=rate * factor,
+                work=_work(rng, p["max_work"]),
+            )
+        )
+        gain = Fraction(factor)
+    if len(specs) == 1:
+        return Filt(specs[0]), gain
+    return pipeline(*specs, name=f"{prefix}p"), gain
+
+
+def _build_splitjoin_node(
+    rng: SynthRng, p: Dict[str, int], nest_left: int, prefix: str
+) -> Tuple[StreamNode, Fraction]:
+    """A split-join whose joiner weights are derived from branch gains,
+    so the balance equations always close.
+
+    Nested split-joins (``nest_left < p["nest"]``) are damped: narrower,
+    unit-multiplier weights, small branch rates.  Splitter firing counts
+    must absorb the lcm of every branch's per-firing demand, and those
+    demands multiply across nesting levels — the damping is what keeps
+    deeply nested instances' repetition vectors small.
+    """
+    nested = nest_left < p["nest"]
+    width = rng.randint(2, min(3, p["width"]) if nested else p["width"])
+    branches: List[StreamNode] = []
+    gains: List[Fraction] = []
+    for b in range(width):
+        if nest_left > 0 and rng.chance(1, 3):
+            node, gain = _build_splitjoin_node(
+                rng, p, nest_left - 1, f"{prefix}n{b}_"
+            )
+        else:
+            node, gain = _branch_chain(
+                rng, f"{prefix}b{b}_", p, nested=nested
+            )
+        branches.append(node)
+        gains.append(gain)
+
+    split, join_weights = _split_join_weights(
+        rng, gains, unit=nested, max_multiplier=3
+    )
+    join = join_roundrobin(*join_weights)
+    node = splitjoin(split, branches, join, name=f"{prefix}sj")
+    gain = Fraction(sum(join_weights), split.pop_per_firing)
+    return node, gain
+
+
+def _build_splitjoin(rng: SynthRng, p: Dict[str, int]) -> StreamNode:
+    body, _ = _build_splitjoin_node(rng, p, p["nest"], "")
+    return pipeline(
+        source("src", body.pop_rate, work=float(body.pop_rate)),
+        body,
+        sink("snk", body.push_rate, work=float(body.push_rate)),
+        name="Main",
+    )
+
+
+# ----------------------------------------------------------------------
+# family: butterfly
+# ----------------------------------------------------------------------
+def _build_butterfly(rng: SynthRng, p: Dict[str, int]) -> StreamNode:
+    """FFT-like recursive exchange: split halves, recurse, combine."""
+    stages, base, max_work = p["stages"], p["base"], p["max_work"]
+    block = base * (1 << stages)
+
+    def level(depth: int, m: int, prefix: str) -> StreamNode:
+        if depth == 0:
+            count = rng.randint(1, 2)
+            leaves = [
+                FilterSpec(
+                    name=f"{prefix}w{i}",
+                    pop=m,
+                    push=m,
+                    work=float(rng.randint(1, max_work) * m),
+                    semantics="butterfly" if rng.chance(1, 2) else "opaque",
+                    params=(max(1, m // 2),) if rng.chance(1, 2) else (),
+                )
+                for i in range(count)
+            ]
+            if len(leaves) == 1:
+                return Filt(leaves[0])
+            return pipeline(*leaves, name=f"{prefix}leaf")
+        half = m // 2
+        exchange = splitjoin(
+            roundrobin(half, half),
+            [level(depth - 1, half, f"{prefix}e"), level(depth - 1, half, f"{prefix}o")],
+            join_roundrobin(half, half),
+            name=f"{prefix}x{depth}",
+        )
+        combine = FilterSpec(
+            name=f"{prefix}c{depth}",
+            pop=m,
+            push=m,
+            work=float(5 * m),
+            semantics="butterfly",
+            params=(half,),
+        )
+        return pipeline(exchange, combine, name=f"{prefix}st{depth}")
+
+    return pipeline(
+        source("src", block, work=float(block)),
+        FilterSpec(
+            name="reorder",
+            pop=block,
+            push=block,
+            work=float(block),
+            semantics="shuffle",
+        ),
+        level(stages, block, "b"),
+        sink("snk", block, work=float(block)),
+        name="Main",
+    )
+
+
+# ----------------------------------------------------------------------
+# family: feedback
+# ----------------------------------------------------------------------
+def _build_feedback(rng: SynthRng, p: Dict[str, int]) -> StreamNode:
+    """Pipeline threaded through ``loops`` delay-initialized feedback
+    loops.  Gain-1 bodies/loopbacks with ``join = split = (a, b)`` keep
+    the balance equations closed; ``delay`` pre-populates the loopback
+    in multiples of its per-firing demand ``b``."""
+    stages: List[StreamNode] = []
+    head = rng.randint(1, p["max_rate"])
+    stages.append(source("src", head, work=float(head)))
+    for spec in _chain_specs(rng, "pre", rng.randint(1, p["chain"]),
+                             p["max_rate"], p["max_work"]):
+        stages.append(spec)
+    for loop_idx in range(p["loops"]):
+        fwd = rng.randint(1, p["max_rate"])
+        back = rng.randint(1, p["max_rate"])
+        body_specs = _chain_specs(
+            rng, f"fb{loop_idx}_body", rng.randint(1, p["chain"]),
+            p["max_rate"], p["max_work"], allow_peek=False,
+        )
+        loop_specs = _chain_specs(
+            rng, f"fb{loop_idx}_loop", rng.randint(1, p["chain"]),
+            p["max_rate"], p["max_work"], allow_peek=False,
+        )
+        body: StreamNode
+        loopback: StreamNode
+        body = (
+            Filt(body_specs[0]) if len(body_specs) == 1
+            else pipeline(*body_specs, name=f"fb{loop_idx}_bodyp")
+        )
+        loopback = (
+            Filt(loop_specs[0]) if len(loop_specs) == 1
+            else pipeline(*loop_specs, name=f"fb{loop_idx}_loopp")
+        )
+        stages.append(
+            FeedbackLoop(
+                body=body,
+                loopback=loopback,
+                join=join_roundrobin(fwd, back),
+                split=roundrobin(fwd, back),
+                delay=back * rng.randint(1, 3),
+                name=f"fb{loop_idx}",
+            )
+        )
+    post_specs = _chain_specs(rng, "post", rng.randint(1, p["chain"]),
+                              p["max_rate"], p["max_work"])
+    stages.extend(post_specs)
+    # the sink drains the last post-chain stage (there is always one)
+    stages.append(
+        sink("snk", post_specs[-1].push, work=float(post_specs[-1].push))
+    )
+    return pipeline(*stages, name="Main")
+
+
+# ----------------------------------------------------------------------
+# family: random (irregular series-parallel mix)
+# ----------------------------------------------------------------------
+def _build_random(rng: SynthRng, p: Dict[str, int]) -> StreamNode:
+    """Random nested composition of chains, split-joins, and feedback
+    loops — the adversarial shapes hand-picked benchmarks never hit."""
+    def leaf(prefix: str) -> Tuple[StreamNode, Fraction]:
+        rate = rng.randint(1, p["max_rate"])
+        gain = Fraction(1)
+        pop = push = rate
+        if rng.chance(1, 8):
+            factor = rng.randint(2, 3)
+            if rng.chance(1, 2):
+                push = rate * factor
+                gain = Fraction(factor)
+            else:
+                pop = rate * factor
+                gain = Fraction(1, factor)
+        peek = 0
+        if pop == push and rng.chance(1, 6):
+            peek = pop + rng.randint(1, pop)
+        spec = FilterSpec(
+            name=f"{prefix}f",
+            pop=pop,
+            push=push,
+            peek=peek,
+            work=_work(rng, p["max_work"]),
+            stateful=rng.chance(1, 12),
+        )
+        return Filt(spec), gain
+
+    def compose(depth: int, prefix: str) -> Tuple[StreamNode, Fraction]:
+        if depth == 0 or rng.chance(2, 5):
+            return leaf(prefix)
+        roll = rng.randint(1, 6)
+        if roll <= 3:  # pipeline of 2-3 children
+            count = rng.randint(2, 3)
+            children, gain = [], Fraction(1)
+            for i in range(count):
+                child, g = compose(depth - 1, f"{prefix}p{i}_")
+                children.append(child)
+                gain *= g
+            return pipeline(*children, name=f"{prefix}pipe"), gain
+        if roll <= 5:  # split-join over recursive branches
+            nested = depth < p["depth"]
+            width = rng.randint(2, p["max_branch"])
+            branches, gains = [], []
+            for b in range(width):
+                child, g = compose(depth - 1, f"{prefix}s{b}_")
+                if g.denominator > 3 or g.numerator > 4:
+                    # complex composite gains would multiply into the
+                    # joiner weights; normalize them away (bounded
+                    # repetition vectors at any depth)
+                    child, g = _normalize_gain(child, g, f"{prefix}s{b}_")
+                branches.append(child)
+                gains.append(g)
+            split, join_weights = _split_join_weights(
+                rng, gains, unit=nested, max_multiplier=2
+            )
+            node = splitjoin(
+                split, branches, join_roundrobin(*join_weights),
+                name=f"{prefix}sj",
+            )
+            return node, Fraction(sum(join_weights), split.pop_per_firing)
+        # feedback loop; body/loopback are rate-matched (gain 1) so the
+        # (fwd, back) join/split weights close the balance equations
+        fwd = rng.randint(1, p["max_rate"])
+        back = rng.randint(1, p["max_rate"])
+        body = Filt(
+            FilterSpec(
+                name=f"{prefix}fbb",
+                pop=fwd + back,
+                push=fwd + back,
+                work=_work(rng, p["max_work"]),
+            )
+        )
+        loopback = Filt(
+            FilterSpec(
+                name=f"{prefix}fbl",
+                pop=back,
+                push=back,
+                work=_work(rng, p["max_work"]),
+            )
+        )
+        node = FeedbackLoop(
+            body=body,
+            loopback=loopback,
+            join=join_roundrobin(fwd, back),
+            split=roundrobin(fwd, back),
+            delay=back * rng.randint(1, 2),
+            name=f"{prefix}fb",
+        )
+        return node, Fraction(1)
+
+    body, _ = compose(p["depth"], "")
+    return pipeline(
+        source("src", body.pop_rate, work=float(body.pop_rate)),
+        body,
+        sink("snk", body.push_rate, work=float(body.push_rate)),
+        name="Main",
+    )
+
+
+# ----------------------------------------------------------------------
+# family: dag (irregular flat SDF DAG; not series-parallel)
+# ----------------------------------------------------------------------
+def _build_dag(rng: SynthRng, p: Dict[str, int], name: str) -> StreamGraph:
+    """Layered irregular DAG with per-node firing targets.
+
+    Every channel ``u -> v`` carries ``lcm(f_u, f_v) * m`` elements per
+    steady state (``src_push = V / f_u``, ``dst_pop = V / f_v``), so the
+    balance equations are satisfied by construction for *any* wiring —
+    which frees the wiring itself to be adversarial: skip edges, diamond
+    fan-in, uneven fan-out.
+    """
+    from repro.graph.builder import GraphBuilder
+
+    layers: List[List[int]] = []
+    firings: Dict[int, int] = {}
+    next_id = 0
+
+    def new_node(firing: int) -> int:
+        nonlocal next_id
+        nid = next_id
+        next_id += 1
+        firings[nid] = firing
+        return nid
+
+    src_id = new_node(1)
+    layers.append([src_id])
+    for _ in range(p["layers"]):
+        count = rng.randint(1, p["width"])
+        layers.append([new_node(rng.randint(1, 4)) for _ in range(count)])
+    sink_id = new_node(rng.randint(1, 2))
+
+    edges: List[Tuple[int, int]] = []
+    for li in range(1, len(layers)):
+        earlier = [nid for layer in layers[:li] for nid in layer]
+        for nid in layers[li]:
+            # always one edge from the previous layer (keeps it layered
+            # and weakly connected), plus optional skip-level fan-in
+            edges.append((rng.choice(layers[li - 1]), nid))
+            if len(earlier) > 1 and rng.chance(1, 3):
+                extra = rng.choice(earlier)
+                if (extra, nid) not in edges and extra != nid:
+                    edges.append((extra, nid))
+    has_succ = {u for u, _ in edges}
+    for layer in layers:
+        for nid in layer:
+            if nid not in has_succ or nid in layers[-1]:
+                if (nid, sink_id) not in edges:
+                    edges.append((nid, sink_id))
+
+    def channel_rates(u: int, v: int) -> Tuple[int, int]:
+        fu, fv = firings[u], firings[v]
+        volume = (fu * fv // math.gcd(fu, fv)) * rng.randint(1, 2)
+        return volume // fu, volume // fv
+
+    rates = {edge: channel_rates(*edge) for edge in edges}
+    in_pops: Dict[int, int] = {}
+    out_pushes: Dict[int, int] = {}
+    for (u, v), (push, pop) in rates.items():
+        out_pushes[u] = out_pushes.get(u, 0) + push
+        in_pops[v] = in_pops.get(v, 0) + pop
+
+    builder = GraphBuilder(name)
+    for layer in layers:
+        for nid in layer:
+            if nid == src_id:
+                built = builder.filter(
+                    "src", pop=0, push=out_pushes[nid],
+                    role=FilterRole.SOURCE, semantics="source",
+                    work=float(out_pushes[nid]),
+                )
+            else:
+                built = builder.filter(
+                    f"n{nid}", pop=in_pops[nid], push=out_pushes.get(nid, 0),
+                    work=_work(rng, p["max_work"]),
+                    stateful=rng.chance(1, 12),
+                )
+            if built != nid:
+                raise SynthError("dag node ids out of sync")
+    built = builder.filter(
+        "snk", pop=in_pops[sink_id], push=0,
+        role=FilterRole.SINK, semantics="sink",
+        work=float(in_pops[sink_id]),
+    )
+    if built != sink_id:
+        raise SynthError("dag sink id out of sync")
+    for (u, v), (push, pop) in rates.items():
+        builder.connect(u, v, src_push=push, dst_pop=pop)
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# registry + entry points
+# ----------------------------------------------------------------------
+FAMILY_DEFAULTS: Dict[str, Dict[str, int]] = {
+    "pipeline": {"depth": 8, "max_rate": 4, "max_work": 64},
+    "splitjoin": {"width": 4, "nest": 1, "chain": 2, "max_rate": 4,
+                  "max_work": 64},
+    "butterfly": {"stages": 3, "base": 2, "max_work": 8},
+    "feedback": {"loops": 1, "chain": 2, "max_rate": 4, "max_work": 64},
+    "random": {"depth": 3, "max_branch": 3, "max_rate": 4, "max_work": 64},
+    "dag": {"layers": 4, "width": 3, "max_work": 64},
+}
+
+#: parameter floors above the global minimum of 1 (fan-out families
+#: need at least two branches to split over)
+FAMILY_MINIMUMS: Dict[str, Dict[str, int]] = {
+    "splitjoin": {"width": 2},
+    "random": {"max_branch": 2},
+}
+
+FAMILY_DESCRIPTIONS: Dict[str, str] = {
+    "pipeline": "deep chains with resampling stages and peek windows",
+    "splitjoin": "wide/nested split-joins with gain-consistent joiners",
+    "butterfly": "FFT-like recursive exchange patterns",
+    "feedback": "pipelines threaded through delayed feedback loops",
+    "random": "irregular random series-parallel compositions",
+    "dag": "layered irregular SDF DAGs (flat; no .str form)",
+}
+
+FAMILIES: Tuple[str, ...] = tuple(sorted(FAMILY_DEFAULTS))
+
+#: families whose instances carry a structure tree (printable as .str)
+TREE_FAMILIES: Tuple[str, ...] = tuple(
+    f for f in FAMILIES if f != "dag"
+)
+
+
+def generate(
+    family: str, seed: int, params: Optional[Dict[str, int]] = None
+) -> SynthGraph:
+    """Generate one instance; deterministic in ``(family, seed, params)``.
+
+    >>> a = generate("pipeline", 3)
+    >>> b = generate("pipeline", 3)
+    >>> a.fingerprint == b.fingerprint
+    True
+    >>> a.fingerprint != generate("pipeline", 4).fingerprint
+    True
+    """
+    spec = SynthSpec.make(family, seed, params)
+    rng = SynthRng(spec.token)
+    merged = dict(spec.params)
+    tree: Optional[StreamNode] = None
+    if family == "dag":
+        graph = _build_dag(rng, merged, spec.instance_name)
+    else:
+        builders = {
+            "pipeline": _build_pipeline,
+            "splitjoin": _build_splitjoin,
+            "butterfly": _build_butterfly,
+            "feedback": _build_feedback,
+            "random": _build_random,
+        }
+        tree = builders[family](rng, merged)
+        graph = flatten(tree, spec.instance_name)
+    validate_graph(graph)
+    total_firings = sum(node.firing for node in graph.nodes)
+    if total_firings > MAX_TOTAL_FIRINGS:
+        raise SynthError(
+            f"{spec.instance_name}: steady state exploded "
+            f"({total_firings} firings) — generator bug"
+        )
+    return SynthGraph(spec=spec, tree=tree, graph=graph)

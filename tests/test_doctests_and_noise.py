@@ -27,6 +27,11 @@ DOCTEST_MODULES = [
     "repro.sweep.cache",
     "repro.sweep.runner",
     "repro.sweep.spec",
+    "repro.synth",
+    "repro.synth.corpus",
+    "repro.synth.diffcheck",
+    "repro.synth.families",
+    "repro.synth.rng",
 ]
 
 

@@ -1,0 +1,187 @@
+"""CLI tests for ``repro synth``: golden-file determinism (same seed =>
+byte-identical ``.str``/JSON across runs *and* across history), corpus
+modes, and error paths."""
+
+import os
+
+import pytest
+
+from repro import cli
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden", "synth")
+
+
+def _golden(name: str) -> bytes:
+    with open(os.path.join(GOLDEN_DIR, name), "rb") as fh:
+        return fh.read()
+
+
+def _run_synth(tmp_path, *args: str) -> dict:
+    """Run ``repro synth`` in-process, returning written files' bytes."""
+    rc = cli.main(["synth", *args])
+    assert rc == 0
+    out = {}
+    for path in tmp_path.iterdir():
+        out[path.name] = path.read_bytes()
+    return out
+
+
+class TestGoldenFiles:
+    """Same seed => byte-identical output, pinned against checked-in
+    goldens so generator drift cannot slip through unnoticed."""
+
+    @pytest.mark.parametrize(
+        "family, seed, stem",
+        [("splitjoin", "7", "splitjoin-s7"), ("pipeline", "3", "pipeline-s3")],
+    )
+    def test_str_and_json_match_goldens(self, tmp_path, family, seed, stem):
+        files = _run_synth(
+            tmp_path, "--family", family, "--seed", seed,
+            "--out-str", str(tmp_path / "out.str"),
+            "--out-json", str(tmp_path / "out.json"),
+        )
+        assert files["out.str"] == _golden(f"{stem}.str")
+        assert files["out.json"] == _golden(f"{stem}.json")
+
+    def test_dag_json_matches_golden(self, tmp_path):
+        files = _run_synth(
+            tmp_path, "--family", "dag", "--seed", "5",
+            "--out-json", str(tmp_path / "out.json"),
+        )
+        assert files["out.json"] == _golden("dag-s5.json")
+
+    def test_two_invocations_byte_identical(self, tmp_path):
+        runs = {}
+        for run in ("a", "b"):
+            sub = tmp_path / run
+            sub.mkdir()
+            runs[run] = _run_synth(
+                sub, "--family", "butterfly", "--seed", "9",
+                "--out-str", str(sub / "out.str"),
+                "--out-json", str(sub / "out.json"),
+            )
+        assert runs["a"] == runs["b"]
+        assert set(runs["a"]) == {"out.str", "out.json"}
+
+    def test_pinned_corpus_fingerprints_match_golden(self):
+        from repro.synth import generate_corpus
+
+        lines = [
+            f"{g.spec.instance_name} {g.fingerprint}\n"
+            for g in generate_corpus()
+        ]
+        assert "".join(lines).encode() == _golden("pinned_fingerprints.txt")
+
+    def test_emitted_str_recompiles_to_same_fingerprint(self, tmp_path):
+        """The exported .str is not just stable — it is a faithful
+        program: compiling it reproduces the generated graph."""
+        from repro.frontend import compile_stream
+        from repro.graph.fingerprint import graph_fingerprint
+        from repro.synth import generate
+
+        instance = generate("splitjoin", 7)
+        graph = compile_stream(
+            _golden("splitjoin-s7.str").decode(),
+            name=instance.spec.instance_name,
+        )
+        assert graph_fingerprint(graph) == instance.fingerprint
+
+
+class TestCliModes:
+    def test_summary_prints_fingerprint(self, capsys):
+        assert cli.main(["synth", "--family", "feedback", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out
+        assert "synth-feedback-s2" in out
+
+    def test_show_json(self, capsys):
+        assert cli.main(
+            ["synth", "--family", "dag", "--seed", "1", "--show", "json"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert '"channels"' in out
+
+    def test_list_families(self, capsys):
+        assert cli.main(["synth", "--list-families"]) == 0
+        out = capsys.readouterr().out
+        for family in ("pipeline", "splitjoin", "butterfly", "feedback",
+                       "random", "dag"):
+            assert family in out
+
+    def test_check_mode_passes(self, capsys):
+        assert cli.main(["synth", "--check", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "3 instances" in out and "0 violations" in out
+
+    def test_check_honors_explicit_corpus(self, capsys):
+        assert cli.main(
+            ["synth", "--check", "--corpus", "pinned", "--quiet"]
+        ) == 0
+        assert "30 instances" in capsys.readouterr().out
+
+    def test_single_instance_diffcheck(self, capsys):
+        rc = cli.main([
+            "synth", "--family", "splitjoin", "--seed", "1", "--diffcheck",
+        ])
+        assert rc == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_corpus_listing(self, capsys):
+        assert cli.main(["synth", "--corpus", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("fingerprint") == 3
+
+    def test_param_override_changes_output(self, capsys):
+        assert cli.main(
+            ["synth", "--family", "pipeline", "--seed", "1",
+             "--param", "depth=12"]
+        ) == 0
+        first = capsys.readouterr().out
+        assert cli.main(["synth", "--family", "pipeline", "--seed", "1"]) == 0
+        second = capsys.readouterr().out
+        assert first != second
+
+
+class TestCliErrors:
+    def test_dag_str_export_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main([
+                "synth", "--family", "dag", "--seed", "1",
+                "--out-str", str(tmp_path / "x.str"),
+            ])
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            cli.main(["synth", "--family", "nosuch", "--seed", "1"])
+
+    def test_bad_param(self):
+        with pytest.raises(SystemExit):
+            cli.main(["synth", "--family", "dag", "--seed", "1",
+                      "--param", "layers=lots"])
+
+    def test_missing_family(self):
+        with pytest.raises(SystemExit):
+            cli.main(["synth"])
+
+    def test_corpus_modes_reject_instance_flags(self, tmp_path):
+        """--check/--corpus must not silently ignore --family/--out-*."""
+        with pytest.raises(SystemExit):
+            cli.main(["synth", "--corpus", "tiny", "--family", "dag"])
+        with pytest.raises(SystemExit):
+            cli.main(["synth", "--check",
+                      "--out-json", str(tmp_path / "x.json")])
+
+
+class TestSweepCliIntegration:
+    def test_sweep_accepts_synth_cases(self, capsys):
+        rc = cli.main([
+            "sweep", "--case", "synth:pipeline:3", "--gpus", "1",
+            "--quiet",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "synth:pipeline" in out
+
+    def test_sweep_rejects_unknown_synth_family(self):
+        with pytest.raises(SystemExit):
+            cli.main(["sweep", "--case", "synth:nosuch:3", "--quiet"])

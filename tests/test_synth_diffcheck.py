@@ -1,0 +1,228 @@
+"""Differential-regression tests on the pinned 30-graph corpus, plus
+explicit coverage of the MILP timeout-status path and of the harness's
+ability to catch lying solvers."""
+
+import pytest
+
+from repro.flow import pdg_stage, partition_stage, profile_stage
+from repro.mapping.greedy import lpt_mapping
+from repro.mapping.problem import MappingProblem, build_mapping_problem
+from repro.mapping.result import MappingResult, make_result
+from repro.mapping import solver_milp
+from repro.gpu.topology import default_topology
+from repro.synth import PINNED_CORPUS, diffcheck_corpus, generate
+from repro.synth import diffcheck as diffcheck_mod
+from repro.synth.diffcheck import (
+    InstanceReport,
+    _check_outcome,
+    diffcheck_problem,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus_report():
+    """One shared run of the full pinned corpus (MILP gap 0, so the
+    greedy-vs-optimal comparison below is exact)."""
+    return diffcheck_corpus(PINNED_CORPUS, num_gpus=2)
+
+
+class TestPinnedCorpus:
+    def test_covers_thirty_instances(self, corpus_report):
+        assert len(corpus_report.instances) == 30
+
+    def test_zero_violations(self, corpus_report):
+        assert corpus_report.ok, "\n".join(corpus_report.violations)
+
+    def test_greedy_never_beats_optimal_milp(self, corpus_report):
+        """The satellite invariant, asserted directly: on every instance
+        where MILP *proved* optimality, the greedy objective is >= the
+        MILP objective.  Instances where MILP hit its limit are skipped
+        (recorded as skips by the harness), never failed."""
+        compared = 0
+        for inst in corpus_report.instances:
+            milp = inst.outcomes.get("milp")
+            greedy = inst.outcomes.get("greedy-lpt")
+            if milp is None or greedy is None or not milp.optimal:
+                continue  # timeout / no-solution path: skip, don't fail
+            compared += 1
+            assert greedy.tmax >= milp.tmax * (1 - 1e-6), inst.label
+        # the corpus is sized so that on an unloaded box every MILP
+        # solve finishes; under contention some may time out, but never
+        # all of them
+        assert compared > 0
+
+    def test_render_mentions_every_instance(self, corpus_report):
+        text = corpus_report.render()
+        assert "synth-dag-s1" in text
+        assert "30 instances" in text
+
+
+def _toy_problem(times=(400e3, 300e3, 200e3, 100e3), gpus=2):
+    """Compute-dominated 4-partition chain: spreading across GPUs always
+    beats stacking (link latency is 10 us, compute totals 1 ms)."""
+    return MappingProblem(
+        times=list(times),
+        edges={(0, 1): 128.0, (1, 2): 128.0, (2, 3): 128.0},
+        host_io=[(128.0, 0.0)] + [(0.0, 0.0)] * (len(times) - 2)
+        + [(0.0, 128.0)],
+        topology=default_topology(gpus),
+    )
+
+
+class TestMilpTimeoutPath:
+    """The timeout-status path of :func:`solve_milp`, exercised
+    deterministically by forcing HiGHS's reported status."""
+
+    def test_time_limit_status_clears_optimal_flag(self, monkeypatch):
+        real_milp = solver_milp.milp
+
+        def milp_hitting_limit(*args, **kwargs):
+            res = real_milp(*args, **kwargs)
+            res.status = 1  # scipy/HiGHS: iteration or time limit
+            return res
+
+        monkeypatch.setattr(solver_milp, "milp", milp_hitting_limit)
+        result = solver_milp.solve_milp(_toy_problem())
+        assert result.optimal is False
+        assert dict(result.solve_stats)["milp_status"] == 1.0
+        # the incumbent is still a usable, valid assignment
+        assert len(result.assignment) == 4
+
+    def test_no_solution_raises_runtime_error(self, monkeypatch):
+        class _NoSolution:
+            x = None
+            status = 1
+            message = "time limit reached with no incumbent"
+
+        monkeypatch.setattr(
+            solver_milp, "milp", lambda *a, **k: _NoSolution()
+        )
+        with pytest.raises(RuntimeError, match="time limit"):
+            solver_milp.solve_milp(_toy_problem())
+
+    def test_diffcheck_skips_timed_out_milp(self, monkeypatch):
+        """A non-optimal MILP answer — even a bad one — is a skip, not a
+        violation: timeouts must not fail the corpus."""
+        problem = _toy_problem()
+
+        def milp_timeout_stub(prob, **kwargs):
+            # worst-possible but valid incumbent, flagged non-optimal
+            return make_result(
+                prob, [0] * prob.num_partitions, "milp", optimal=False,
+                stats=(("milp_status", 1.0),),
+            )
+
+        monkeypatch.setattr(diffcheck_mod, "solve_milp", milp_timeout_stub)
+        report = diffcheck_problem(problem, "stub", problem.num_partitions)
+        assert report.ok
+        assert any("milp" in skip for skip in report.skips)
+
+    def test_diffcheck_skips_milp_runtime_error(self, monkeypatch):
+        def milp_no_solution(prob, **kwargs):
+            raise RuntimeError("MILP solver failed: no incumbent")
+
+        monkeypatch.setattr(diffcheck_mod, "solve_milp", milp_no_solution)
+        report = diffcheck_problem(
+            _toy_problem(), "stub", 4
+        )
+        assert report.ok
+        assert any("no solution" in skip for skip in report.skips)
+
+
+class TestHarnessCatchesBadSolvers:
+    """The differential harness itself must detect solver lies."""
+
+    def test_false_optimality_claim_is_a_violation(self, monkeypatch):
+        problem = _toy_problem()
+
+        def lying_milp(prob, **kwargs):
+            # claims optimality for the all-on-one-GPU assignment, which
+            # LPT trivially beats on this compute-heavy instance
+            return make_result(
+                prob, [0] * prob.num_partitions, "milp", optimal=True,
+                stats=(("milp_status", 0.0),),
+            )
+
+        assert lpt_mapping(problem).tmax < problem.tmax([0, 0, 0, 0])
+        monkeypatch.setattr(diffcheck_mod, "solve_milp", lying_milp)
+        report = diffcheck_problem(problem, "liar", problem.num_partitions)
+        assert not report.ok
+        assert any("heuristic beats it" in v for v in report.violations)
+
+    def test_miscored_result_is_a_violation(self):
+        problem = _toy_problem()
+        honest = lpt_mapping(problem)
+        lying = MappingResult(
+            assignment=honest.assignment,
+            tmax=honest.tmax * 0.5,  # reported better than it scores
+            gpu_times=honest.gpu_times,
+            link_times=honest.link_times,
+            solver="greedy-lpt",
+            optimal=False,
+        )
+        report = InstanceReport(label="x", num_partitions=4, num_gpus=2)
+        _check_outcome(report, problem, lying)
+        assert any("evaluator" in v for v in report.violations)
+
+    def test_out_of_range_assignment_is_a_violation(self):
+        problem = _toy_problem()
+        bogus = MappingResult(
+            assignment=(0, 1, 2, 0),  # GPU 2 does not exist
+            tmax=1.0,
+            gpu_times=(1.0, 1.0),
+            link_times=(),
+            solver="milp",
+            optimal=True,
+        )
+        report = InstanceReport(label="x", num_partitions=4, num_gpus=2)
+        _check_outcome(report, problem, bogus)
+        assert any("out of range" in v for v in report.violations)
+
+    def test_wrong_length_assignment_is_a_violation(self):
+        problem = _toy_problem()
+        short = MappingResult(
+            assignment=(0, 1),
+            tmax=1.0,
+            gpu_times=(1.0, 1.0),
+            link_times=(),
+            solver="milp",
+            optimal=True,
+        )
+        report = InstanceReport(label="x", num_partitions=4, num_gpus=2)
+        _check_outcome(report, problem, short)
+        assert any("length" in v for v in report.violations)
+
+
+class TestInvalidGraphPath:
+    def test_unsolved_rates_reported_not_crashed(self):
+        from repro.graph.stream_graph import StreamGraph
+        from repro.graph.filters import FilterSpec
+        from repro.synth.families import SynthGraph, SynthSpec
+        from repro.synth.diffcheck import diffcheck_graph
+
+        graph = StreamGraph("broken")
+        graph.add_node(FilterSpec(name="only", pop=1, push=1))
+        instance = SynthGraph(
+            spec=SynthSpec.make("pipeline", 0), tree=None, graph=graph
+        )
+        report = diffcheck_graph(instance)
+        assert not report.ok
+        assert any("graph invalid" in v for v in report.violations)
+
+
+class TestMultiGpuCorpusSample:
+    def test_four_gpu_sample_clean(self):
+        """A few corpus instances at g=4 exercise the tree topology's
+        multi-link routing in all solvers."""
+        for family, seed in (("splitjoin", 3), ("dag", 3), ("butterfly", 2)):
+            instance = generate(family, seed)
+            engine = profile_stage(instance.graph)
+            partitions, partitioning = partition_stage(instance.graph, engine)
+            pdg = pdg_stage(
+                instance.graph, partitions, engine, partitioning=partitioning
+            )
+            problem = build_mapping_problem(pdg, 4)
+            report = diffcheck_problem(
+                problem, f"{family}/{seed}", len(partitions)
+            )
+            assert report.ok, report.violations

@@ -1,0 +1,232 @@
+"""Generator-level tests for :mod:`repro.synth`: determinism, provenance,
+fingerprint/cache-key separation, and app-name routing."""
+
+import pytest
+
+from repro.apps.registry import build_app, is_known_app
+from repro.flow import stage_key
+from repro.graph.builder import linear_pipeline_graph
+from repro.graph.fingerprint import graph_fingerprint
+from repro.graph.validate import validate_graph
+from repro.synth import (
+    FAMILIES,
+    FAMILY_DEFAULTS,
+    TREE_FAMILIES,
+    SourceUnavailableError,
+    SynthError,
+    SynthRng,
+    SynthSpec,
+    build_synth_app,
+    generate,
+    parse_app_name,
+    synth_app_name,
+)
+
+
+class TestRng:
+    def test_same_token_same_stream(self):
+        a = SynthRng("x|1|d=2")
+        b = SynthRng("x|1|d=2")
+        assert [a.next_u64() for _ in range(8)] == [
+            b.next_u64() for _ in range(8)
+        ]
+
+    def test_different_tokens_diverge(self):
+        a = SynthRng("x|1|d=2")
+        b = SynthRng("x|2|d=2")
+        assert [a.next_u64() for _ in range(4)] != [
+            b.next_u64() for _ in range(4)
+        ]
+
+    def test_randint_bounds_and_coverage(self):
+        rng = SynthRng("bounds")
+        draws = [rng.randint(2, 5) for _ in range(200)]
+        assert set(draws) == {2, 3, 4, 5}
+
+    def test_randint_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            SynthRng("x").randint(3, 2)
+
+    def test_choice_and_sample(self):
+        rng = SynthRng("pick")
+        assert rng.choice([42]) == 42
+        assert sorted(rng.sample(range(5), 5)) == [0, 1, 2, 3, 4]
+        with pytest.raises(ValueError):
+            rng.sample([1], 2)
+
+    def test_shuffle_is_permutation(self):
+        rng = SynthRng("mix")
+        items = list(range(10))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(10))
+
+    def test_pinned_stream_values(self):
+        """The stream itself is pinned: any change to the RNG algorithm
+        silently regenerates every corpus, so fail loudly instead."""
+        rng = SynthRng("pipeline|7|")
+        assert [rng.randint(1, 1000) for _ in range(3)] == [897, 349, 159]
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_deterministic_and_valid(self, family):
+        a = generate(family, 11)
+        b = generate(family, 11)
+        assert a.fingerprint == b.fingerprint
+        assert a.json() == b.json()
+        validate_graph(a.graph)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_seed_changes_graph(self, family):
+        assert generate(family, 1).fingerprint != generate(family, 2).fingerprint
+
+    def test_params_change_graph_and_name(self):
+        base = generate("pipeline", 3)
+        deep = generate("pipeline", 3, {"depth": 12})
+        assert base.fingerprint != deep.fingerprint
+        assert base.spec.instance_name != deep.spec.instance_name
+        assert len(deep.graph.nodes) > len(base.graph.nodes)
+
+    def test_unknown_family_and_param_rejected(self):
+        with pytest.raises(SynthError):
+            generate("nosuch", 1)
+        with pytest.raises(SynthError):
+            generate("pipeline", 1, {"nosuch": 3})
+        with pytest.raises(SynthError):
+            generate("pipeline", 1, {"depth": 0})
+
+    def test_fanout_families_need_two_branches(self):
+        """width/max_branch floors: a clean SynthError at spec time, not
+        an empty-range crash inside the generator."""
+        with pytest.raises(SynthError, match=">= 2"):
+            generate("splitjoin", 1, {"width": 1})
+        with pytest.raises(SynthError, match=">= 2"):
+            generate("random", 1, {"max_branch": 1})
+        for seed in range(6):  # the floors themselves generate fine
+            generate("splitjoin", seed, {"width": 2})
+            generate("random", seed, {"max_branch": 2})
+
+    @pytest.mark.parametrize("family", TREE_FAMILIES)
+    def test_tree_families_emit_source(self, family):
+        instance = generate(family, 5)
+        text = instance.source()
+        assert text.startswith("pipeline Main {")
+        assert text.endswith("}\n")
+
+    def test_dag_family_has_no_source(self):
+        instance = generate("dag", 5)
+        assert instance.tree is None
+        with pytest.raises(SourceUnavailableError):
+            instance.source()
+
+    def test_dag_is_acyclic_and_connected(self):
+        for seed in range(10):
+            graph = generate("dag", seed).graph
+            assert graph.is_dag()
+            validate_graph(graph)
+
+
+class TestSpecProvenance:
+    def test_default_instance_name_is_plain(self):
+        assert SynthSpec.make("dag", 4).instance_name == "synth-dag-s4"
+
+    def test_override_instance_name_carries_digest(self):
+        name = SynthSpec.make("dag", 4, {"layers": 6}).instance_name
+        assert name.startswith("synth-dag-s4-p") and len(name) > len(
+            "synth-dag-s4"
+        )
+
+    def test_token_covers_merged_params(self):
+        token = SynthSpec.make("pipeline", 2).token
+        for key in FAMILY_DEFAULTS["pipeline"]:
+            assert key in token
+
+
+class TestFingerprintAndCacheKeys:
+    """Regression: StageCache keys for synth graphs must never collide.
+
+    Stage keys digest the graph fingerprint, and the fingerprint digests
+    the graph *name*, which for synth graphs carries the full
+    ``(family, seed, params)`` provenance — so two distinct specs yield
+    distinct cache keys even if their random draws were to produce
+    byte-identical structure.
+    """
+
+    def test_fingerprints_unique_across_families_and_seeds(self):
+        fps = {}
+        for family in FAMILIES:
+            for seed in range(25):
+                fp = generate(family, seed).fingerprint
+                assert fp not in fps, (
+                    f"collision: {family}/{seed} vs {fps[fp]}"
+                )
+                fps[fp] = f"{family}/{seed}"
+
+    def test_identical_structure_different_provenance_differs(self):
+        """The provenance-in-name fix, isolated: byte-identical structure
+        under different (family, seed) identities must not share a
+        fingerprint or any derived stage key."""
+        a = linear_pipeline_graph("synth-fake-s1", stages=3)
+        b = linear_pipeline_graph("synth-fake-s2", stages=3)
+        fp_a, fp_b = graph_fingerprint(a), graph_fingerprint(b)
+        assert fp_a != fp_b
+        key_a = stage_key("profile", graph=fp_a, engine={})
+        key_b = stage_key("profile", graph=fp_b, engine={})
+        assert key_a != key_b
+
+    def test_stage_keys_unique_on_pinned_corpus(self):
+        from repro.synth import PINNED_CORPUS, generate_corpus
+
+        keys = set()
+        for instance in generate_corpus(PINNED_CORPUS):
+            key = stage_key(
+                "partition", graph=instance.fingerprint, engine={},
+                partitioner="ours",
+            )
+            assert key not in keys
+            keys.add(key)
+        assert len(keys) == len(PINNED_CORPUS)
+
+
+class TestAppNameRouting:
+    def test_parse_and_format_roundtrip(self):
+        name = synth_app_name("dag", {"layers": 6, "width": 2})
+        family, overrides = parse_app_name(name)
+        assert family == "dag"
+        assert overrides == {"layers": 6, "width": 2}
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(SynthError):
+            parse_app_name("DES")
+        with pytest.raises(SynthError):
+            parse_app_name("synth:dag;layers=big")
+
+    def test_build_app_routes_synth_names(self):
+        graph = build_app("synth:feedback", 2)
+        assert graph.name == "synth-feedback-s2"
+        assert graph_fingerprint(graph) == generate("feedback", 2).fingerprint
+
+    def test_build_app_routes_params(self):
+        via_app = build_app("synth:pipeline;depth=12", 3)
+        direct = generate("pipeline", 3, {"depth": 12})
+        assert graph_fingerprint(via_app) == direct.fingerprint
+
+    def test_build_synth_app_unknown_family(self):
+        with pytest.raises(SynthError):
+            build_synth_app("synth:nosuch", 1)
+
+    def test_is_known_app(self):
+        assert is_known_app("DES")
+        assert is_known_app("synth:random")
+        assert is_known_app("synth:dag;layers=3")
+        assert not is_known_app("synth:nosuch")
+        assert not is_known_app("Nope")
+
+    def test_is_known_app_validates_params(self):
+        """Bad parameter names/values are caught at validation time, so
+        a sweep's pre-flight check rejects them before the grid runs
+        (the seed-dependent firing-explosion guard is the one failure
+        class that can only surface inside build_app)."""
+        assert not is_known_app("synth:dag;bogus=3")
+        assert not is_known_app("synth:dag;layers=big")
+        assert not is_known_app("synth:splitjoin;width=1")

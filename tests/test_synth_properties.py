@@ -1,0 +1,88 @@
+"""Property-based (seeded-loop) tests over :mod:`repro.synth` corpora.
+
+Three properties over 200+ small generated graphs per run:
+
+* parser <-> printer roundtrip: printing a generated structure tree and
+  re-parsing it reproduces the tree exactly, and the re-flattened graph
+  has the same fingerprint;
+* flatten/schedule invariants: every generated flat graph is valid
+  (balanced firing rates, acyclic modulo delay edges, weakly connected)
+  with a bounded steady state;
+* mapping validity: greedy, branch-and-bound, and MILP all produce
+  valid, evaluator-consistent, mutually-consistent mappings on every
+  instance (via the differential harness).
+
+Sizes are kept small (the ``SMALL`` parameter sets below) so the whole
+module stays inside the tier-1 budget; ``REPRO_SLOW=1`` unlocks a wider
+sweep in ``test_synth_slow.py``.
+"""
+
+import pytest
+
+from repro.frontend import parse_stream
+from repro.graph.fingerprint import graph_fingerprint
+from repro.graph.flatten import flatten
+from repro.graph.scheduling import steady_state_is_consistent
+from repro.graph.validate import collect_problems
+from repro.synth import FAMILIES, TREE_FAMILIES, generate
+from repro.synth.diffcheck import diffcheck_graph
+from repro.synth.families import MAX_TOTAL_FIRINGS
+
+#: small instances: enough structure to be adversarial, small enough
+#: that 200+ of them (and their MILP solves) fit the tier-1 budget
+SMALL = {
+    "pipeline": {"depth": 5},
+    "splitjoin": {"width": 3, "nest": 1, "chain": 1},
+    "butterfly": {"stages": 2, "base": 1},
+    "feedback": {"loops": 1, "chain": 1},
+    "random": {"depth": 2, "max_branch": 2},
+    "dag": {"layers": 3, "width": 2},
+}
+
+ROUNDTRIP_SEEDS = range(42)  # 5 tree families x 42 seeds = 210 graphs
+INVARIANT_SEEDS = range(36)  # 6 families x 36 seeds = 216 graphs
+SOLVER_SEEDS = range(34)  # 6 families x 34 seeds = 204 instances
+
+
+@pytest.mark.parametrize("family", TREE_FAMILIES)
+def test_parser_printer_roundtrip(family):
+    for seed in ROUNDTRIP_SEEDS:
+        instance = generate(family, seed, SMALL[family])
+        reparsed = parse_stream(instance.source())
+        assert reparsed == instance.tree, f"{family}/{seed}: tree drift"
+        reflat = flatten(reparsed, instance.spec.instance_name)
+        assert graph_fingerprint(reflat) == instance.fingerprint, (
+            f"{family}/{seed}: flattened graph drift"
+        )
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_flatten_schedule_invariants(family):
+    for seed in INVARIANT_SEEDS:
+        graph = generate(family, seed, SMALL[family]).graph
+        assert collect_problems(graph) == [], f"{family}/{seed}"
+        assert steady_state_is_consistent(graph)
+        order = graph.topological_order()
+        assert sorted(order) == list(range(len(graph.nodes)))
+        assert sum(node.firing for node in graph.nodes) <= MAX_TOTAL_FIRINGS
+        for ch in graph.channels:
+            assert ch.src_push > 0 and ch.dst_pop > 0
+            assert graph.channel_elems(ch) > 0
+        # exactly the primary I/O the roles promise
+        assert all(
+            graph.nodes[nid].spec.role.name in ("SOURCE", "COMPUTE")
+            for nid in graph.sources()
+        )
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_all_solvers_valid_on_corpus(family):
+    """Greedy, B&B, and MILP agree (modulo optimality proofs) on every
+    small instance; any violation message names the instance."""
+    failures = []
+    for seed in SOLVER_SEEDS:
+        instance = generate(family, seed, SMALL[family])
+        report = diffcheck_graph(instance, num_gpus=2)
+        if not report.ok:
+            failures.append(f"{report.label}: {report.violations}")
+    assert not failures, "\n".join(failures)

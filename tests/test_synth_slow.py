@@ -1,0 +1,59 @@
+"""Wide synthetic-corpus sweeps, opt-in only.
+
+These extend the tier-1 property tests to larger instances, more seeds,
+and higher GPU counts.  They are marked ``slow`` and additionally gated
+on ``REPRO_SLOW=1`` so the tier-1 run (`make test`) never pays for them;
+run them with ``make test-slow``.
+"""
+
+import os
+
+import pytest
+
+from repro.synth import FAMILIES, generate
+from repro.synth.diffcheck import diffcheck_graph
+
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        os.environ.get("REPRO_SLOW") != "1",
+        reason="slow corpus sweep; set REPRO_SLOW=1 (make test-slow)",
+    ),
+]
+
+WIDE = {
+    "pipeline": {"depth": 16},
+    "splitjoin": {"width": 6, "nest": 2},
+    "butterfly": {"stages": 4},
+    "feedback": {"loops": 3},
+    "random": {"depth": 4, "max_branch": 4},
+    "dag": {"layers": 8, "width": 5},
+}
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_wide_corpus_diffcheck(family):
+    failures = []
+    for seed in range(8):
+        instance = generate(family, seed + 100, WIDE[family])
+        for gpus in (2, 4):
+            # a tight B&B budget keeps large instances bounded: an
+            # exhausted budget is a recorded skip, never a failure
+            report = diffcheck_graph(
+                instance, num_gpus=gpus, bb_max_nodes=100_000,
+                milp_time_limit_s=5.0,
+            )
+            if not report.ok:
+                failures.append(
+                    f"{report.label} g={gpus}: {report.violations}"
+                )
+    assert not failures, "\n".join(failures)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_wide_corpus_fingerprint_stability(family):
+    for seed in range(50):
+        a = generate(family, seed + 500, WIDE[family])
+        b = generate(family, seed + 500, WIDE[family])
+        assert a.fingerprint == b.fingerprint
+        assert a.json() == b.json()

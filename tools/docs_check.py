@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Documentation gate: every public API symbol must be documented.
 
-Checks, for every name in ``repro.__all__`` and ``repro.sweep.__all__``:
+Checks, for every name in ``repro.__all__``, ``repro.sweep.__all__``,
+and ``repro.synth.__all__``:
 
 * the symbol carries a non-empty docstring (classes and functions), and
 * exported *functions* carry an executable example (a ``>>>`` doctest
@@ -41,15 +42,20 @@ def main() -> int:
     sys.path.insert(0, "src")
     import repro
     import repro.sweep
+    import repro.synth
 
     problems = check_module(repro, require_examples=True)
     problems += check_module(repro.sweep, require_examples=True)
+    problems += check_module(repro.synth, require_examples=True)
     if problems:
         print("docs-check FAILED:")
         for problem in problems:
             print(f"  - {problem}")
         return 1
-    count = len(repro.__all__) + len(repro.sweep.__all__)
+    count = (
+        len(repro.__all__) + len(repro.sweep.__all__)
+        + len(repro.synth.__all__)
+    )
     print(f"docs-check OK: {count} public symbols documented")
     return 0
 
