@@ -1,11 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-slow synth-check bench bench-sweep docs-check experiments clean
+.PHONY: test test-fast test-slow synth-check platform-check bench bench-sweep docs-check experiments clean
 
 ## tier-1 verify: the full suite, benchmarks included (see ROADMAP.md);
-## gated on the synth generate+diffcheck smoke check
-test: synth-check
+## gated on the synth generate+diffcheck smoke check and the platform
+## property suite
+test: synth-check platform-check
 	$(PYTHON) -m pytest -x -q
 
 ## unit/property/integration tests only (skips the benchmark harnesses)
@@ -19,6 +20,11 @@ test-slow:
 ## generate + differential-check the tiny synthetic corpus (CI gate)
 synth-check:
 	$(PYTHON) -m repro.cli synth --check --quiet
+
+## the heterogeneous-platform property suite: randomized-tree dtlist and
+## evaluator cross-checks, golden link tables, solver heterogeneity
+platform-check:
+	$(PYTHON) -m pytest tests/test_platforms.py -x -q
 
 ## the full benchmark suite
 bench:

@@ -42,10 +42,12 @@ from repro.graph import (
 from repro.gpu import (
     C2070,
     M2090,
+    PLATFORM_NAMES,
     GpuSpec,
     GpuTopology,
     KernelConfig,
     KernelSimulator,
+    build_platform,
     default_topology,
 )
 from repro.perf import PerformanceEstimationEngine
@@ -57,7 +59,7 @@ from repro.sweep import (
     SweepSpec,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "C2070",
@@ -71,6 +73,7 @@ __all__ = [
     "KernelConfig",
     "KernelSimulator",
     "M2090",
+    "PLATFORM_NAMES",
     "PerformanceEstimationEngine",
     "StageCache",
     "StreamGraph",
@@ -79,6 +82,7 @@ __all__ = [
     "SweepSpec",
     "__version__",
     "build_app",
+    "build_platform",
     "compile_stream",
     "default_topology",
     "flatten",

@@ -24,9 +24,12 @@ Examples::
     repro sweep --grid ablation --cache-dir .sweep-cache
     repro sweep --case DES:16 --case synth:dag:7 --gpus 1,2,4 \\
                 --mappers ilp,lpt --cache-dir .sweep-cache --parallel
+    repro sweep --case synth:dag:7 --platform two-island \\
+                --platform mixed-box --cache-dir .sweep-cache
 
     repro synth --family splitjoin --seed 7 --out-str sj7.str --out-json sj7.json
     repro synth --corpus pinned --diffcheck
+    repro synth --corpus tiny --diffcheck --platform deep-tree-8
     repro synth --check
 """
 
@@ -41,6 +44,7 @@ from repro.flow import MAPPERS, PARTITIONERS, map_stream_graph
 from repro.graph import json_io
 from repro.graph.dot import partition_map, to_dot
 from repro.gpu.codegen import generate_program
+from repro.gpu.platforms import PLATFORM_NAMES, build_platform
 from repro.runtime.trace import record_trace, to_chrome_trace
 from repro.sweep.runner import SPECS as _SPECS
 
@@ -63,7 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--n", type=int, default=None,
                         help="benchmark size parameter (with --app)")
-    parser.add_argument("--gpus", type=int, default=1, choices=(1, 2, 3, 4))
+    parser.add_argument("--gpus", type=int, default=None,
+                        choices=(1, 2, 3, 4),
+                        help="reference-tree GPU count (default 1)")
+    parser.add_argument("--platform", choices=PLATFORM_NAMES,
+                        help="named machine from the platform catalog "
+                             "(fixes the GPU count; see docs/PLATFORMS.md)")
     parser.add_argument("--spec", choices=sorted(_SPECS), default="M2090")
     parser.add_argument("--partitioner", choices=PARTITIONERS, default="ours")
     parser.add_argument("--mapper", choices=MAPPERS, default="ilp")
@@ -118,6 +127,13 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--gpus", default=None,
                         help="comma-separated GPU counts (default 1,2,4)")
+    parser.add_argument(
+        "--platform", action="append", default=[], metavar="NAME",
+        choices=PLATFORM_NAMES, dest="platforms",
+        help="named machine from the platform catalog, repeatable; "
+             "replaces the --gpus reference-tree axis "
+             f"({', '.join(PLATFORM_NAMES)})",
+    )
     parser.add_argument("--partitioners", default=None,
                         help=f"comma-separated subset of {PARTITIONERS}")
     parser.add_argument("--mappers", default=None,
@@ -150,9 +166,12 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
 
     axis_flags = [
         ("--case", args.case), ("--gpus", args.gpus),
+        ("--platform", args.platforms),
         ("--partitioners", args.partitioners), ("--mappers", args.mappers),
         ("--p2p", args.p2p), ("--spec", args.spec),
     ]
+    if args.platforms and args.gpus:
+        parser.error("--platform fixes the machine axis; drop --gpus")
     if args.grid == "ablation":
         used = [name for name, value in axis_flags if value]
         if used:
@@ -185,6 +204,7 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
                 partitioners=_parse_csv(args.partitioners or "ours"),
                 mappers=_parse_csv(args.mappers or "ilp"),
                 peer_to_peer=p2p_axis,
+                platforms=tuple(args.platforms) or (None,),
             )
             points = spec.expand()
         except ValueError as exc:
@@ -244,8 +264,13 @@ def build_synth_parser() -> argparse.ArgumentParser:
     parser.add_argument("--check", action="store_true",
                         help="generate + diffcheck the tiny corpus and exit "
                              "non-zero on any violation (CI gate)")
-    parser.add_argument("--gpus", type=int, default=2, choices=(1, 2, 3, 4),
-                        help="GPU count for --diffcheck (default 2)")
+    parser.add_argument("--gpus", type=int, default=None,
+                        choices=(1, 2, 3, 4),
+                        help="reference-tree GPU count for --diffcheck "
+                             "(default 2)")
+    parser.add_argument("--platform", choices=PLATFORM_NAMES,
+                        help="run --diffcheck against a named platform "
+                             "(fixes the GPU count; see docs/PLATFORMS.md)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-instance progress lines")
     return parser
@@ -270,6 +295,10 @@ def synth_main(argv: Optional[List[str]] = None) -> int:
 
     parser = build_synth_parser()
     args = parser.parse_args(argv)
+
+    if args.platform and args.gpus is not None:
+        parser.error("--platform fixes the GPU count; drop --gpus")
+    num_gpus = args.gpus if args.gpus is not None else 2
 
     if args.list_families:
         for family in synth.FAMILIES:
@@ -307,7 +336,8 @@ def synth_main(argv: Optional[List[str]] = None) -> int:
         )
         if args.diffcheck or args.check:
             report = synth.diffcheck_corpus(
-                entries, num_gpus=args.gpus, progress=progress
+                entries, num_gpus=num_gpus, progress=progress,
+                platform=args.platform,
             )
             print(
                 f"{len(report.instances)} instances, "
@@ -365,7 +395,9 @@ def synth_main(argv: Optional[List[str]] = None) -> int:
         print(instance.json(), end="")
 
     if args.diffcheck:
-        report = synth.diffcheck_graph(instance, num_gpus=args.gpus)
+        report = synth.diffcheck_graph(
+            instance, num_gpus=num_gpus, platform=args.platform
+        )
         print(report.render())
         for violation in report.violations:
             print(f"VIOLATION: {violation}")
@@ -386,6 +418,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.platform and args.gpus is not None:
+        parser.error("--platform fixes the GPU count; drop --gpus")
+
     if args.app:
         if args.n is None:
             parser.error("--app requires --n")
@@ -403,13 +438,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         graph = json_io.load(args.graph)
 
+    topology = build_platform(args.platform) if args.platform else None
+    num_gpus = (
+        topology.num_gpus if topology is not None
+        else (args.gpus if args.gpus is not None else 1)
+    )
     result = map_stream_graph(
         graph,
-        num_gpus=args.gpus,
+        num_gpus=num_gpus,
         spec=_SPECS[args.spec],
         partitioner=args.partitioner,
         mapper=args.mapper,
         peer_to_peer=not args.no_p2p,
+        topology=topology,
     )
 
     if args.report:
@@ -425,9 +466,10 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"Tmax {result.mapping.tmax / 1e3:.1f} us/fragment, "
           f"bottleneck {result.mapping.bottleneck}")
     print(f"assignment: {list(result.mapping.assignment)}")
+    machine = f" on {args.platform}" if args.platform else ""
     print(f"execution : beat {report.beat_ns / 1e3:.1f} us, "
           f"throughput {report.throughput * 1e6:.1f} exec/ms over "
-          f"{args.gpus} GPU(s)")
+          f"{num_gpus} GPU(s){machine}")
 
     if args.save_graph:
         json_io.save(graph, args.save_graph)
@@ -455,7 +497,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         _, events = record_trace(
             result.pdg,
             result.mapping.assignment,
-            default_topology(args.gpus),
+            topology if topology is not None else default_topology(num_gpus),
             result.engine.simulator,
             result.measurements,
             peer_to_peer=not args.no_p2p,

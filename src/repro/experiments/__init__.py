@@ -7,7 +7,9 @@ One module per paper artifact:
 * :mod:`repro.experiments.fig4_3` — SOSP comparison against [7],
 * :mod:`repro.experiments.fig4_4` — SOSP cross-GPU validity,
 * :mod:`repro.experiments.table5_1` — splitter/joiner elimination,
-* :mod:`repro.experiments.ablations` — design-choice ablations.
+* :mod:`repro.experiments.ablations` — design-choice ablations,
+* :mod:`repro.experiments.platforms` — the named-platform catalog sweep
+  (beyond the paper; see :mod:`repro.gpu.platforms`).
 
 Run them via ``python -m repro.experiments <which>`` (``all`` works), with
 ``--full`` for the complete paper-scale sweeps and ``--cache-dir`` to

@@ -27,6 +27,7 @@ from repro.experiments import (
     fig4_2,
     fig4_3,
     fig4_4,
+    platforms,
     table5_1,
 )
 from repro.experiments.common import ExperimentResult
@@ -39,6 +40,7 @@ _RUNNERS = {
     "fig4.2": lambda quick, runner: [fig4_2.run(quick, runner=runner)],
     "fig4.3": lambda quick, runner: [fig4_3.run(quick, runner=runner)],
     "fig4.4": lambda quick, runner: [fig4_4.run(quick, runner=runner)],
+    "platforms": lambda quick, runner: [platforms.run(quick, runner=runner)],
     "table5.1": lambda quick, runner: [table5_1.run(quick, runner=runner)],
     "ablation.mapping": lambda quick, runner: [
         ablations.run_mapping(quick, runner=runner)

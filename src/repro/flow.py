@@ -131,12 +131,29 @@ def _engine_parts(
 
 
 def topology_key_parts(topology: GpuTopology) -> Dict[str, object]:
-    """The interconnect-identity knobs mapping/execution depend on."""
-    return {
+    """The interconnect-identity knobs mapping/execution depend on.
+
+    Platform identity is *content-addressed*: the tree shape, every
+    per-link spec, and any per-leaf GPU specs all enter the key, so two
+    named platforms can never share a cached mapping unless they are
+    byte-identical machines.  Uniform homogeneous topologies keep the
+    original compact form (and hence their pre-existing cache entries).
+    """
+    parts: Dict[str, object] = {
         "parents": topology.tree_edges(),
         "num_gpus": topology.num_gpus,
         "link_spec": asdict(topology.link_spec),
     }
+    if not topology.uniform_links:
+        # only uplinks: both directions of an edge share one spec
+        parts["edge_specs"] = {
+            link.child: asdict(link.spec)
+            for link in topology.links
+            if link.up and link.spec != topology.link_spec
+        }
+    if topology.gpu_specs is not None:
+        parts["gpu_specs"] = [asdict(spec) for spec in topology.gpu_specs]
+    return parts
 
 
 def _cache_get(cache, key: str):
@@ -418,6 +435,7 @@ def map_stream_graph(
     mapper: str = "ilp",
     peer_to_peer: bool = True,
     topology: Optional[GpuTopology] = None,
+    platform: Optional[str] = None,
     plan: Optional[FragmentPlan] = None,
     engine: Optional[PerformanceEstimationEngine] = None,
     executions_per_fragment: int = 128,
@@ -433,11 +451,20 @@ def map_stream_graph(
     (Σ firing · work) instead of PEE times — the previous work has no
     performance model, so its emulation sets this.
 
+    ``platform`` selects a named machine from the catalog of
+    :mod:`repro.gpu.platforms` (``"two-island"``, ``"mixed-box"``, ...);
+    it fixes both the interconnect tree and the GPU count, so
+    ``num_gpus`` is taken from the platform.  Passing both ``platform``
+    and an explicit ``topology`` is an error.
+
     ``gpu_slowdown`` activates the heterogeneous extension of the ILP
     (Section 3.2.2): one factor per GPU, applied to partition times at
-    mapping time.  The runtime simulator remains homogeneous (kernels are
-    measured on ``spec``), so with slowdowns the mapping is exercised but
-    the reported execution assumes uniform devices.
+    mapping time.  Platforms with per-leaf GPU specs (e.g.
+    ``"mixed-box"``) derive the factors automatically; an explicit
+    ``gpu_slowdown`` overrides them.  The runtime simulator remains
+    homogeneous (kernels are measured on ``spec``), so with slowdowns
+    the mapping is exercised but the reported execution assumes uniform
+    devices.
 
     ``cache`` plugs a stage cache (e.g. :class:`repro.sweep.StageCache`)
     into the profile, partition, mapping, and measurement stages; every
@@ -450,11 +477,22 @@ def map_stream_graph(
     >>> result = map_stream_graph(build_app("Bitonic", 8), num_gpus=2)
     >>> result.num_partitions >= 1 and result.throughput > 0
     True
+    >>> hetero = map_stream_graph(build_app("Bitonic", 8),
+    ...                           platform="two-island")
+    >>> hetero.num_gpus
+    4
     """
     if partitioner not in PARTITIONERS:
         raise ValueError(f"unknown partitioner {partitioner!r}")
     if mapper not in MAPPERS:
         raise ValueError(f"unknown mapper {mapper!r}")
+    if platform is not None:
+        if topology is not None:
+            raise ValueError("pass either platform or topology, not both")
+        from repro.gpu.platforms import build_platform
+
+        topology = build_platform(platform)
+        num_gpus = topology.num_gpus
     if graph_fp is None and cache is not None:
         graph_fp = graph_fingerprint(graph)
     if engine is None:

@@ -4,8 +4,11 @@ The paper evaluates on real Fermi-class hardware (Nvidia C2070 / M2090 on a
 PCIe switch tree).  This package provides the simulated equivalent:
 
 * :mod:`repro.gpu.specs` -- device and link specifications,
-* :mod:`repro.gpu.topology` -- the PCIe tree of Figure 3.3, routing and the
-  ``dtlist(l)`` rule used by the ILP,
+* :mod:`repro.gpu.topology` -- the PCIe tree of Figure 3.3 (generalized to
+  per-link specs and heterogeneous leaves), routing and the ``dtlist(l)``
+  rule used by the ILP,
+* :mod:`repro.gpu.platforms` -- the named-platform catalog
+  (``build_platform("two-island")`` and friends),
 * :mod:`repro.gpu.memory` -- liveness-based shared-memory requirements
   (Figure 3.2 semantics) and buffer allocation,
 * :mod:`repro.gpu.kernel` -- kernel parameterization (S, W, F),
@@ -18,8 +21,25 @@ PCIe switch tree).  This package provides the simulated equivalent:
 
 from repro.gpu.kernel import KernelConfig
 from repro.gpu.memory import PartitionMemory, partition_memory
+from repro.gpu.platforms import (
+    PLATFORM_DESCRIPTIONS,
+    PLATFORM_NAMES,
+    PLATFORMS,
+    build_platform,
+    platform_link_table,
+    platform_num_gpus,
+)
 from repro.gpu.simulator import KernelMeasurement, KernelSimulator, SimCosts
-from repro.gpu.specs import C2070, M2090, GpuSpec, LinkSpec, PCIE_GEN2_X16
+from repro.gpu.specs import (
+    C2070,
+    M2090,
+    PCIE_GEN2_X8,
+    PCIE_GEN2_X16,
+    PCIE_GEN3_X8,
+    PCIE_GEN3_X16,
+    GpuSpec,
+    LinkSpec,
+)
 from repro.gpu.topology import GpuTopology, Link, default_topology
 
 __all__ = [
@@ -32,9 +52,18 @@ __all__ = [
     "Link",
     "LinkSpec",
     "M2090",
+    "PCIE_GEN2_X8",
     "PCIE_GEN2_X16",
+    "PCIE_GEN3_X8",
+    "PCIE_GEN3_X16",
+    "PLATFORMS",
+    "PLATFORM_DESCRIPTIONS",
+    "PLATFORM_NAMES",
     "PartitionMemory",
     "SimCosts",
+    "build_platform",
     "default_topology",
     "partition_memory",
+    "platform_link_table",
+    "platform_num_gpus",
 ]

@@ -94,6 +94,14 @@ def partition_memory(
 
     Channels sharing an ``alias_group`` (splitter/joiner elimination) are
     charged once per group under either policy.
+
+    >>> from repro.graph.builder import linear_pipeline_graph
+    >>> pm = partition_memory(linear_pipeline_graph("p", stages=3, rate=4,
+    ...                                             work=1.0))
+    >>> pm.working_set > 0
+    True
+    >>> pm.smem_for(2) == 2 * (pm.working_set + 2 * pm.io_bytes)
+    True
     """
     if policy not in ("static", "liveness"):
         raise ValueError(f"unknown allocation policy {policy!r}")

@@ -1,0 +1,202 @@
+"""Named multi-GPU platform catalog.
+
+The paper evaluates one machine — four Fermi cards on a uniform PCIe
+gen2 switch tree (Figure 3.3).  Real deployments are hierarchically
+heterogeneous: islands of GPUs behind fast local switches, slower
+cross-island and host uplinks, and mixed device generations in one box.
+This module names a catalog of such platforms, each constructible from
+its registry name, so every solver, sweep, and differential check can
+run across the whole scenario space:
+
+==================  ====================================================
+``c2070-quad``      the paper's testbed: 4x C2070, uniform PCIe gen2
+``gen3-balanced``   the same tree re-cabled with PCIe gen3 x16 links
+``two-island``      2+2 GPUs; gen3 inside each island, gen2 x8 between
+``host-star``       degenerate: every GPU cabled directly to the host
+``mixed-box``       2x M2090 + 2x C2070 behind a uniform gen2 tree
+``deep-tree-8``     8 GPUs, 3 switch levels, bandwidth tapering rootward
+==================  ====================================================
+
+Every platform is a plain :class:`~repro.gpu.topology.GpuTopology` —
+per-edge :class:`~repro.gpu.specs.LinkSpec` overrides and per-leaf
+:class:`~repro.gpu.specs.GpuSpec` lists are first-class topology
+properties, so nothing downstream special-cases "a platform".  The
+golden link tables under ``tests/golden/platforms/`` pin each catalog
+entry byte-for-byte; edit a spec here and that test fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Callable, Dict, List, Tuple
+
+from repro.gpu.specs import (
+    C2070,
+    M2090,
+    PCIE_GEN2_X8,
+    PCIE_GEN2_X16,
+    PCIE_GEN3_X16,
+)
+from repro.gpu.topology import HOST, GpuTopology, gpu_name
+
+
+def _quad_edges() -> List[Tuple[str, str]]:
+    """The Figure 3.3 tree shape: two 2-GPU switches under a root switch."""
+    edges = [("sw1", HOST), ("sw2", "sw1"), ("sw3", "sw1")]
+    for gpu in range(4):
+        edges.append((gpu_name(gpu), "sw2" if gpu < 2 else "sw3"))
+    return edges
+
+
+def _c2070_quad() -> GpuTopology:
+    return GpuTopology(
+        _quad_edges(), num_gpus=4, link_spec=PCIE_GEN2_X16,
+        gpu_specs=[C2070] * 4,
+    )
+
+
+def _gen3_balanced() -> GpuTopology:
+    return GpuTopology(
+        _quad_edges(), num_gpus=4, link_spec=PCIE_GEN3_X16,
+        gpu_specs=[M2090] * 4,
+    )
+
+
+def _two_island() -> GpuTopology:
+    # GPU leaf edges run gen3 (the fast intra-island fabric); the island
+    # uplinks and the root edge are the slow gen2 x8 cross-island hops.
+    return GpuTopology(
+        _quad_edges(), num_gpus=4, link_spec=PCIE_GEN3_X16,
+        edge_specs={
+            "sw1": PCIE_GEN2_X8, "sw2": PCIE_GEN2_X8, "sw3": PCIE_GEN2_X8,
+        },
+        gpu_specs=[M2090] * 4,
+    )
+
+
+def _host_star() -> GpuTopology:
+    return GpuTopology(
+        [(gpu_name(gpu), HOST) for gpu in range(4)],
+        num_gpus=4, link_spec=PCIE_GEN2_X16, gpu_specs=[M2090] * 4,
+    )
+
+
+def _mixed_box() -> GpuTopology:
+    return GpuTopology(
+        _quad_edges(), num_gpus=4, link_spec=PCIE_GEN2_X16,
+        gpu_specs=[M2090, M2090, C2070, C2070],
+    )
+
+
+def _deep_tree_8() -> GpuTopology:
+    # Three switch levels; bandwidth tapers towards the root: gen3 x16 at
+    # the leaves, gen2 x16 mid-tree, a gen2 x8 host uplink — the
+    # hierarchy-of-bandwidths setting of the process-mapping literature.
+    edges = [("sw1", HOST), ("sw2", "sw1"), ("sw3", "sw1")]
+    leaf_switches = ["sw4", "sw5", "sw6", "sw7"]
+    for i, sw in enumerate(leaf_switches):
+        edges.append((sw, "sw2" if i < 2 else "sw3"))
+    for gpu in range(8):
+        edges.append((gpu_name(gpu), leaf_switches[gpu // 2]))
+    mid = {sw: PCIE_GEN2_X16 for sw in ("sw2", "sw3", *leaf_switches)}
+    return GpuTopology(
+        edges, num_gpus=8, link_spec=PCIE_GEN3_X16,
+        edge_specs={"sw1": PCIE_GEN2_X8, **mid},
+        gpu_specs=[M2090] * 8,
+    )
+
+
+#: registry: platform name -> zero-argument topology builder
+PLATFORMS: Dict[str, Callable[[], GpuTopology]] = {
+    "c2070-quad": _c2070_quad,
+    "gen3-balanced": _gen3_balanced,
+    "two-island": _two_island,
+    "host-star": _host_star,
+    "mixed-box": _mixed_box,
+    "deep-tree-8": _deep_tree_8,
+}
+
+#: one-line description per catalog entry (CLI listings, docs)
+PLATFORM_DESCRIPTIONS: Dict[str, str] = {
+    "c2070-quad": "the paper's testbed: 4x C2070 on a uniform gen2 tree",
+    "gen3-balanced": "the Figure 3.3 tree re-cabled with PCIe gen3 x16",
+    "two-island": "2+2 M2090 islands: gen3 inside, gen2 x8 between",
+    "host-star": "4x M2090 cabled directly to the host, no switches",
+    "mixed-box": "2x M2090 + 2x C2070 behind a uniform gen2 tree",
+    "deep-tree-8": "8x M2090, 3 switch levels, bandwidth tapering rootward",
+}
+
+#: catalog names in stable (sorted) order
+PLATFORM_NAMES: Tuple[str, ...] = tuple(sorted(PLATFORMS))
+
+
+def build_platform(name: str) -> GpuTopology:
+    """Construct a named platform from the catalog.
+
+    Every call builds a fresh :class:`~repro.gpu.topology.GpuTopology`
+    (topologies are mutable-free in practice but not hashable/frozen, so
+    callers own their instance).
+
+    >>> topo = build_platform("two-island")
+    >>> topo.num_gpus, topo.uniform_links
+    (4, False)
+    >>> build_platform("host-star").num_links
+    8
+    >>> build_platform("deep-tree-8").num_gpus
+    8
+    """
+    try:
+        builder = PLATFORMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {name!r}; known: {', '.join(PLATFORM_NAMES)}"
+        ) from None
+    return builder()
+
+
+def platform_num_gpus(name: str) -> int:
+    """GPU-leaf count of a named platform (validates the name).
+
+    >>> platform_num_gpus("mixed-box")
+    4
+    """
+    return build_platform(name).num_gpus
+
+
+def platform_link_table(name: str) -> dict:
+    """A platform's complete identity as one JSON-ready record.
+
+    Lists every directed link with its bandwidth/latency and every GPU
+    leaf with its device spec — the golden-file format under
+    ``tests/golden/platforms/`` that makes accidental catalog edits fail
+    loudly.
+
+    >>> table = platform_link_table("host-star")
+    >>> table["num_gpus"], len(table["links"])
+    (4, 8)
+    >>> table["links"][0]["bandwidth_bytes_per_ns"]
+    6.0
+    """
+    topo = build_platform(name)
+    return {
+        "platform": name,
+        "description": PLATFORM_DESCRIPTIONS[name],
+        "num_gpus": topo.num_gpus,
+        "edges": [list(edge) for edge in topo.tree_edges()],
+        "gpu_specs": (
+            [asdict(spec) for spec in topo.gpu_specs]
+            if topo.gpu_specs is not None else None
+        ),
+        "links": [
+            {
+                "id": link.link_id,
+                "name": link.name,
+                "child": link.child,
+                "parent": link.parent,
+                "up": link.up,
+                "bandwidth_bytes_per_ns": link.spec.bandwidth_bytes_per_ns,
+                "latency_ns": link.spec.latency_ns,
+            }
+            for link in topo.links
+        ],
+    }

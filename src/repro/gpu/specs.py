@@ -109,3 +109,14 @@ M2090 = GpuSpec(name="M2090", sm_count=16, clock_ghz=1.30, mem_bandwidth_gbps=17
 
 #: PCIe 2.0 x16: ~6 GB/s sustained per direction, ~10 us setup latency.
 PCIE_GEN2_X16 = LinkSpec(bandwidth_bytes_per_ns=6.0, latency_ns=10_000.0)
+
+#: PCIe 2.0 x8: half the lanes of the x16 slot, same setup latency.  The
+#: usual fabric compromise when a switch oversubscribes its host uplink.
+PCIE_GEN2_X8 = LinkSpec(bandwidth_bytes_per_ns=3.0, latency_ns=10_000.0)
+
+#: PCIe 3.0 x16: ~12 GB/s sustained per direction, ~5 us setup latency
+#: (gen3 halves the protocol overhead alongside doubling the rate).
+PCIE_GEN3_X16 = LinkSpec(bandwidth_bytes_per_ns=12.0, latency_ns=5_000.0)
+
+#: PCIe 3.0 x8: gen3 signalling on eight lanes.
+PCIE_GEN3_X8 = LinkSpec(bandwidth_bytes_per_ns=6.0, latency_ns=5_000.0)

@@ -16,14 +16,21 @@ The paper gives the tree shortcut: *an uplink ``l`` carries traffic from
 GPU ``i`` to GPU ``j`` iff ``i`` is in the subtree below ``l`` and ``j`` is
 not* (mirrored for downlinks).  We implement both that rule and brute-force
 route enumeration and cross-check them in the tests.
+
+Beyond the paper's uniform-``BW``/``Lat`` model, every tree edge may carry
+its *own* :class:`~repro.gpu.specs.LinkSpec` (``edge_specs``) and every GPU
+leaf its own :class:`~repro.gpu.specs.GpuSpec` (``gpu_specs``) — the
+hierarchically heterogeneous platforms of real multi-GPU boxes (fast
+intra-island links, slow cross-island hops, mixed device generations).
+The named platform catalog lives in :mod:`repro.gpu.platforms`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.gpu.specs import PCIE_GEN2_X16, LinkSpec
+from repro.gpu.specs import PCIE_GEN2_X16, GpuSpec, LinkSpec
 
 #: Identifier of the host (tree root) in node name space.
 HOST = "host"
@@ -61,9 +68,18 @@ class GpuTopology:
     num_gpus:
         Number of GPU leaves.
     link_spec:
-        Per-direction PCIe link parameters (uniform links, as in the
-        paper's model where one ``BW``/``Lat`` pair appears in
-        Eq. III.3).
+        Default per-direction PCIe link parameters — every edge without
+        an ``edge_specs`` override uses this (the paper's model, where
+        one ``BW``/``Lat`` pair appears in Eq. III.3).
+    edge_specs:
+        Optional per-edge :class:`LinkSpec` overrides, keyed by the
+        *child* endpoint of the tree edge (a tree edge is uniquely named
+        by its child).  Both directed links of the edge get the spec.
+    gpu_specs:
+        Optional per-leaf :class:`GpuSpec` list (one per GPU, in GPU-id
+        order) for heterogeneous machines; :meth:`gpu_slowdowns` derives
+        relative compute-slowdown factors from it for the mapping
+        problem's heterogeneous extension (Section 3.2.2).
     """
 
     def __init__(
@@ -71,9 +87,17 @@ class GpuTopology:
         edges: Sequence[Tuple[str, str]],
         num_gpus: int,
         link_spec: LinkSpec = PCIE_GEN2_X16,
+        edge_specs: Optional[Mapping[str, LinkSpec]] = None,
+        gpu_specs: Optional[Sequence[GpuSpec]] = None,
     ) -> None:
         self.num_gpus = num_gpus
         self.link_spec = link_spec
+        self.gpu_specs: Optional[Tuple[GpuSpec, ...]] = (
+            tuple(gpu_specs) if gpu_specs is not None else None
+        )
+        if self.gpu_specs is not None and len(self.gpu_specs) != num_gpus:
+            raise ValueError("one GpuSpec per GPU leaf required")
+        edge_specs = dict(edge_specs) if edge_specs else {}
         self._parent: Dict[str, str] = {}
         self.links: List[Link] = []
         self._uplink: Dict[str, int] = {}
@@ -82,12 +106,17 @@ class GpuTopology:
             if child in self._parent:
                 raise ValueError(f"duplicate child {child!r}")
             self._parent[child] = parent
-            up = Link(len(self.links), child, parent, True, link_spec)
+            spec = edge_specs.pop(child, link_spec)
+            up = Link(len(self.links), child, parent, True, spec)
             self.links.append(up)
             self._uplink[child] = up.link_id
-            down = Link(len(self.links), child, parent, False, link_spec)
+            down = Link(len(self.links), child, parent, False, spec)
             self.links.append(down)
             self._downlink[child] = down.link_id
+        if edge_specs:
+            raise ValueError(
+                f"edge_specs name unknown edges: {sorted(edge_specs)}"
+            )
         for gpu in range(num_gpus):
             name = gpu_name(gpu)
             if name not in self._parent:
@@ -101,13 +130,38 @@ class GpuTopology:
     # ------------------------------------------------------------------
     def tree_edges(self) -> List[Tuple[str, str]]:
         """The (child, parent) tree edges, sorted — together with
-        ``num_gpus`` and ``link_spec`` this is the topology's complete
-        identity (the sweep engine keys cached mappings on it)."""
+        ``num_gpus``, the per-link specs, and ``gpu_specs`` this is the
+        topology's complete identity (the sweep engine keys cached
+        mappings on it; see :func:`repro.flow.topology_key_parts`)."""
         return sorted(self._parent.items())
 
     @property
     def num_links(self) -> int:
         return len(self.links)
+
+    @property
+    def uniform_links(self) -> bool:
+        """Whether every link shares the default ``link_spec`` (the
+        paper's model); heterogeneous platforms return False."""
+        return all(link.spec == self.link_spec for link in self.links)
+
+    def link_spec_of(self, link_id: int) -> LinkSpec:
+        """The :class:`LinkSpec` governing directed link ``link_id``."""
+        return self.links[link_id].spec
+
+    def gpu_slowdowns(self) -> Optional[List[float]]:
+        """Per-GPU compute-slowdown factors derived from ``gpu_specs``.
+
+        The fastest device (largest ``peak_throughput_proxy``) is the
+        1.0 reference; every other GPU pays a proportional slowdown —
+        exactly the ``T_i * slowdown_j`` heterogeneous extension of the
+        ILP (Section 3.2.2).  ``None`` when no per-leaf specs were
+        given (homogeneous machine, the default).
+        """
+        if self.gpu_specs is None:
+            return None
+        best = max(spec.peak_throughput_proxy for spec in self.gpu_specs)
+        return [best / spec.peak_throughput_proxy for spec in self.gpu_specs]
 
     def _ancestors(self, node: str) -> List[str]:
         """Chain of ancestors from ``node`` (exclusive) to the host."""
@@ -225,12 +279,31 @@ class GpuTopology:
         return {"to_host": to_host, "from_host": from_host}
 
     def transfer_ns(self, nbytes: float, hops: int = 1) -> float:
-        """Cost of one transfer crossing ``hops`` links back to back."""
+        """Cost of one transfer crossing ``hops`` uniform-spec links.
+
+        Uses the default ``link_spec``; for heterogeneous routes use
+        :meth:`route_transfer_ns` with concrete link ids.
+        """
         if hops <= 0:
             return 0.0
         # Store-and-forward pipelining across switch hops: pay the latency
         # once per hop but the bandwidth term once (links stream).
         return hops * self.link_spec.latency_ns + nbytes / self.link_spec.bandwidth_bytes_per_ns
+
+    def route_transfer_ns(self, route: Sequence[int], nbytes: float) -> float:
+        """Cost of one transfer along ``route`` with per-link specs.
+
+        Latency is paid once per hop; the streamed bandwidth term is
+        governed by the route's *bottleneck* link (the slowest link
+        paces the whole store-and-forward pipeline).
+        """
+        if not route:
+            return 0.0
+        latency = sum(self.links[l].spec.latency_ns for l in route)
+        bottleneck_bw = min(
+            self.links[l].spec.bandwidth_bytes_per_ns for l in route
+        )
+        return latency + nbytes / bottleneck_bw
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"GpuTopology(gpus={self.num_gpus}, links={self.num_links})"

@@ -71,6 +71,8 @@ class MappingProblem:
     #: per-GPU slowdown factors for heterogeneous machines (Section 3.2.2:
     #: "our ILP formulation can also be extended to heterogeneous cases");
     #: T_i on GPU j costs times[i] * gpu_slowdown[j].  None = homogeneous.
+    #: :func:`build_mapping_problem` derives this from the topology's
+    #: per-leaf ``gpu_specs`` when the platform is heterogeneous.
     gpu_slowdown: Optional[List[float]] = None
 
     def __post_init__(self) -> None:
@@ -152,12 +154,19 @@ class MappingProblem:
         return loads
 
     def comm_breakdown(self, assignment: Sequence[int]) -> CommBreakdown:
-        """Eq. III.3 per link; latency is charged only on used links."""
-        spec = self.topology.link_spec
+        """Eq. III.3 per link; latency is charged only on used links.
+
+        Each link is costed under its *own* :class:`LinkSpec` — on
+        heterogeneous platforms (see :mod:`repro.gpu.platforms`) the
+        paper's single ``BW``/``Lat`` pair becomes a per-link pair.
+        """
         loads = self.link_loads(assignment)
         times = tuple(
-            (spec.latency_ns + load / spec.bandwidth_bytes_per_ns) if load else 0.0
-            for load in loads
+            (
+                link.spec.latency_ns
+                + load / link.spec.bandwidth_bytes_per_ns
+            ) if load else 0.0
+            for link, load in zip(self.topology.links, loads)
         )
         return CommBreakdown(link_bytes=tuple(loads), link_times=times)
 
@@ -176,10 +185,18 @@ def build_mapping_problem(
     include_host_io: bool = True,
     gpu_slowdown: Optional[List[float]] = None,
 ) -> MappingProblem:
-    """Assemble a :class:`MappingProblem` from a PDG."""
+    """Assemble a :class:`MappingProblem` from a PDG.
+
+    On a topology carrying per-leaf ``gpu_specs`` (a heterogeneous
+    platform), the per-GPU slowdown factors default to
+    :meth:`~repro.gpu.topology.GpuTopology.gpu_slowdowns`; an explicit
+    ``gpu_slowdown`` argument overrides them.
+    """
     topology = topology or default_topology(num_gpus)
     if topology.num_gpus != num_gpus:
         raise ValueError("topology size disagrees with num_gpus")
+    if gpu_slowdown is None:
+        gpu_slowdown = topology.gpu_slowdowns()
     times = [node.t_fragment for node in pdg.nodes]
     edges = {
         edge: float(pdg.edge_fragment_bytes(edge)) for edge in pdg.edges

@@ -85,6 +85,15 @@ class _Search:
             self._out_edges[i].append((j, nbytes))
             self._in_edges[j].append((i, nbytes))
         self.link_loads = [0.0] * problem.topology.num_links
+        # per-link cost constants (heterogeneous platforms have one
+        # LinkSpec per link; hoisted out of the hot bottleneck loop)
+        self._link_latency = [
+            link.spec.latency_ns for link in problem.topology.links
+        ]
+        self._link_inv_bw = [
+            1.0 / link.spec.bandwidth_bytes_per_ns
+            for link in problem.topology.links
+        ]
         # broadcast bookkeeping: per group, how many placed destinations
         # sit on each GPU (the route is charged on the 0 -> 1 transition)
         self._bcast_by_src: List[List[int]] = [[] for _ in range(problem.num_partitions)]
@@ -201,11 +210,10 @@ class _Search:
             self.link_loads[link] -= nbytes
 
     def _current_bottleneck(self) -> float:
-        spec = self.problem.topology.link_spec
         comm = 0.0
-        for load in self.link_loads:
+        for link, load in enumerate(self.link_loads):
             if load:
-                t = spec.latency_ns + load / spec.bandwidth_bytes_per_ns
+                t = self._link_latency[link] + load * self._link_inv_bw[link]
                 if t > comm:
                     comm = t
         return max(max(self.gpu_times), comm)

@@ -123,12 +123,27 @@ class _Builder:
     def _symmetry_breaking(self) -> None:
         """Pin the heaviest partition to one GPU per automorphism orbit.
 
-        GPUs with identical route signatures (route lengths to every
-        other GPU and to the host) are interchangeable on the reference
-        trees, so restricting a single partition to orbit representatives
-        loses no solutions while cutting the search space up to 4x.
+        GPUs with identical route signatures (the per-link spec sequence
+        of every route to every other GPU and to the host, plus the
+        GPU's own slowdown) are interchangeable on the reference trees
+        and on all catalog platforms, so restricting a single partition
+        to orbit representatives loses no solutions while cutting the
+        search space up to 4x.  Heterogeneous links enter the signature
+        through each route's ordered (bandwidth, latency) profile — two
+        GPUs equidistant by hop count but behind different-speed links
+        are *not* merged.
         """
         topo = self.problem.topology
+
+        def route_profile(route):
+            return tuple(
+                (
+                    topo.links[l].spec.bandwidth_bytes_per_ns,
+                    topo.links[l].spec.latency_ns,
+                )
+                for l in route
+            )
+
         signatures = {}
         for gpu in range(self.gpus):
             slowdown = (
@@ -137,9 +152,9 @@ class _Builder:
                 else 1.0
             )
             sig = (
-                tuple(sorted(len(topo.route(gpu, other))
+                tuple(sorted(route_profile(topo.route(gpu, other))
                              for other in range(self.gpus) if other != gpu)),
-                len(topo.route_to_host(gpu)),
+                route_profile(topo.route_to_host(gpu)),
                 slowdown,
             )
             signatures.setdefault(sig, gpu)
@@ -252,8 +267,10 @@ class _Builder:
         return loads
 
     def _link_constraints(self) -> None:
-        """Lat*y_l + D_l/BW - Tmax <= 0 and D_l - M*y_l <= 0 (III.2/III.3)."""
-        spec = self.problem.topology.link_spec
+        """Lat_l*y_l + D_l/BW_l - Tmax <= 0 and D_l - M*y_l <= 0
+        (III.2/III.3, with the paper's shared ``BW``/``Lat`` generalized
+        to per-link coefficients for heterogeneous platforms)."""
+        links = self.problem.topology.links
         loads = self._link_loads()
         big_m = (
             sum(self.problem.edges.values()) * self.gpus
@@ -264,6 +281,7 @@ class _Builder:
         time_rows = sparse.lil_matrix((self.links, self.num_vars))
         gate_rows = sparse.lil_matrix((self.links, self.num_vars))
         for link in range(self.links):
+            spec = links[link].spec
             for var, coeff in loads[link].items():
                 time_rows[link, var] = coeff / spec.bandwidth_bytes_per_ns
                 gate_rows[link, var] = coeff

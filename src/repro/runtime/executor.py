@@ -121,37 +121,16 @@ class PipelinedExecutor:
         makespan = 0.0
         first_fragment_done = 0.0
 
-        spec = self.topology.link_spec
+        links = self.topology.links
         scale = plan.executions_per_fragment / self.pdg.executions_per_fragment
 
         def transfer(route: List[int], nbytes: float, ready: float) -> float:
-            """Book a transfer on ``route``; returns arrival time.
-
-            Links are *bandwidth* resources: a transfer occupies each link
-            on its route for ``bytes / BW``; the per-hop setup latency
-            delays the arrival but does not block other transfers
-            (asynchronous DMA engines overlap setup with other traffic).
-            This matches the ILP's per-beat cost ``Lat + D_l / BW`` with
-            the latency amortized into pipeline fill.
-            """
             nonlocal makespan
             if not route or nbytes <= 0:
                 return ready
-            occupancy = nbytes / spec.bandwidth_bytes_per_ns
-            # find the earliest slot free on *all* route links (fixpoint)
-            start = ready
-            changed = True
-            while changed:
-                changed = False
-                for link in route:
-                    slot = link_timeline[link].earliest_slot(start, occupancy)
-                    if slot > start:
-                        start = slot
-                        changed = True
-            for link in route:
-                link_timeline[link].book(start, start + occupancy)
-                link_busy[link] += occupancy
-            arrival = start + occupancy + len(route) * spec.latency_ns
+            arrival = book_route_transfer(
+                links, link_timeline, link_busy, route, nbytes, ready
+            )
             makespan = max(makespan, arrival)
             return arrival
 
@@ -268,6 +247,53 @@ class _Timeline:
 
         index = bisect.bisect_left(self._intervals, (start, end))
         self._intervals.insert(index, (start, end))
+
+
+def book_route_transfer(
+    links,
+    link_timeline: Sequence[_Timeline],
+    link_busy: List[float],
+    route: Sequence[int],
+    nbytes: float,
+    ready: float,
+    on_book=None,
+) -> float:
+    """Book one transfer across ``route``; returns its arrival time.
+
+    Links are *bandwidth* resources: the transfer occupies each link on
+    its route for ``bytes / BW_l`` under that link's own spec
+    (heterogeneous platforms have per-link bandwidths); the per-hop
+    setup latency delays the arrival but does not block other transfers
+    (asynchronous DMA engines overlap setup with other traffic).  This
+    matches the ILP's per-beat cost ``Lat_l + D_l / BW_l`` with the
+    latency amortized into pipeline fill.
+
+    The caller guarantees a non-empty route and positive bytes, and
+    accounts the arrival into its makespan.  ``on_book(link, start,
+    end)`` observes every per-link booking — the trace recorder's event
+    hook, which is how executor and recorder share one cost model.
+    """
+    occupancy = [
+        nbytes / links[l].spec.bandwidth_bytes_per_ns for l in route
+    ]
+    # find the earliest slot free on *all* route links (fixpoint)
+    start = ready
+    changed = True
+    while changed:
+        changed = False
+        for link, occ in zip(route, occupancy):
+            slot = link_timeline[link].earliest_slot(start, occ)
+            if slot > start:
+                start = slot
+                changed = True
+    for link, occ in zip(route, occupancy):
+        link_timeline[link].book(start, start + occ)
+        link_busy[link] += occ
+        if on_book is not None:
+            on_book(link, start, start + occ)
+    return start + max(occupancy) + sum(
+        links[l].spec.latency_ns for l in route
+    )
 
 
 def measure_partitions(

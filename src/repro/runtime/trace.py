@@ -16,7 +16,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.gpu.simulator import KernelMeasurement, KernelSimulator
 from repro.gpu.topology import GpuTopology
 from repro.partition.pdg import PartitionDependenceGraph
-from repro.runtime.executor import ExecutionReport, PipelinedExecutor, _Timeline
+from repro.runtime.executor import (
+    ExecutionReport,
+    PipelinedExecutor,
+    _Timeline,
+    book_route_transfer,
+)
 from repro.runtime.fragments import FragmentPlan
 
 
@@ -91,7 +96,7 @@ class _Recorder:
         done: Dict[Tuple[int, int], float] = {}
         makespan = 0.0
         first_done = 0.0
-        spec = ex.topology.link_spec
+        links = ex.topology.links
         scale = plan.executions_per_fragment / ex.pdg.executions_per_fragment
         frag_ref = [0]
 
@@ -99,23 +104,17 @@ class _Recorder:
             nonlocal makespan
             if not route or nbytes <= 0:
                 return ready
-            occupancy = nbytes / spec.bandwidth_bytes_per_ns
-            start = ready
-            changed = True
-            while changed:
-                changed = False
-                for link in route:
-                    slot = link_tl[link].earliest_slot(start, occupancy)
-                    if slot > start:
-                        start, changed = slot, True
-            for link in route:
-                link_tl[link].book(start, start + occupancy)
-                link_busy[link] += occupancy
+
+            def record(link, start, end):
                 self.sink.append(TraceEvent(
-                    "transfer", ex.topology.links[link].name, label,
-                    start, start + occupancy, frag_ref[0],
+                    "transfer", links[link].name, label,
+                    start, end, frag_ref[0],
                 ))
-            arrival = start + occupancy + len(route) * spec.latency_ns
+
+            arrival = book_route_transfer(
+                links, link_tl, link_busy, route, nbytes, ready,
+                on_book=record,
+            )
             makespan = max(makespan, arrival)
             return arrival
 

@@ -71,6 +71,10 @@ class PointResult:
         return {
             "app": self.point.app,
             "N": self.point.n,
+            **(
+                {"platform": self.point.platform}
+                if self.point.platform is not None else {}
+            ),
             "gpus": self.point.num_gpus,
             "partitioner": self.point.partitioner,
             "mapper": self.point.mapper,
@@ -161,6 +165,7 @@ def run_point(
         partitioner=point.partitioner,
         mapper=point.mapper,
         peer_to_peer=point.peer_to_peer,
+        platform=point.platform,
         engine=engine,
         executions_per_fragment=point.executions_per_fragment,
         static_workload_balance=point.static_workload_balance,

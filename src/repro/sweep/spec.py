@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.flow import MAPPERS, PARTITIONERS
+from repro.gpu.platforms import PLATFORM_NAMES, platform_num_gpus
 from repro.gpu.specs import C2070, M2090, GpuSpec
 from repro.graph.stream_graph import StreamGraph
 
@@ -69,6 +70,10 @@ class SweepPoint:
     #: named graph transform applied after build_app (see
     #: repro.sweep.runner.TRANSFORMS); "none" is the identity
     transform: str = "none"
+    #: named machine from :mod:`repro.gpu.platforms`; ``None`` targets
+    #: the reference tree of ``num_gpus`` GPUs.  A named platform fixes
+    #: the GPU count, so ``num_gpus`` must agree with it.
+    platform: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.partitioner not in PARTITIONERS:
@@ -86,6 +91,18 @@ class SweepPoint:
                 f"unknown transform {self.transform!r}; "
                 f"known: {', '.join(sorted(TRANSFORMS))}"
             )
+        if self.platform is not None:
+            if self.platform not in PLATFORM_NAMES:
+                raise ValueError(
+                    f"unknown platform {self.platform!r}; "
+                    f"known: {', '.join(PLATFORM_NAMES)}"
+                )
+            expected = platform_num_gpus(self.platform)
+            if self.num_gpus != expected:
+                raise ValueError(
+                    f"platform {self.platform!r} has {expected} GPUs, "
+                    f"not {self.num_gpus}"
+                )
 
     def group_key(self) -> Tuple:
         """Points with equal group keys share a graph and an engine —
@@ -96,8 +113,12 @@ class SweepPoint:
         """Compact human-readable identity for progress lines."""
         p2p = "p2p" if self.peer_to_peer else "via-host"
         extra = "" if self.transform == "none" else f" +{self.transform}"
+        machine = (
+            self.platform if self.platform is not None
+            else f"g{self.num_gpus}"
+        )
         return (
-            f"{self.app}/{self.n} {self.spec} g{self.num_gpus} "
+            f"{self.app}/{self.n} {self.spec} {machine} "
             f"{self.partitioner}/{self.mapper} {p2p}{extra}"
         )
 
@@ -126,6 +147,11 @@ class SweepSpec:
     #: generator seed riding in the point's ``n`` — they expand, group,
     #: cache, and parallelize exactly like bundled-benchmark cases
     synth_cases: Sequence[Tuple[str, int]] = field(default_factory=list)
+    #: machine axis: each entry is either ``None`` (the reference tree,
+    #: one point per ``gpu_counts`` value) or a named platform from
+    #: :mod:`repro.gpu.platforms` (one point; the platform fixes its own
+    #: GPU count).  The default sweeps the reference trees only.
+    platforms: Sequence[Optional[str]] = (None,)
 
     def _all_cases(self) -> List[Tuple[str, int]]:
         """Bundled cases plus synth cases in app-name form.
@@ -140,11 +166,25 @@ class SweepSpec:
             cases.append((app, seed))
         return cases
 
+    def _machines(self) -> List[Tuple[Optional[str], int]]:
+        """The machine axis as (platform, num_gpus) pairs.
+
+        >>> SweepSpec(gpu_counts=(1, 2), platforms=(None, "two-island"))._machines()
+        [(None, 1), (None, 2), ('two-island', 4)]
+        """
+        machines: List[Tuple[Optional[str], int]] = []
+        for platform in self.platforms:
+            if platform is None:
+                machines.extend((None, gpus) for gpus in self.gpu_counts)
+            else:
+                machines.append((platform, platform_num_gpus(platform)))
+        return machines
+
     def size(self) -> int:
         """Number of points :meth:`expand` will produce."""
         return (
             (len(self.cases) + len(self.synth_cases))
-            * len(self.gpu_counts) * len(self.specs)
+            * len(self._machines()) * len(self.specs)
             * len(self.partitioners) * len(self.mappers)
             * len(self.peer_to_peer)
         )
@@ -158,10 +198,11 @@ class SweepSpec:
         repeat of the prefix immediately after it is first computed.
         """
         points: List[SweepPoint] = []
+        machines = self._machines()
         for (app, n), spec in itertools.product(self._all_cases(), self.specs):
             for partitioner in self.partitioners:
-                for gpus, mapper, p2p in itertools.product(
-                    self.gpu_counts, self.mappers, self.peer_to_peer
+                for (platform, gpus), mapper, p2p in itertools.product(
+                    machines, self.mappers, self.peer_to_peer
                 ):
                     points.append(
                         SweepPoint(
@@ -176,6 +217,7 @@ class SweepSpec:
                             executions_per_fragment=(
                                 self.executions_per_fragment
                             ),
+                            platform=platform,
                         )
                     )
         return points

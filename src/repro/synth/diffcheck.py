@@ -33,7 +33,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.flow import partition_stage, pdg_stage, profile_stage
+from repro.gpu.platforms import build_platform
 from repro.gpu.specs import GpuSpec, M2090
+from repro.gpu.topology import GpuTopology
 from repro.graph.stream_graph import StreamGraph
 from repro.graph.validate import collect_problems
 from repro.mapping.greedy import lpt_mapping, round_robin_mapping
@@ -289,6 +291,8 @@ def diffcheck_graph(
     mip_rel_gap: float = 0.0,
     bb_max_nodes: int = 2_000_000,
     cache=None,
+    platform: Optional[str] = None,
+    topology: Optional[GpuTopology] = None,
 ) -> InstanceReport:
     """Differential check of one generated instance, end to end.
 
@@ -297,13 +301,29 @@ def diffcheck_graph(
     A :class:`~repro.sweep.StageCache` may be passed to reuse
     profile/partition results across repeated corpus runs.
 
+    ``platform`` (or an explicit ``topology``) targets a named machine
+    from :mod:`repro.gpu.platforms` instead of the uniform reference
+    tree — the heterogeneous per-link specs then flow into every solver
+    under check, and ``num_gpus`` is taken from the machine.
+
     >>> from repro.synth.families import generate
     >>> diffcheck_graph(generate("pipeline", 1)).ok
     True
+    >>> diffcheck_graph(generate("pipeline", 1), platform="two-island").ok
+    True
     """
+    if platform is not None:
+        if topology is not None:
+            raise ValueError("pass either platform or topology, not both")
+        topology = build_platform(platform)
+    if topology is not None:
+        num_gpus = topology.num_gpus
     graph = instance.graph
+    label = instance.spec.instance_name
+    if platform is not None:
+        label = f"{label}@{platform}"
     report = InstanceReport(
-        label=instance.spec.instance_name,
+        label=label,
         num_partitions=0,
         num_gpus=num_gpus,
     )
@@ -323,11 +343,11 @@ def diffcheck_graph(
         return report
     pdg = pdg_stage(graph, partitions, engine, partitioning=partitioning)
     problem = build_mapping_problem(
-        pdg, num_gpus, peer_to_peer=peer_to_peer
+        pdg, num_gpus, topology=topology, peer_to_peer=peer_to_peer
     )
     return diffcheck_problem(
         problem,
-        label=instance.spec.instance_name,
+        label=label,
         num_partitions=len(partitions),
         milp_time_limit_s=milp_time_limit_s,
         mip_rel_gap=mip_rel_gap,
@@ -344,11 +364,20 @@ def diffcheck_corpus(
     mip_rel_gap: float = 0.0,
     cache=None,
     progress: Optional[Callable[[str], None]] = None,
+    platform: Optional[str] = None,
 ) -> CorpusReport:
     """Differential check of a whole corpus (default: the pinned 30).
 
+    ``platform`` runs every instance against a named machine from
+    :mod:`repro.gpu.platforms` instead of the uniform reference tree.
+    A shared :class:`~repro.sweep.StageCache` pays off across platforms:
+    profile/partition results are machine-independent, so only the
+    mapping work repeats.
+
     >>> from repro.synth.corpus import TINY_CORPUS
     >>> diffcheck_corpus(TINY_CORPUS).ok
+    True
+    >>> diffcheck_corpus(TINY_CORPUS, platform="host-star").ok
     True
     """
     if entries is None:
@@ -363,6 +392,7 @@ def diffcheck_corpus(
             milp_time_limit_s=milp_time_limit_s,
             mip_rel_gap=mip_rel_gap,
             cache=cache,
+            platform=platform,
         )
         report.instances.append(inst_report)
         if progress is not None:

@@ -22,6 +22,8 @@ DOCTEST_MODULES = [
     "repro.graph.builder",
     "repro.graph.fingerprint",
     "repro.graph.flatten",
+    "repro.gpu.memory",
+    "repro.gpu.platforms",
     "repro.partition.heuristic",
     "repro.sweep",
     "repro.sweep.cache",

@@ -161,3 +161,39 @@ class TestCli:
     def test_app_requires_n(self):
         with pytest.raises(SystemExit):
             cli_main(["--app", "FFT"])
+
+
+class TestCliPlatform:
+    def test_platform_run(self, capsys):
+        code = cli_main([
+            "--app", "Bitonic", "--n", "8", "--platform", "host-star",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 GPU(s) on host-star" in out
+
+    def test_platform_conflicts_with_gpus(self):
+        """--platform fixes the machine; an explicit --gpus must be a
+        hard error (not silently overridden), matching `repro sweep`."""
+        with pytest.raises(SystemExit):
+            cli_main([
+                "--app", "Bitonic", "--n", "8", "--gpus", "2",
+                "--platform", "host-star",
+            ])
+
+    def test_platform_trace_uses_platform_topology(self, tmp_path):
+        trace = tmp_path / "t.json"
+        code = cli_main([
+            "--app", "Bitonic", "--n", "8", "--platform", "host-star",
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        payload = json.loads(trace.read_text())
+        names = {
+            e["args"]["name"] for e in payload["traceEvents"]
+            if e.get("name") == "thread_name"
+        }
+        # host-star links cable GPUs straight to the host — a shape no
+        # reference tree has (those always route through sw1)
+        assert any(name.endswith("->host") for name in names)
+        assert not any("sw1" in name for name in names)

@@ -348,3 +348,105 @@ class TestSweepCli:
 
         with pytest.raises(SystemExit):
             cli_main(["sweep", "--case", "DES"])
+
+
+# ----------------------------------------------------------------------
+# the platform axis (named machines from repro.gpu.platforms)
+# ----------------------------------------------------------------------
+class TestPlatformAxis:
+    def test_machine_axis_mixes_trees_and_platforms(self):
+        spec = SweepSpec(
+            cases=[("DES", 4)], gpu_counts=(1, 2),
+            platforms=(None, "two-island", "deep-tree-8"),
+        )
+        points = spec.expand()
+        assert spec.size() == len(points) == 4
+        machines = [(p.platform, p.num_gpus) for p in points]
+        assert machines == [
+            (None, 1), (None, 2), ("two-island", 4), ("deep-tree-8", 8),
+        ]
+
+    def test_platform_fixes_gpu_count(self):
+        with pytest.raises(ValueError, match="4 GPUs"):
+            SweepPoint(app="DES", n=4, num_gpus=2, platform="two-island")
+        with pytest.raises(ValueError, match="unknown platform"):
+            SweepPoint(app="DES", n=4, num_gpus=4, platform="exascale")
+
+    def test_label_names_the_machine(self):
+        point = SweepPoint(app="DES", n=4, num_gpus=4, platform="mixed-box")
+        assert "mixed-box" in point.label() and "g4" not in point.label()
+
+    def test_platforms_share_no_mapping_entries(self):
+        """The issue's regression: one graph swept on two platforms must
+        produce distinct StageCache keys and distinct results when the
+        platforms' bottleneck links differ (two-island crosses gen2-x8
+        hops that gen3-balanced does not have)."""
+        from repro.gpu.platforms import build_platform
+
+        keys, tmaxes = {}, {}
+        for name in ("gen3-balanced", "two-island"):
+            cache = RecordingCache()
+            result = map_stream_graph(
+                build_app("synth:dag", 7), num_gpus=4,
+                topology=build_platform(name), cache=cache,
+            )
+            keys[name] = {
+                k for k in cache.get_keys if k.startswith("mapping.")
+            }
+            tmaxes[name] = result.mapping.tmax
+        assert keys["gen3-balanced"].isdisjoint(keys["two-island"])
+        assert tmaxes["gen3-balanced"] != tmaxes["two-island"]
+
+    def test_platform_points_share_machine_independent_stages(self):
+        """Separation must not cost the sweep its point: profile,
+        partition, and measurement entries are machine-independent and
+        hit across platforms."""
+        cache = StageCache()
+        spec = SweepSpec(
+            cases=[("Bitonic", 8)],
+            platforms=("gen3-balanced", "two-island"),
+        )
+        SweepRunner(cache=cache).run(spec)
+        by_stage = cache.stats().by_stage
+        # one shared group: the graph is profiled once for both machines
+        assert by_stage["profile"]["misses"] == 1
+        assert by_stage["partition"]["hits"] >= 1
+        assert by_stage["measure"]["hits"] >= 1
+        # the machine-dependent stage recomputes per platform
+        assert by_stage["mapping"]["hits"] == 0
+        assert by_stage["mapping"]["misses"] == 2
+
+    def test_runner_rows_carry_the_platform(self):
+        spec = SweepSpec(
+            cases=[("Bitonic", 8)], platforms=("host-star",),
+        )
+        result = SweepRunner(cache=StageCache()).run(spec)
+        row = result.rows()[0]
+        assert row["platform"] == "host-star" and row["gpus"] == 4
+        # reference-tree rows stay platform-free (pre-existing format)
+        plain = SweepRunner(cache=StageCache()).run(
+            SweepSpec(cases=[("Bitonic", 8)], gpu_counts=(2,))
+        )
+        assert "platform" not in plain.rows()[0]
+
+    def test_acceptance_command(self, capsys, tmp_path):
+        """`repro sweep --platform two-island --case synth:dag:7` runs
+        end to end (the issue's acceptance criterion)."""
+        from repro.cli import main as cli_main
+
+        code = cli_main([
+            "sweep", "--case", "synth:dag:7", "--platform", "two-island",
+            "--cache-dir", str(tmp_path / "cache"), "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "two-island" in out
+
+    def test_platform_flag_conflicts_with_gpus(self):
+        from repro.cli import main as cli_main
+
+        with pytest.raises(SystemExit):
+            cli_main([
+                "sweep", "--case", "DES:4", "--gpus", "2",
+                "--platform", "two-island",
+            ])

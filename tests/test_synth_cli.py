@@ -185,3 +185,39 @@ class TestSweepCliIntegration:
     def test_sweep_rejects_unknown_synth_family(self):
         with pytest.raises(SystemExit):
             cli.main(["sweep", "--case", "synth:nosuch:3", "--quiet"])
+
+
+class TestPlatformFlag:
+    def test_diffcheck_against_named_platform(self, capsys):
+        rc = cli.main([
+            "synth", "--corpus", "tiny", "--diffcheck",
+            "--platform", "host-star",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "@host-star" in captured.err  # per-instance progress
+        assert "0 violations" in captured.out
+
+    def test_single_instance_platform_diffcheck(self, capsys):
+        rc = cli.main([
+            "synth", "--family", "pipeline", "--seed", "1",
+            "--diffcheck", "--platform", "two-island",
+        ])
+        assert rc == 0
+        assert "@two-island" in capsys.readouterr().out
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main([
+                "synth", "--family", "pipeline", "--seed", "1",
+                "--diffcheck", "--platform", "nebula",
+            ])
+
+    def test_platform_conflicts_with_gpus(self):
+        """Same contract as `repro` and `repro sweep`: --platform fixes
+        the machine, an explicit --gpus is a hard error."""
+        with pytest.raises(SystemExit):
+            cli.main([
+                "synth", "--corpus", "tiny", "--diffcheck",
+                "--gpus", "2", "--platform", "deep-tree-8",
+            ])

@@ -2,7 +2,7 @@
 """Documentation gate: every public API symbol must be documented.
 
 Checks, for every name in ``repro.__all__``, ``repro.sweep.__all__``,
-and ``repro.synth.__all__``:
+``repro.synth.__all__``, and ``repro.gpu.__all__``:
 
 * the symbol carries a non-empty docstring (classes and functions), and
 * exported *functions* carry an executable example (a ``>>>`` doctest
@@ -41,10 +41,12 @@ def check_module(module, require_examples: bool) -> list:
 def main() -> int:
     sys.path.insert(0, "src")
     import repro
+    import repro.gpu
     import repro.sweep
     import repro.synth
 
     problems = check_module(repro, require_examples=True)
+    problems += check_module(repro.gpu, require_examples=True)
     problems += check_module(repro.sweep, require_examples=True)
     problems += check_module(repro.synth, require_examples=True)
     if problems:
@@ -53,8 +55,8 @@ def main() -> int:
             print(f"  - {problem}")
         return 1
     count = (
-        len(repro.__all__) + len(repro.sweep.__all__)
-        + len(repro.synth.__all__)
+        len(repro.__all__) + len(repro.gpu.__all__)
+        + len(repro.sweep.__all__) + len(repro.synth.__all__)
     )
     print(f"docs-check OK: {count} public symbols documented")
     return 0
