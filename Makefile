@@ -1,12 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-slow synth-check platform-check bench bench-sweep docs-check experiments clean
+.PHONY: test test-fast test-slow synth-check platform-check service-check bench bench-sweep docs-check experiments clean
 
 ## tier-1 verify: the full suite, benchmarks included (see ROADMAP.md);
-## gated on the synth generate+diffcheck smoke check and the platform
-## property suite
-test: synth-check platform-check
+## gated on the synth generate+diffcheck smoke check, the platform
+## property suite, and the service dedup round trip
+test: synth-check platform-check service-check
 	$(PYTHON) -m pytest -x -q
 
 ## unit/property/integration tests only (skips the benchmark harnesses)
@@ -25,6 +25,11 @@ synth-check:
 ## evaluator cross-checks, golden link tables, solver heterogeneity
 platform-check:
 	$(PYTHON) -m pytest tests/test_platforms.py -x -q
+
+## fast in-process service round trip: 8 duplicate submissions must
+## cost exactly one solve and return identical results (CI gate)
+service-check:
+	$(PYTHON) -m repro.cli serve --self-check --quiet
 
 ## the full benchmark suite
 bench:

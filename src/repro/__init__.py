@@ -20,11 +20,23 @@ Batched grids run through the sweep engine::
     spec = SweepSpec(cases=[("DES", 16)], gpu_counts=(1, 2, 4))
     result = SweepRunner(cache=StageCache()).run(spec)
 
+Request-style serving (dedup, deadline budgets, the anytime solver
+portfolio) goes through the mapping service::
+
+    from repro import MappingRequest, MappingService
+
+    with MappingService(workers=2) as service:
+        ticket = service.submit(MappingRequest(app="DES", n=16,
+                                               num_gpus=4))
+        print(ticket.result()["tmax"])
+
 See :mod:`repro.flow` for the pipeline facade and its stages,
-:mod:`repro.sweep` for the sweep engine, :mod:`repro.experiments` for
-the paper's tables/figures, and ``repro-map`` / ``repro sweep`` /
+:mod:`repro.sweep` for the sweep engine, :mod:`repro.service` for the
+serving layer, :mod:`repro.experiments` for the paper's tables/figures,
+and ``repro-map`` / ``repro sweep`` / ``repro serve`` /
 ``repro-experiments`` for the command-line tools.  ``README.md`` has the
-quickstart; ``docs/ARCHITECTURE.md`` walks the whole pipeline.
+quickstart; ``docs/ARCHITECTURE.md`` walks the whole pipeline and
+``docs/SERVICE.md`` the service.
 """
 
 from repro.apps import build_app
@@ -50,8 +62,14 @@ from repro.gpu import (
     build_platform,
     default_topology,
 )
+from repro.mapping import SolveBudget
 from repro.perf import PerformanceEstimationEngine
 from repro.partition import partition_stream_graph
+from repro.service import (
+    MappingRequest,
+    MappingService,
+    solve_portfolio,
+)
 from repro.sweep import (
     StageCache,
     SweepPoint,
@@ -59,7 +77,7 @@ from repro.sweep import (
     SweepSpec,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "C2070",
@@ -73,8 +91,11 @@ __all__ = [
     "KernelConfig",
     "KernelSimulator",
     "M2090",
+    "MappingRequest",
+    "MappingService",
     "PLATFORM_NAMES",
     "PerformanceEstimationEngine",
+    "SolveBudget",
     "StageCache",
     "StreamGraph",
     "SweepPoint",
@@ -90,4 +111,5 @@ __all__ = [
     "map_stream_graph",
     "parse_stream",
     "partition_stream_graph",
+    "solve_portfolio",
 ]

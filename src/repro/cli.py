@@ -15,6 +15,13 @@ pool, printing a result table plus cache-hit statistics.
 deterministic seeded instances exported as ``.str``/JSON, plus the
 differential solver-correctness harness over pinned corpora.
 
+``repro submit`` and ``repro serve`` form the JSON-lines client API of
+the mapping service (:mod:`repro.service`): ``submit`` prints canonical
+request lines, ``serve`` drains a stream of them through a
+:class:`~repro.service.MappingService` — deduplicating, caching, and
+answering one JSON response line per request.  ``repro cache`` inspects
+and prunes a stage-cache directory.
+
 Examples::
 
     repro-map --app DES --n 8 --gpus 4
@@ -31,6 +38,13 @@ Examples::
     repro synth --corpus pinned --diffcheck
     repro synth --corpus tiny --diffcheck --platform deep-tree-8
     repro synth --check
+
+    repro submit --app DES --n 16 --gpus 2 --budget ample --to reqs.jsonl
+    repro submit --app Bitonic --n 8 --platform two-island >> reqs.jsonl
+    repro serve --requests reqs.jsonl --cache-dir .sweep-cache --workers 2
+    repro serve --self-check
+    repro cache stats --cache-dir .sweep-cache
+    repro cache purge --cache-dir .sweep-cache --stage mapping
 """
 
 from __future__ import annotations
@@ -407,12 +421,275 @@ def synth_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def build_submit_parser() -> argparse.ArgumentParser:
+    from repro.mapping.budget import BUDGET_TIERS
+
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="Emit a canonical JSON-lines mapping-service request.",
+    )
+    parser.add_argument("--app", required=True,
+                        help="bundled benchmark or synth:<family>[;k=v...]")
+    parser.add_argument("--n", type=int, required=True,
+                        help="benchmark size parameter")
+    parser.add_argument("--gpus", type=int, default=None,
+                        choices=(1, 2, 3, 4),
+                        help="reference-tree GPU count (default 1)")
+    parser.add_argument("--platform", choices=PLATFORM_NAMES,
+                        help="named machine (fixes the GPU count)")
+    parser.add_argument("--spec", choices=sorted(_SPECS), default="M2090")
+    parser.add_argument("--partitioner", choices=PARTITIONERS, default="ours")
+    parser.add_argument("--mapper", choices=MAPPERS, default="portfolio")
+    parser.add_argument("--budget", choices=sorted(BUDGET_TIERS),
+                        default="default",
+                        help="solve-budget tier (see docs/SERVICE.md)")
+    parser.add_argument("--no-p2p", action="store_true",
+                        help="route inter-GPU traffic through the host")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="simulator noise seed")
+    parser.add_argument("--priority", type=int, default=0,
+                        help="queue priority (lower drains sooner)")
+    parser.add_argument("--deadline", type=float, default=None, metavar="S",
+                        help="wall-clock allowance in seconds (anytime mode)")
+    parser.add_argument("--tag", help="client correlation id, echoed back")
+    parser.add_argument("--key", action="store_true",
+                        help="also print the canonical request key to stderr")
+    parser.add_argument("--to", metavar="FILE",
+                        help="append the request line to FILE instead of "
+                             "printing it")
+    return parser
+
+
+def submit_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro submit``."""
+    import json as _json
+
+    from repro.service import api
+
+    parser = build_submit_parser()
+    args = parser.parse_args(argv)
+    if args.platform and args.gpus is not None:
+        parser.error("--platform fixes the GPU count; drop --gpus")
+    request = api.MappingRequest(
+        app=args.app, n=args.n,
+        num_gpus=args.gpus if args.gpus is not None else 1,
+        platform=args.platform, spec=args.spec,
+        partitioner=args.partitioner, mapper=args.mapper,
+        budget=args.budget, peer_to_peer=not args.no_p2p, seed=args.seed,
+        priority=args.priority, deadline_s=args.deadline, tag=args.tag,
+    )
+    try:
+        request.validate()
+    except ValueError as exc:
+        parser.error(str(exc))
+    line = _json.dumps(api.request_to_json(request), sort_keys=True,
+                       separators=(",", ":"))
+    if args.to:
+        with open(args.to, "a") as fh:
+            fh.write(line + "\n")
+        print(f"appended request to {args.to}", file=sys.stderr)
+    else:
+        print(line)
+    if args.key:
+        print(f"key: {api.request_key(request)}", file=sys.stderr)
+    return 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve JSON-lines mapping requests through the "
+                    "deduplicating mapping service.",
+    )
+    parser.add_argument("--requests", metavar="FILE",
+                        help="JSONL request file ('-' reads stdin); "
+                             "see repro submit")
+    parser.add_argument("--out", metavar="FILE",
+                        help="write JSONL responses here (default stdout)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="shared stage-cache directory (enables "
+                             "cross-run and cross-process reuse)")
+    parser.add_argument("--store", metavar="DIR",
+                        help="persistent job-store directory (dedup "
+                             "survives service restarts)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker count (default 1)")
+    parser.add_argument("--executor", choices=("thread", "process"),
+                        default="thread",
+                        help="solve in worker threads or a process pool "
+                             "(process mode needs --cache-dir)")
+    parser.add_argument("--strict", action="store_true",
+                        help="abort on the first malformed request line")
+    parser.add_argument("--self-check", action="store_true",
+                        help="in-process round trip: N duplicate "
+                             "submissions must cost exactly one solve "
+                             "(CI gate; ignores --requests)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary line on stderr")
+    return parser
+
+
+def _serve_self_check(args, parser) -> int:
+    """The ``repro serve --self-check`` gate: dedup must actually dedup."""
+    from repro.service import MappingRequest, MappingService
+
+    duplicates = 8
+    request = MappingRequest(
+        app="Bitonic", n=8, num_gpus=2, budget="instant", mapper="portfolio",
+    )
+    with MappingService(workers=2) as service:
+        tickets = [service.submit(request) for _ in range(duplicates)]
+        results = [ticket.result() for ticket in tickets]
+    stats = service.stats()
+    identical = all(result == results[0] for result in results)
+    ok = (
+        identical
+        and stats.solved == 1
+        and stats.dedup_hits == duplicates - 1
+        and stats.failed == 0
+    )
+    if not args.quiet or not ok:
+        print(
+            f"service self-check: {duplicates} duplicate submissions -> "
+            f"{stats.solved} solve(s), {stats.dedup_hits} dedup hit(s), "
+            f"identical results: {identical}",
+            file=sys.stderr,
+        )
+    if not ok:
+        print("service self-check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro serve``."""
+    from repro.service import JobStore, MappingService, serve_stream
+    from repro.sweep import StageCache
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.self_check:
+        return _serve_self_check(args, parser)
+    if not args.requests:
+        parser.error("give --requests FILE ('-' for stdin) or --self-check")
+    if args.executor == "process" and not args.cache_dir:
+        parser.error("--executor process needs --cache-dir (workers share "
+                     "stage results through the disk store)")
+
+    cache = None
+    if args.cache_dir:
+        try:
+            cache = StageCache(args.cache_dir)
+        except OSError as exc:
+            parser.error(f"unusable --cache-dir {args.cache_dir!r}: {exc}")
+    store = JobStore(args.store) if args.store else None
+    progress = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr)
+    )
+
+    try:
+        in_fh = sys.stdin if args.requests == "-" else open(args.requests)
+    except OSError as exc:
+        parser.error(f"unreadable --requests {args.requests!r}: {exc}")
+    try:
+        out_fh = open(args.out, "w") if args.out else sys.stdout
+    except OSError as exc:
+        if in_fh is not sys.stdin:
+            in_fh.close()
+        parser.error(f"unwritable --out {args.out!r}: {exc}")
+    try:
+        with MappingService(
+            cache=cache, store=store, workers=args.workers,
+            executor=args.executor, progress=progress,
+        ) as service:
+            failures = serve_stream(
+                in_fh, out_fh, service, strict=args.strict
+            )
+    except ValueError as exc:  # --strict abort on a malformed line
+        parser.error(str(exc))
+    finally:
+        if in_fh is not sys.stdin:
+            in_fh.close()
+        if out_fh is not sys.stdout:
+            out_fh.close()
+    if not args.quiet:
+        print(f"service: {service.stats().render()}", file=sys.stderr)
+        if cache is not None and cache.stats().lookups:
+            print(f"stage cache: {cache.stats().render()}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect or prune a stage-cache directory.",
+    )
+    parser.add_argument("action", choices=("stats", "purge"),
+                        help="stats: per-stage entry counts, sizes, and "
+                             "persisted hit counters; purge: delete entries")
+    parser.add_argument("--cache-dir", required=True, metavar="DIR",
+                        help="the cache directory to operate on")
+    parser.add_argument("--stage", metavar="NAME",
+                        help="restrict purge to one pipeline stage "
+                             "(e.g. mapping)")
+    return parser
+
+
+def cache_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro cache``."""
+    import os
+    from collections import Counter
+
+    from repro.sweep import StageCache
+
+    parser = build_cache_parser()
+    args = parser.parse_args(argv)
+    if args.action == "stats" and args.stage:
+        parser.error("--stage only applies to purge")
+    if not os.path.isdir(args.cache_dir):
+        parser.error(f"no such cache directory: {args.cache_dir}")
+    cache = StageCache(args.cache_dir)
+
+    if args.action == "purge":
+        removed = cache.purge(stage=args.stage)
+        what = f"{args.stage} entries" if args.stage else "entries"
+        print(f"purged {removed} {what} from {args.cache_dir}")
+        return 0
+
+    entries = cache.disk_entries()
+    counts = Counter(stage for stage, _, _ in entries)
+    sizes = Counter()
+    for stage, _, size in entries:
+        sizes[stage] += size
+    total = sum(size for _, _, size in entries)
+    print(f"cache dir : {args.cache_dir}")
+    print(f"entries   : {len(entries)} ({total / 1024:.1f} KiB)")
+    for stage in sorted(counts):
+        print(f"  {stage:10s} {counts[stage]:6d} entries "
+              f"{sizes[stage] / 1024:10.1f} KiB")
+    persisted = StageCache.persisted_stats(args.cache_dir)
+    if persisted is not None:
+        print(f"lifetime  : {persisted.render()}")
+    else:
+        print("lifetime  : no persisted counters "
+              "(written by repro serve shutdowns)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
     if argv and argv[0] == "synth":
         return synth_main(argv[1:])
+    if argv and argv[0] == "submit":
+        return submit_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
     if argv and argv[0] == "map":
         argv = argv[1:]
     parser = build_parser()

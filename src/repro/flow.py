@@ -14,6 +14,8 @@ paper's technique or the baselines it compares against:
                    ``"ilp-nocomm"``            ILP without link constraints
                    ``"lpt"``                   workload-only balancing [7]
                    ``"roundrobin"``            topological round-robin
+                   ``"portfolio"``             anytime solver escalation
+                                               (:mod:`repro.service.portfolio`)
 =================  ==========================  ===========================
 
 ``peer_to_peer=False`` additionally reroutes all inter-GPU traffic through
@@ -42,6 +44,7 @@ from repro.gpu.kernel import KernelConfig
 from repro.gpu.simulator import KernelMeasurement, KernelSimulator
 from repro.gpu.specs import GpuSpec, M2090
 from repro.gpu.topology import GpuTopology, default_topology
+from repro.mapping.budget import SolveBudget
 from repro.mapping.greedy import (
     contiguous_mapping,
     lpt_mapping,
@@ -50,7 +53,7 @@ from repro.mapping.greedy import (
 from repro.mapping.refine import refine_mapping
 from repro.mapping.problem import MappingProblem, build_mapping_problem
 from repro.mapping.result import MappingResult
-from repro.mapping.solver_milp import solve_milp
+from repro.mapping.solver_milp import MilpNoIncumbent, solve_milp
 from repro.partition.baseline import (
     one_kernel_per_filter,
     previous_work_partition,
@@ -67,7 +70,7 @@ from repro.runtime.executor import (
 from repro.runtime.fragments import FragmentPlan
 
 PARTITIONERS = ("ours", "previous", "single", "perfilter")
-MAPPERS = ("ilp", "ilp-nocomm", "lpt", "roundrobin")
+MAPPERS = ("ilp", "ilp-nocomm", "lpt", "roundrobin", "portfolio")
 
 
 @dataclass
@@ -295,6 +298,7 @@ def mapping_stage(
     peer_to_peer: bool = True,
     static_workload_balance: bool = False,
     gpu_slowdown: Optional[Sequence[float]] = None,
+    solve_budget: Optional[SolveBudget] = None,
     cache=None,
     graph_fp: Optional[str] = None,
 ) -> MappingResult:
@@ -302,12 +306,33 @@ def mapping_stage(
 
     The ILP solve dominates sweep runtimes on large graphs, so its result
     (assignment + score breakdown) is cacheable like the other stages.
+
+    ``solve_budget`` injects a :class:`~repro.mapping.SolveBudget` into
+    the ``ilp`` and ``portfolio`` mappers.  A non-default budget enters
+    the cache key (a small-budget incumbent and an ample-budget optimum
+    are different results); the deterministic default tier keys like
+    the historical no-budget form, so existing cache entries stay
+    valid.  The resolution happens *after* applying the
+    ``REPRO_MILP_TIME_LIMIT_S`` opt-in, so entries written since this
+    refactor are never replayed across the wall-clock/deterministic
+    divide.  (Entries a *pre-refactor* run left in a cache directory
+    were solved under the historical 10 s wall clock and replay under
+    the default key — purge ``mapping`` entries from old caches if
+    that matters: ``repro cache purge --stage mapping``.)
     """
     if mapper not in MAPPERS:
         raise ValueError(f"unknown mapper {mapper!r}")
     topology = topology or default_topology(num_gpus)
     key = None
     if cache is not None:
+        budget_parts = {}
+        if mapper in ("ilp", "ilp-nocomm", "portfolio"):
+            resolved = (
+                solve_budget if solve_budget is not None
+                else SolveBudget.default()  # env opt-in applied here
+            )
+            if resolved != SolveBudget.tier("default"):
+                budget_parts = {"solve_budget": resolved.key_parts()}
         key = stage_key(
             "mapping",
             graph=graph_fp or graph_fingerprint(pdg.graph),
@@ -320,6 +345,7 @@ def mapping_stage(
             peer_to_peer=peer_to_peer,
             static_workload_balance=static_workload_balance,
             gpu_slowdown=list(gpu_slowdown) if gpu_slowdown else None,
+            **budget_parts,
         )
         hit = _cache_get(cache, key)
         if hit is not None:
@@ -341,7 +367,7 @@ def mapping_stage(
     mapping = _solve(
         problem, mapper, pdg.graph,
         [node.members for node in pdg.nodes],
-        static_workload_balance, pdg,
+        static_workload_balance, pdg, solve_budget,
     )
     if key is not None:
         _cache_put(cache, key, {
@@ -441,11 +467,18 @@ def map_stream_graph(
     executions_per_fragment: int = 128,
     static_workload_balance: bool = False,
     gpu_slowdown: Optional[Sequence[float]] = None,
+    solve_budget: Optional[SolveBudget] = None,
     seed: int = 0,
     cache=None,
     graph_fp: Optional[str] = None,
 ) -> FlowResult:
     """Run the full mapping flow and simulate the pipelined execution.
+
+    ``solve_budget`` bounds the mapping solve with a deterministic
+    :class:`~repro.mapping.SolveBudget` (``ilp`` and ``portfolio``
+    mappers); omitted, the solvers use their default budget — a
+    deterministic node cap, wall-clock only via the
+    ``REPRO_MILP_TIME_LIMIT_S`` opt-in.
 
     ``static_workload_balance`` makes the LPT mapper balance static work
     (Σ firing · work) instead of PEE times — the previous work has no
@@ -514,7 +547,8 @@ def map_stream_graph(
         pdg, num_gpus, engine, mapper=mapper, topology=topology,
         peer_to_peer=peer_to_peer,
         static_workload_balance=static_workload_balance,
-        gpu_slowdown=gpu_slowdown, cache=cache, graph_fp=graph_fp,
+        gpu_slowdown=gpu_slowdown, solve_budget=solve_budget,
+        cache=cache, graph_fp=graph_fp,
     )
     measurements = measure_stage(pdg, engine, cache=cache, graph_fp=graph_fp)
     report = execute_stage(
@@ -541,11 +575,25 @@ def _solve(
     partitions: Sequence[FrozenSet[int]],
     static_workload_balance: bool,
     pdg: PartitionDependenceGraph,
+    solve_budget: Optional[SolveBudget] = None,
 ) -> MappingResult:
+    if mapper == "portfolio":
+        from repro.service.portfolio import solve_portfolio
+
+        answer = solve_portfolio(
+            problem, budget=solve_budget,
+            topo_order=pdg.topological_order(),
+        )
+        return answer.mapping
     if mapper == "ilp":
-        result = solve_milp(problem)
+        try:
+            result = solve_milp(problem, budget=solve_budget)
+        except MilpNoIncumbent:
+            # budget exhausted before any incumbent: fall back to the
+            # heuristic chain below with an empty starting point
+            result = lpt_mapping(problem)
         if not result.optimal:
-            # the solver hit its time limit; never return worse than the
+            # the solver hit its work limit; never return worse than the
             # cheap heuristics (greedy balance, contiguous chain split),
             # then polish the winner with local search
             for fallback in (
@@ -561,7 +609,7 @@ def _solve(
                 result = refined
         return result
     if mapper == "ilp-nocomm":
-        return solve_milp(problem, include_comm=False)
+        return solve_milp(problem, include_comm=False, budget=solve_budget)
     if mapper == "lpt":
         workloads = None
         if static_workload_balance:

@@ -6,9 +6,12 @@
 * :mod:`repro.mapping.solver_bb` -- from-scratch branch-and-bound backend,
 * :mod:`repro.mapping.greedy` -- communication-unaware baselines (the
   previous work's workload balancing, round-robin),
-* :mod:`repro.mapping.result` -- mapping results and their breakdowns.
+* :mod:`repro.mapping.result` -- mapping results and their breakdowns,
+* :mod:`repro.mapping.budget` -- deterministic solve budgets shared by
+  every backend (and the escalation tiers of the service portfolio).
 """
 
+from repro.mapping.budget import BUDGET_TIERS, TIER_ORDER, SolveBudget
 from repro.mapping.greedy import (
     contiguous_mapping,
     lpt_mapping,
@@ -18,12 +21,16 @@ from repro.mapping.problem import Broadcast, MappingProblem, build_mapping_probl
 from repro.mapping.refine import refine_mapping
 from repro.mapping.result import MappingResult
 from repro.mapping.solver_bb import solve_branch_and_bound
-from repro.mapping.solver_milp import solve_milp
+from repro.mapping.solver_milp import MilpNoIncumbent, solve_milp
 
 __all__ = [
+    "BUDGET_TIERS",
     "Broadcast",
     "MappingProblem",
     "MappingResult",
+    "MilpNoIncumbent",
+    "SolveBudget",
+    "TIER_ORDER",
     "build_mapping_problem",
     "contiguous_mapping",
     "lpt_mapping",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.mapping.budget import SolveBudget
 from repro.mapping.greedy import lpt_mapping
 from repro.mapping.problem import MappingProblem
 from repro.mapping.result import MappingResult, make_result
@@ -27,19 +28,36 @@ from repro.mapping.result import MappingResult, make_result
 
 def solve_branch_and_bound(
     problem: MappingProblem,
-    max_nodes: int = 2_000_000,
+    max_nodes: Optional[int] = None,
+    budget: Optional[SolveBudget] = None,
+    incumbent: Optional[Sequence[int]] = None,
 ) -> MappingResult:
     """Exact DFS branch-and-bound; returns the best assignment found.
 
     ``optimal`` is False in the (rare) event the node budget is
-    exhausted first.
+    exhausted first.  The node budget comes from ``max_nodes`` when
+    given, else from ``budget.bb_node_limit``, else the historical
+    2-million-node default — all deterministic, so equal budgets yield
+    equal results.
+
+    ``incumbent`` seeds the search with an externally-found assignment
+    (the portfolio passes its best-so-far); the search then only spends
+    nodes on subtrees that can still beat it.  Omitted, the greedy LPT
+    solution seeds the search as before.
     """
     parts = problem.num_partitions
     gpus = problem.num_gpus
     if gpus == 1 or parts == 0:
         return make_result(problem, [0] * parts, "branch-and-bound", True)
 
-    incumbent = list(lpt_mapping(problem).assignment)
+    if max_nodes is None:
+        max_nodes = budget.bb_node_limit if budget is not None else 2_000_000
+    if incumbent is not None:
+        incumbent = list(incumbent)
+        if len(incumbent) != parts:
+            raise ValueError("incumbent length mismatch")
+    else:
+        incumbent = list(lpt_mapping(problem).assignment)
     best = problem.tmax(incumbent)
     order = sorted(range(parts), key=lambda p: -problem.times[p])
     # admissible even for heterogeneous GPUs: every partition runs at

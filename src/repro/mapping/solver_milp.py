@@ -18,6 +18,14 @@ term with the usage indicator ``y_l`` (``T_comm_l = Lat*y_l + D_l/BW``)
 so unused links do not force ``Tmax >= Lat``.  The evaluator in
 :mod:`repro.mapping.problem` applies the same rule, keeping solver and
 scorer consistent.
+
+Work limits come from a :class:`~repro.mapping.budget.SolveBudget`: the
+default is a *deterministic* branch-and-bound node cap, so repeated
+solves of one instance return identical mappings regardless of machine
+load.  Wall-clock limits are opt-in (``budget.time_limit_s`` or the
+legacy ``time_limit_s`` argument).  A solve that hits its cap returns
+the incumbent with ``optimal=False``; a solve that hits the cap before
+*any* incumbent raises :class:`MilpNoIncumbent`.
 """
 
 from __future__ import annotations
@@ -28,33 +36,61 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from repro.mapping.budget import SolveBudget
 from repro.mapping.problem import MappingProblem
 from repro.mapping.result import MappingResult, make_result
 
 
+class MilpNoIncumbent(RuntimeError):
+    """The MILP hit its budget before finding any feasible incumbent."""
+
+
+#: sentinel distinguishing "caller said nothing" from an explicit None
+_UNSET = object()
+
+
 def solve_milp(
     problem: MappingProblem,
-    time_limit_s: Optional[float] = 10.0,
+    time_limit_s=_UNSET,
     include_comm: bool = True,
-    mip_rel_gap: float = 0.01,
+    mip_rel_gap: Optional[float] = None,
+    budget: Optional[SolveBudget] = None,
 ) -> MappingResult:
     """Solve the mapping problem with HiGHS (optimal modulo the gap).
 
     ``include_comm=False`` drops the link constraints — the
-    workload-balancing-only ablation.  ``mip_rel_gap`` trades the last
-    percent of optimality for large solve-time wins on 100+-partition
-    instances (the paper reports <=10 s solves on a commercial solver).
+    workload-balancing-only ablation.  ``budget`` supplies the work
+    limits (node cap, gap, optional wall clock); omitted, it is
+    :meth:`SolveBudget.default` — a deterministic node cap with *no*
+    wall-clock limit, so back-to-back solves of the same instance are
+    bit-identical.  The legacy ``time_limit_s``/``mip_rel_gap``
+    arguments override the corresponding budget fields when given
+    explicitly.
+
+    A capped solve reports its incumbent: ``optimal`` is False and
+    ``solve_stats`` carries the HiGHS status, the explored node count,
+    and the remaining relative gap.
     """
     gpus = problem.num_gpus
     parts = problem.num_partitions
     if gpus == 1 or parts == 0:
         return make_result(problem, [0] * parts, "milp", True)
 
+    budget = budget or SolveBudget.default()
+    if time_limit_s is not _UNSET:
+        budget = budget.with_wall_clock(time_limit_s)
+    if mip_rel_gap is not None:
+        from dataclasses import replace
+
+        budget = replace(budget, mip_rel_gap=mip_rel_gap)
+
     builder = _Builder(problem, include_comm)
     builder.build()
-    options = {"mip_rel_gap": mip_rel_gap}
-    if time_limit_s:
-        options["time_limit"] = time_limit_s
+    options: Dict[str, object] = {"mip_rel_gap": budget.mip_rel_gap}
+    if budget.milp_node_limit is not None:
+        options["node_limit"] = budget.milp_node_limit
+    if budget.time_limit_s:
+        options["time_limit"] = budget.time_limit_s
     res = milp(
         c=builder.objective,
         constraints=builder.constraints,
@@ -63,11 +99,19 @@ def solve_milp(
         options=options,
     )
     if res.x is None:
-        raise RuntimeError(f"MILP solver failed: {res.message}")
+        raise MilpNoIncumbent(f"MILP solver failed: {res.message}")
     assignment = builder.extract_assignment(res.x)
-    stats = (("milp_status", float(res.status)),)
+    stats = [("milp_status", float(res.status))]
+    for attr, stat in (
+        ("mip_node_count", "milp_nodes"),
+        ("mip_gap", "milp_gap"),
+    ):
+        value = getattr(res, attr, None)
+        if value is not None:
+            stats.append((stat, float(value)))
     return make_result(
-        problem, assignment, "milp", optimal=(res.status == 0), stats=stats
+        problem, assignment, "milp", optimal=(res.status == 0),
+        stats=tuple(stats),
     )
 
 

@@ -1,0 +1,82 @@
+"""Async mapping service: dedup, deadline budgets, anytime portfolio.
+
+The serving layer the ROADMAP's production north star asks for, built
+from four pieces:
+
+* :mod:`repro.service.api` — the request model, canonical request keys,
+  and the JSON-lines wire format (``repro submit`` / ``repro serve``);
+* :mod:`repro.service.queue` — a priority/FIFO work queue;
+* :mod:`repro.service.jobs` — the persistent job store (one job per
+  canonical key; dedup is the storage layout);
+* :mod:`repro.service.portfolio` — the anytime solver portfolio:
+  greedy instantly, branch-and-bound and MILP as the budget allows,
+  always a valid best-so-far mapping;
+* :mod:`repro.service.server` — :class:`MappingService`, tying them
+  together over worker threads (or a process pool) and a shared
+  :class:`~repro.sweep.StageCache`.
+
+Quick round trip::
+
+    from repro.service import MappingService, MappingRequest
+
+    with MappingService(workers=2) as service:
+        tickets = [service.submit(MappingRequest(app="DES", n=8,
+                                                 num_gpus=2))
+                   for _ in range(8)]
+        answers = [t.result() for t in tickets]
+    # 8 identical answers, exactly 1 solve: service.stats().solved == 1
+
+>>> from repro.service import MappingRequest, request_key
+>>> request_key(MappingRequest(app="Bitonic", n=8)) \\
+...     == request_key(MappingRequest(app="Bitonic", n=8, tag="again"))
+True
+"""
+
+from repro.service.api import (
+    MappingRequest,
+    parse_request_line,
+    request_from_json,
+    request_key,
+    request_to_json,
+    serve_stream,
+)
+from repro.service.jobs import Job, JobStore
+from repro.service.portfolio import (
+    PortfolioResult,
+    StageOutcome,
+    solve_portfolio,
+    tier_for_deadline,
+)
+from repro.service.queue import WorkQueue
+from repro.service.server import (
+    MappingService,
+    ServiceError,
+    ServiceStats,
+    Ticket,
+    solve_request,
+)
+from repro.mapping.budget import BUDGET_TIERS, TIER_ORDER, SolveBudget
+
+__all__ = [
+    "BUDGET_TIERS",
+    "Job",
+    "JobStore",
+    "MappingRequest",
+    "MappingService",
+    "PortfolioResult",
+    "ServiceError",
+    "ServiceStats",
+    "SolveBudget",
+    "StageOutcome",
+    "TIER_ORDER",
+    "Ticket",
+    "WorkQueue",
+    "parse_request_line",
+    "request_from_json",
+    "request_key",
+    "request_to_json",
+    "serve_stream",
+    "solve_portfolio",
+    "solve_request",
+    "tier_for_deadline",
+]

@@ -1,0 +1,149 @@
+"""Persistent job store for the mapping service.
+
+One :class:`Job` per *canonical request key* (see
+:func:`repro.service.api.request_key`): because the key is
+content-addressed, "the same request submitted twice" and "two clients
+asking for the same thing" are literally the same job — dedup falls out
+of the storage layout.
+
+The store is two-level like the stage cache: an in-memory dict under a
+lock (the service's worker threads all touch it) plus an optional
+on-disk directory — one JSON file per job, written via atomic temp-file
+rename, so a service restarted on the same ``--store`` directory
+resumes deduplicating against every previously completed job.
+
+>>> store = JobStore()
+>>> job = Job(key="k1", request={"app": "DES"}, state=QUEUED)
+>>> store.put(job)
+>>> store.get("k1").state
+'queued'
+>>> _ = store.update("k1", state=DONE, result={"tmax": 1.0})
+>>> store.get("k1").state, len(store)
+('done', 1)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from repro.sweep.cache import atomic_write_json
+
+#: job lifecycle states
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+STATES = (QUEUED, RUNNING, DONE, FAILED)
+
+
+@dataclass
+class Job:
+    """One unit of service work, keyed by canonical request identity."""
+
+    #: canonical request key (sha256 hex; see ``api.request_key``)
+    key: str
+    #: canonical request payload (``api.request_to_json``)
+    request: dict
+    #: one of :data:`STATES`
+    state: str = QUEUED
+    #: compact solve result (assignment, tmax, status, ...) once DONE
+    result: Optional[dict] = None
+    #: error message once FAILED
+    error: Optional[str] = None
+    #: how many solver invocations this job actually cost (0 on dedup)
+    solves: int = 0
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Job":
+        return cls(**payload)
+
+
+class JobStore:
+    """Thread-safe two-level (memory + optional disk) job store."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.RLock()
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+            self._load()
+
+    def _file(self, key: str) -> str:
+        return os.path.join(self.path, f"{key}.job.json")
+
+    def _load(self) -> None:
+        for name in sorted(os.listdir(self.path)):
+            if not name.endswith(".job.json"):
+                continue
+            try:
+                with open(os.path.join(self.path, name)) as fh:
+                    job = Job.from_json(json.load(fh))
+            except (OSError, json.JSONDecodeError, TypeError):
+                continue  # a torn write from a crashed writer; ignore
+            # an interrupted run's queued/running jobs are not resumable
+            # state — only finished jobs are worth deduplicating against
+            if job.state in (DONE, FAILED):
+                self._jobs[job.key] = job
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(key)
+
+    def put(self, job: Job) -> None:
+        with self._lock:
+            self._jobs[job.key] = job
+            self._persist(job)
+
+    def update(self, key: str, **fields) -> Job:
+        """Atomically apply ``fields`` to the job and persist it."""
+        with self._lock:
+            job = self._jobs[key]
+            for name, value in fields.items():
+                if not hasattr(job, name):
+                    raise AttributeError(f"Job has no field {name!r}")
+                setattr(job, name, value)
+            self._persist(job)
+            return job
+
+    def _persist(self, job: Job) -> None:
+        if self.path is None:
+            return
+        atomic_write_json(self.path, self._file(job.key), job.to_json())
+
+    # ------------------------------------------------------------------
+    def jobs(self, state: Optional[str] = None) -> List[Job]:
+        """All jobs (optionally filtered by state), key-sorted."""
+        with self._lock:
+            out = [
+                job for job in self._jobs.values()
+                if state is None or job.state == state
+            ]
+        return sorted(out, key=lambda job: job.key)
+
+    def purge(self) -> int:
+        """Drop every job (memory and disk); returns the count dropped."""
+        with self._lock:
+            count = len(self._jobs)
+            self._jobs.clear()
+            if self.path is not None:
+                for name in os.listdir(self.path):
+                    if name.endswith(".job.json"):
+                        try:
+                            os.unlink(os.path.join(self.path, name))
+                        except OSError:
+                            pass
+        return count
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

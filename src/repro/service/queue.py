@@ -1,0 +1,76 @@
+"""Priority-aware FIFO work queue for the mapping service.
+
+A tiny, dependency-free synchronized queue: items drain in ascending
+``priority`` order (0 is the default; *lower* is sooner, like ``nice``),
+and equal priorities drain strictly FIFO — the tie-break is a
+monotonically increasing submission sequence number, so two requests at
+the same priority can never reorder.  ``close()`` wakes every blocked
+consumer; a closed, drained queue returns ``None`` from :meth:`get`,
+which is the worker-thread shutdown signal.
+
+>>> q = WorkQueue()
+>>> q.put("background", priority=5)
+>>> q.put("first"); q.put("second")
+>>> q.put("urgent", priority=-1)
+>>> [q.get() for _ in range(4)]
+['urgent', 'first', 'second', 'background']
+>>> q.close(); q.get() is None
+True
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Any, List, Optional, Tuple
+
+
+class QueueClosed(RuntimeError):
+    """Raised by :meth:`WorkQueue.put` after :meth:`WorkQueue.close`."""
+
+
+class WorkQueue:
+    """Synchronized priority/FIFO queue (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._seq = 0
+        self._closed = False
+        self._cond = threading.Condition()
+
+    def put(self, item: Any, priority: int = 0) -> None:
+        """Enqueue ``item``; lower ``priority`` values drain sooner."""
+        with self._cond:
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            heapq.heappush(self._heap, (priority, self._seq, item))
+            self._seq += 1
+            self._cond.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Dequeue the next item, blocking while the queue is empty.
+
+        Returns ``None`` when the queue is closed and drained, or when
+        ``timeout`` (seconds) elapses first.
+        """
+        with self._cond:
+            while not self._heap and not self._closed:
+                if not self._cond.wait(timeout=timeout):
+                    return None
+            if not self._heap:
+                return None  # closed and drained
+            return heapq.heappop(self._heap)[-1]
+
+    def close(self) -> None:
+        """Refuse further puts and wake every blocked consumer."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)

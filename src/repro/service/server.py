@@ -1,0 +1,464 @@
+"""The mapping service: async request execution with deduplication.
+
+``MappingService`` is the in-process serving layer over the Figure-3.1
+flow.  A submitted :class:`~repro.service.api.MappingRequest` travels:
+
+1. **canonicalize** — :func:`~repro.service.api.request_key` reduces the
+   request to (graph fingerprint, platform content, solver config);
+2. **dedup** — a key already DONE in the :class:`~repro.service.jobs.JobStore`
+   answers instantly from the store; a key currently in flight shares
+   the in-flight ticket (many submissions, one solve); everything else
+   becomes a new job on the :class:`~repro.service.queue.WorkQueue`;
+3. **execute** — worker threads drain the queue in priority order and
+   run the flow (optionally on a process pool), with every pipeline
+   stage cached in a shared :class:`~repro.sweep.StageCache`, so even
+   *non*-identical requests reuse each other's profile/partition work;
+4. **answer** — the anytime portfolio guarantees a valid mapping under
+   the request's budget tier; a request with a ``deadline_s`` is
+   downgraded to the richest tier that still fits the remaining time,
+   or failed outright if it expired while queued.
+
+Everything is deterministic except opt-in deadlines: equal requests
+yield equal answers, and the dedup layer makes that literal — they yield
+the *same* answer object.  Deadline-downgraded and failed jobs are not
+canonical: later submissions of the same key re-solve at full budget
+instead of replaying them (the one sharing window is a duplicate that
+attaches while a deadline job is already in flight — it receives that
+job's possibly-downgraded answer, like any in-flight rider).
+
+>>> from repro.service.api import MappingRequest
+>>> with MappingService(workers=2) as service:
+...     tickets = [service.submit(MappingRequest(app="Bitonic", n=8,
+...                                              num_gpus=2,
+...                                              budget="instant"))
+...                for _ in range(3)]
+...     results = [t.result() for t in tickets]
+>>> results[0] == results[1] == results[2]
+True
+>>> service.stats().solved, service.stats().dedup_hits
+(1, 2)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.flow import map_stream_graph
+from repro.mapping.budget import TIER_ORDER, SolveBudget
+from repro.service.api import (
+    MappingRequest,
+    build_request_graph,
+    request_key,
+    request_to_json,
+)
+from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, Job, JobStore
+from repro.service.portfolio import tier_for_deadline
+from repro.service.queue import WorkQueue
+from repro.sweep.cache import StageCache
+from repro.sweep.spec import SPECS
+
+
+class ServiceError(RuntimeError):
+    """A job failed; carries the job's error message."""
+
+
+def solve_request(
+    request: MappingRequest,
+    budget_tier: Optional[str] = None,
+    cache: Optional[StageCache] = None,
+) -> dict:
+    """Run one request through the flow; returns the compact result.
+
+    This is the service's unit of real work — everything around it
+    (dedup, queueing, deadlines) exists to avoid calling it twice for
+    the same answer.  ``budget_tier`` overrides the request's tier (the
+    deadline downgrade path); the result is plain JSON so it crosses
+    process-pool and wire boundaries unchanged.
+
+    >>> from repro.service.api import MappingRequest
+    >>> out = solve_request(MappingRequest(app="Bitonic", n=8, num_gpus=2,
+    ...                                    budget="instant"))
+    >>> out["num_gpus"], out["budget"], len(out["assignment"]) >= 1
+    (2, 'instant', True)
+    """
+    tier = budget_tier or request.budget
+    flow = map_stream_graph(
+        build_request_graph(request),
+        num_gpus=request.num_gpus,
+        spec=SPECS[request.spec],
+        partitioner=request.partitioner,
+        mapper=request.mapper,
+        peer_to_peer=request.peer_to_peer,
+        platform=request.platform,
+        seed=request.seed,
+        solve_budget=SolveBudget.tier(tier),
+        cache=cache,
+    )
+    return {
+        "assignment": list(flow.mapping.assignment),
+        "tmax": flow.mapping.tmax,
+        "solver": flow.mapping.solver,
+        "optimal": flow.mapping.optimal,
+        "num_partitions": flow.num_partitions,
+        "num_gpus": flow.num_gpus,
+        "throughput": flow.throughput,
+        "beat_ns": flow.report.beat_ns,
+        "budget": tier,
+    }
+
+
+def _process_worker(payload) -> dict:
+    """Process-pool entry: one solve against the shared on-disk cache."""
+    from repro.service.api import request_from_json
+
+    request_json, budget_tier, cache_path = payload
+    cache = StageCache(cache_path) if cache_path is not None else None
+    result = solve_request(
+        request_from_json(request_json), budget_tier, cache
+    )
+    if cache is not None:
+        # the child's counters die with it unless folded into the
+        # directory's shared stats file (repro cache stats reads it)
+        cache.persist_stats()
+    return result
+
+
+@dataclass
+class ServiceStats:
+    """Service-lifetime counters (all monotone)."""
+
+    submitted: int = 0
+    solved: int = 0
+    failed: int = 0
+    #: duplicate of a job still in flight — shared its ticket
+    dedup_inflight: int = 0
+    #: duplicate of a completed job — answered from the store
+    dedup_completed: int = 0
+    #: failed before solving because the deadline expired in the queue
+    expired: int = 0
+
+    @property
+    def dedup_hits(self) -> int:
+        return self.dedup_inflight + self.dedup_completed
+
+    def to_json(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "solved": self.solved,
+            "failed": self.failed,
+            "dedup_inflight": self.dedup_inflight,
+            "dedup_completed": self.dedup_completed,
+            "expired": self.expired,
+        }
+
+    def render(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{self.submitted} submitted: {self.solved} solved, "
+            f"{self.dedup_hits} deduped "
+            f"({self.dedup_inflight} in-flight, "
+            f"{self.dedup_completed} completed), "
+            f"{self.failed} failed, {self.expired} expired"
+        )
+
+
+class _JobTicket:
+    """The shared completion handle of one in-flight job."""
+
+    def __init__(self, key: str, request: MappingRequest) -> None:
+        self.key = key
+        self.request = request
+        self.enqueued_at = time.monotonic()
+        self._event = threading.Event()
+        self.payload: Optional[dict] = None
+
+    def resolve(self, payload: dict) -> None:
+        self.payload = payload
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> dict:
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"job {self.key[:16]} still pending")
+        assert self.payload is not None
+        return self.payload
+
+
+class Ticket:
+    """What :meth:`MappingService.submit` returns — one submission's view
+    of a (possibly shared) job."""
+
+    def __init__(
+        self, job: _JobTicket, dedup: Optional[str], tag: Optional[str]
+    ) -> None:
+        self._job = job
+        #: ``None`` (this submission caused the solve), ``"inflight"``,
+        #: or ``"completed"``
+        self.dedup = dedup
+        self.tag = tag
+
+    @property
+    def key(self) -> str:
+        """The canonical request key this submission resolved to."""
+        return self._job.key
+
+    @property
+    def done(self) -> bool:
+        return self._job.payload is not None
+
+    def response(self, timeout: Optional[float] = None) -> dict:
+        """The full wire response (state, result/error, dedup, tag)."""
+        payload = dict(self._job.wait(timeout))
+        payload["key"] = self.key
+        payload["dedup"] = self.dedup
+        if self.tag is not None:
+            payload["tag"] = self.tag
+        return payload
+
+    def result(self, timeout: Optional[float] = None) -> dict:
+        """The solve result; raises :class:`ServiceError` on failure."""
+        payload = self._job.wait(timeout)
+        if payload["state"] != DONE:
+            raise ServiceError(payload.get("error") or "job failed")
+        return payload["result"]
+
+
+class MappingService:
+    """In-process async mapping service (see module docstring).
+
+    Parameters
+    ----------
+    cache:
+        Shared :class:`~repro.sweep.StageCache` for pipeline-stage reuse
+        across requests.  ``None`` creates a private in-memory cache.
+    store:
+        :class:`~repro.service.jobs.JobStore` for completed-job dedup;
+        give it a directory to survive restarts.  ``None`` keeps jobs in
+        memory for the service's lifetime.
+    workers:
+        Worker-thread count (and, in process mode, the pool size).
+    executor:
+        ``"thread"`` (default) solves in the worker threads;
+        ``"process"`` fans solves out to a process pool — requires a
+        disk-backed cache (a memory-only cache cannot cross the pool
+        boundary, so it forces thread mode, mirroring the sweep runner).
+    solve_fn:
+        Test seam: replaces :func:`solve_request`.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[StageCache] = None,
+        store: Optional[JobStore] = None,
+        workers: int = 1,
+        executor: str = "thread",
+        solve_fn: Optional[Callable] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if executor not in ("thread", "process"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.cache = cache if cache is not None else StageCache()
+        self.store = store if store is not None else JobStore()
+        if executor == "process" and self.cache.path is None:
+            executor = "thread"
+        self.executor = executor
+        self.workers = workers
+        self._solve = solve_fn or solve_request
+        self._progress = progress
+        self._queue = WorkQueue()
+        self._inflight: Dict[str, _JobTicket] = {}
+        self._lock = threading.Lock()
+        self._stats = ServiceStats()
+        #: (app, n) -> graph fingerprint, so a burst of duplicates pays
+        #: one graph build instead of one per submission
+        self._fingerprints: Dict[tuple, str] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        if executor == "process":
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+        self._threads = [
+            threading.Thread(target=self._worker_loop, daemon=True,
+                             name=f"repro-service-{i}")
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, request: MappingRequest) -> Ticket:
+        """Submit one request; returns its :class:`Ticket` immediately.
+
+        Duplicate requests (same canonical key) never solve twice: they
+        share the in-flight ticket or answer from the completed-job
+        store.  Only *canonical* completions serve as dedup sources — a
+        job that FAILED (a transient worker error, an expired deadline)
+        or whose solve was deadline-downgraded to a cheaper tier is
+        re-solved on the next submission rather than replayed.
+        """
+        request.validate()
+        key = request_key(request, graph_fp=self._fingerprint(request))
+        with self._lock:
+            self._stats.submitted += 1
+            ticket = self._inflight.get(key)
+            if ticket is not None:
+                self._stats.dedup_inflight += 1
+                return Ticket(ticket, "inflight", request.tag)
+            job = self.store.get(key)
+            if (
+                job is not None
+                and job.state == DONE
+                and (job.result or {}).get("budget") == request.budget
+            ):
+                self._stats.dedup_completed += 1
+                done = _JobTicket(key, request)
+                done.resolve(self._job_payload(job))
+                return Ticket(done, "completed", request.tag)
+            ticket = _JobTicket(key, request)
+            self._inflight[key] = ticket
+            self.store.put(Job(
+                key=key, request=request_to_json(request), state=QUEUED,
+            ))
+        try:
+            self._queue.put(ticket, priority=request.priority)
+        except BaseException:
+            # submit raced a shutdown: undo, and resolve the ticket as
+            # failed — a duplicate may already be riding it, and an
+            # unresolved ticket would block that rider's result() forever
+            with self._lock:
+                self._inflight.pop(key, None)
+                self._stats.failed += 1
+            error = "service shut down before the job was queued"
+            self.store.update(key, state=FAILED, error=error)
+            ticket.resolve({"state": FAILED, "error": error})
+            raise
+        return Ticket(ticket, None, request.tag)
+
+    def submit_many(self, requests) -> List[Ticket]:
+        """Submit a batch; returns tickets in submission order.
+
+        >>> from repro.service.api import MappingRequest
+        >>> with MappingService() as service:
+        ...     pair = service.submit_many([
+        ...         MappingRequest(app="Bitonic", n=8, num_gpus=2,
+        ...                        budget="instant"),
+        ...     ] * 2)
+        ...     _ = [t.response() for t in pair]
+        >>> pair[1].dedup in ("inflight", "completed")
+        True
+        """
+        return [self.submit(request) for request in requests]
+
+    def stats(self) -> ServiceStats:
+        return self._stats
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; with ``wait``, drain the queue first.
+
+        On a disk-backed cache the hit counters are folded into the
+        cache directory's shared stats file (``repro cache stats`` reads
+        them back).
+        """
+        self._queue.close()
+        if wait:
+            for thread in self._threads:
+                thread.join()
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+        if self.cache.path is not None:
+            self.cache.persist_stats()
+
+    def __enter__(self) -> "MappingService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    def _fingerprint(self, request: MappingRequest) -> str:
+        """Memoized graph fingerprint (deterministic per app + n)."""
+        from repro.graph.fingerprint import graph_fingerprint
+        from repro.service.api import build_request_graph
+
+        memo_key = (request.app, request.n)
+        with self._lock:
+            cached = self._fingerprints.get(memo_key)
+        if cached is not None:
+            return cached
+        fp = graph_fingerprint(build_request_graph(request))
+        with self._lock:
+            self._fingerprints[memo_key] = fp
+        return fp
+
+    @staticmethod
+    def _job_payload(job: Job) -> dict:
+        if job.state == DONE:
+            return {"state": DONE, "result": job.result}
+        return {"state": FAILED, "error": job.error}
+
+    def _effective_tier(self, ticket: _JobTicket) -> Optional[str]:
+        """The budget tier a dequeued job should solve under.
+
+        ``None`` means the deadline already expired.  Without a
+        deadline, the requested tier passes through untouched (the
+        deterministic path).
+        """
+        request = ticket.request
+        if request.deadline_s is None:
+            return request.budget
+        remaining = request.deadline_s - (time.monotonic() - ticket.enqueued_at)
+        if remaining <= 0:
+            return None
+        fitting = tier_for_deadline(remaining)
+        order = {name: i for i, name in enumerate(TIER_ORDER)}
+        if order.get(fitting, 0) < order.get(request.budget, 0):
+            return fitting
+        return request.budget
+
+    def _worker_loop(self) -> None:
+        while True:
+            ticket = self._queue.get()
+            if ticket is None:
+                return
+            self._run_job(ticket)
+
+    def _run_job(self, ticket: _JobTicket) -> None:
+        tier = self._effective_tier(ticket)
+        if tier is None:
+            with self._lock:
+                self._stats.expired += 1
+                self._stats.failed += 1
+            self._finish(ticket, FAILED, solves=0,
+                         error="deadline expired in queue")
+            return
+        self.store.update(ticket.key, state=RUNNING)
+        try:
+            if self._pool is not None:
+                payload = (
+                    request_to_json(ticket.request), tier, self.cache.path,
+                )
+                result = self._pool.submit(_process_worker, payload).result()
+            else:
+                result = self._solve(ticket.request, tier, self.cache)
+        except Exception as exc:  # a failed job must not kill the worker
+            with self._lock:
+                self._stats.failed += 1
+            self._finish(ticket, FAILED, solves=1,
+                         error=f"{type(exc).__name__}: {exc}")
+            return
+        with self._lock:
+            self._stats.solved += 1
+        self._finish(ticket, DONE, solves=1, result=result)
+        if self._progress is not None:
+            self._progress(
+                f"{ticket.request.app}/{ticket.request.n} [{tier}] done"
+            )
+
+    def _finish(self, ticket: _JobTicket, state: str, **fields) -> None:
+        job = self.store.update(ticket.key, state=state, **fields)
+        with self._lock:
+            self._inflight.pop(ticket.key, None)
+        ticket.resolve(self._job_payload(job))

@@ -21,8 +21,41 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
+
+try:  # advisory inter-process lock; POSIX only, degraded elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+#: file name of the shared persisted-counter store inside a cache dir
+STATS_FILE = "_stats.json"
+#: file name of the inter-process lock guarding read-modify-write of it
+LOCK_FILE = "_stats.lock"
+
+
+def atomic_write_json(directory: str, final_path: str, payload) -> None:
+    """Write ``payload`` as JSON to ``final_path`` via temp-file rename.
+
+    The rename is atomic on POSIX, so a concurrent reader (thread or
+    process) sees either the previous complete file or the new complete
+    file, never a torn write.  Shared by the stage cache, its persisted
+    counters, and the service's job store.
+    """
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, final_path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 @dataclass
@@ -108,12 +141,21 @@ class StageCache:
         are persisted one file per key — concurrent writers (the process
         pool) stay safe because writes go through an atomic rename, and
         a racing duplicate write is idempotent (same key, same content).
+
+    The cache is safe under concurrent *threads* too: the service's
+    worker pool shares one instance, so the memory layer and the hit
+    counters sit behind a lock.  Disk reads happen outside the lock (a
+    torn read is impossible thanks to the atomic rename), so a slow
+    filesystem never serializes unrelated workers.
     """
 
     def __init__(self, path: Optional[str] = None) -> None:
         self.path = path
         self._memory: Dict[str, object] = {}
         self._stats = CacheStats()
+        self._lock = threading.RLock()
+        #: counters already folded into the stats file (double-count guard)
+        self._persisted_baseline = CacheStats().to_json()
         if path is not None:
             os.makedirs(path, exist_ok=True)
 
@@ -127,9 +169,10 @@ class StageCache:
 
     def get(self, key: str):
         """The cached value, or ``None``; every call counts in the stats."""
-        if key in self._memory:
-            self._stats.record(self._stage_of(key), hit=True)
-            return self._memory[key]
+        with self._lock:
+            if key in self._memory:
+                self._stats.record(self._stage_of(key), hit=True)
+                return self._memory[key]
         if self.path is not None:
             try:
                 with open(self._file(key)) as fh:
@@ -137,34 +180,138 @@ class StageCache:
             except (FileNotFoundError, json.JSONDecodeError):
                 pass
             else:
-                self._memory[key] = value
-                self._stats.record(self._stage_of(key), hit=True)
+                with self._lock:
+                    self._memory[key] = value
+                    self._stats.record(self._stage_of(key), hit=True)
                 return value
-        self._stats.record(self._stage_of(key), hit=False)
+        with self._lock:
+            self._stats.record(self._stage_of(key), hit=False)
         return None
 
     def put(self, key: str, value) -> None:
-        """Store a JSON-serializable stage result."""
-        self._memory[key] = value
+        """Store a JSON-serializable stage result.
+
+        The disk write goes through an atomic temp-file rename, so a
+        reader in another thread or process sees either the old file or
+        the complete new one, never a torn write.
+        """
+        with self._lock:
+            self._memory[key] = value
         if self.path is not None:
-            fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w") as fh:
-                    json.dump(value, fh)
-                os.replace(tmp, self._file(key))
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            atomic_write_json(self.path, self._file(key), value)
 
     def stats(self) -> CacheStats:
         return self._stats
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def clear(self) -> None:
         """Drop the in-memory layer (disk entries are kept)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
+
+    # ------------------------------------------------------------------
+    # disk-store introspection and maintenance (the ``repro cache`` CLI)
+    def disk_entries(self) -> List[Tuple[str, str, int]]:
+        """Every on-disk entry as ``(stage, key, bytes)``, key-sorted.
+
+        Empty for memory-only caches.
+        """
+        if self.path is None:
+            return []
+        out: List[Tuple[str, str, int]] = []
+        for name in sorted(os.listdir(self.path)):
+            if not name.endswith(".json") or name == STATS_FILE:
+                continue
+            if name.endswith(".job.json"):
+                continue  # a JobStore sharing the directory
+
+            key = name[: -len(".json")]
+            try:
+                size = os.stat(os.path.join(self.path, name)).st_size
+            except OSError:
+                continue  # purged by a concurrent writer
+            out.append((self._stage_of(key), key, size))
+        return out
+
+    def purge(self, stage: Optional[str] = None) -> int:
+        """Delete entries (all, or one stage's) from memory *and* disk.
+
+        Returns the number of entries removed from the wider of the two
+        layers.  The shared stats file survives a stage-filtered purge
+        and is reset by a full one.
+        """
+        removed_memory = 0
+        with self._lock:
+            doomed = [
+                key for key in self._memory
+                if stage is None or self._stage_of(key) == stage
+            ]
+            for key in doomed:
+                del self._memory[key]
+            removed_memory = len(doomed)
+        removed_disk = 0
+        if self.path is not None:
+            for entry_stage, key, _ in self.disk_entries():
+                if stage is not None and entry_stage != stage:
+                    continue
+                try:
+                    os.unlink(self._file(key))
+                    removed_disk += 1
+                except OSError:
+                    pass
+            if stage is None:
+                try:
+                    os.unlink(os.path.join(self.path, STATS_FILE))
+                except OSError:
+                    pass
+        return max(removed_memory, removed_disk)
+
+    # ------------------------------------------------------------------
+    # persisted counters (long-lived cache directories)
+    @contextmanager
+    def _stats_lock(self):
+        """Advisory inter-process lock for stats read-modify-write."""
+        if self.path is None or fcntl is None:
+            yield
+            return
+        with open(os.path.join(self.path, LOCK_FILE), "w") as lock_fh:
+            fcntl.flock(lock_fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_fh, fcntl.LOCK_UN)
+
+    def persist_stats(self) -> Optional[CacheStats]:
+        """Fold this process's counters into the directory's stats file.
+
+        Multiple processes (service workers, parallel sweeps) may call
+        this against one directory; the read-modify-write runs under an
+        advisory file lock and the write is an atomic rename.  Repeated
+        calls fold only the counters accumulated since the previous
+        call, so periodic flushing never double-counts.  Returns the
+        merged lifetime counters, or ``None`` on a memory-only cache.
+        """
+        if self.path is None:
+            return None
+        with self._stats_lock():
+            merged = self.persisted_stats(self.path) or CacheStats()
+            with self._lock:
+                merged.merge(self._stats.since(self._persisted_baseline))
+                self._persisted_baseline = self._stats.to_json()
+            atomic_write_json(
+                self.path, os.path.join(self.path, STATS_FILE),
+                merged.to_json(),
+            )
+        return merged
+
+    @staticmethod
+    def persisted_stats(path: str) -> Optional[CacheStats]:
+        """The counters previously persisted into ``path``, if any."""
+        try:
+            with open(os.path.join(path, STATS_FILE)) as fh:
+                return CacheStats.from_json(json.load(fh))
+        except (FileNotFoundError, json.JSONDecodeError, KeyError):
+            return None

@@ -15,12 +15,14 @@ point through the staged flow of :mod:`repro.flow`:
   ``concurrent.futures`` process pool, each worker warming the same
   on-disk cache.
 
-Every stage is a deterministic function of its knobs, with one caveat:
-the MILP solve carries a wall-clock time limit, so a very large
-instance that hits the limit can resolve differently under different
-machine load.  The stage cache removes exactly that irreproducibility —
-the first computed result is pinned and every replay (same run, later
-run, other worker) is bit-identical to it.
+Every stage is a deterministic function of its knobs.  (Historically
+the MILP solve carried a 10 s wall-clock limit, so a very large
+instance could resolve differently under machine load; since the
+:class:`~repro.mapping.SolveBudget` refactor the default limit is a
+deterministic node cap, and wall-clock limits are an explicit opt-in
+via ``REPRO_MILP_TIME_LIMIT_S``.  The stage cache still pins first
+results, which keeps replays bit-identical even for opted-in
+wall-clock runs.)
 """
 
 from __future__ import annotations

@@ -18,8 +18,13 @@ if each solver is correct:
   within the configured relative gap.
 
 Comparisons against a solver that did *not* prove optimality (MILP hit
-its wall-clock limit, B&B exhausted its node budget) are recorded as
-*skips*, not violations — a timeout is not a wrong answer.
+its work limit, B&B exhausted its node budget) are recorded as
+*skips*, not violations — a limit hit is not a wrong answer.  Since the
+:class:`~repro.mapping.SolveBudget` refactor the MILP runs under a
+deterministic node cap by default; wall-clock limits
+(``milp_time_limit_s``) are an explicit opt-in for callers that need
+bounded latency more than reproducibility (the wide slow-corpus sweeps
+pass one).
 
 >>> from repro.synth.families import generate
 >>> report = diffcheck_graph(generate("splitjoin", 7))
@@ -38,6 +43,7 @@ from repro.gpu.specs import GpuSpec, M2090
 from repro.gpu.topology import GpuTopology
 from repro.graph.stream_graph import StreamGraph
 from repro.graph.validate import collect_problems
+from repro.mapping.budget import SolveBudget
 from repro.mapping.greedy import lpt_mapping, round_robin_mapping
 from repro.mapping.problem import MappingProblem, build_mapping_problem
 from repro.mapping.result import MappingResult
@@ -197,7 +203,7 @@ def diffcheck_problem(
     problem: MappingProblem,
     label: str,
     num_partitions: int,
-    milp_time_limit_s: Optional[float] = 10.0,
+    milp_time_limit_s: Optional[float] = None,
     mip_rel_gap: float = 0.0,
     bb_max_nodes: int = 2_000_000,
     report: Optional[InstanceReport] = None,
@@ -230,8 +236,13 @@ def diffcheck_problem(
     _check_outcome(report, problem, rr)
     _check_outcome(report, problem, bb)
     try:
+        # the differential check wants *proofs*, so the MILP runs under
+        # the ample tier's large deterministic node cap (the default
+        # tier trades proofs on search-heavy instances for latency);
+        # the explicit gap/wall-clock arguments override budget fields
         milp = solve_milp(
-            problem, time_limit_s=milp_time_limit_s, mip_rel_gap=mip_rel_gap
+            problem, time_limit_s=milp_time_limit_s, mip_rel_gap=mip_rel_gap,
+            budget=SolveBudget.tier("ample"),
         )
     except RuntimeError as exc:  # solver found nothing inside the limit
         report.skips.append(f"milp: no solution within limit ({exc})")
@@ -287,7 +298,7 @@ def diffcheck_graph(
     spec: GpuSpec = M2090,
     partitioner: str = "ours",
     peer_to_peer: bool = True,
-    milp_time_limit_s: Optional[float] = 10.0,
+    milp_time_limit_s: Optional[float] = None,
     mip_rel_gap: float = 0.0,
     bb_max_nodes: int = 2_000_000,
     cache=None,
@@ -360,7 +371,7 @@ def diffcheck_corpus(
     entries=None,
     num_gpus: int = 2,
     spec: GpuSpec = M2090,
-    milp_time_limit_s: Optional[float] = 10.0,
+    milp_time_limit_s: Optional[float] = None,
     mip_rel_gap: float = 0.0,
     cache=None,
     progress: Optional[Callable[[str], None]] = None,

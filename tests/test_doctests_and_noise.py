@@ -24,7 +24,14 @@ DOCTEST_MODULES = [
     "repro.graph.flatten",
     "repro.gpu.memory",
     "repro.gpu.platforms",
+    "repro.mapping.budget",
     "repro.partition.heuristic",
+    "repro.service",
+    "repro.service.api",
+    "repro.service.jobs",
+    "repro.service.portfolio",
+    "repro.service.queue",
+    "repro.service.server",
     "repro.sweep",
     "repro.sweep.cache",
     "repro.sweep.runner",

@@ -2,7 +2,8 @@
 """Documentation gate: every public API symbol must be documented.
 
 Checks, for every name in ``repro.__all__``, ``repro.sweep.__all__``,
-``repro.synth.__all__``, and ``repro.gpu.__all__``:
+``repro.synth.__all__``, ``repro.service.__all__``, and
+``repro.gpu.__all__``:
 
 * the symbol carries a non-empty docstring (classes and functions), and
 * exported *functions* carry an executable example (a ``>>>`` doctest
@@ -42,6 +43,7 @@ def main() -> int:
     sys.path.insert(0, "src")
     import repro
     import repro.gpu
+    import repro.service
     import repro.sweep
     import repro.synth
 
@@ -49,6 +51,7 @@ def main() -> int:
     problems += check_module(repro.gpu, require_examples=True)
     problems += check_module(repro.sweep, require_examples=True)
     problems += check_module(repro.synth, require_examples=True)
+    problems += check_module(repro.service, require_examples=True)
     if problems:
         print("docs-check FAILED:")
         for problem in problems:
@@ -57,6 +60,7 @@ def main() -> int:
     count = (
         len(repro.__all__) + len(repro.gpu.__all__)
         + len(repro.sweep.__all__) + len(repro.synth.__all__)
+        + len(repro.service.__all__)
     )
     print(f"docs-check OK: {count} public symbols documented")
     return 0
