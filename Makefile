@@ -1,12 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-slow synth-check platform-check service-check bench bench-sweep docs-check experiments clean
+.PHONY: test test-fast test-slow synth-check platform-check service-check perf-check bench bench-sweep bench-kernel docs-check experiments clean
 
 ## tier-1 verify: the full suite, benchmarks included (see ROADMAP.md);
 ## gated on the synth generate+diffcheck smoke check, the platform
-## property suite, and the service dedup round trip
-test: synth-check platform-check service-check
+## property suite, the service dedup round trip, and the kernel perf bar
+test: synth-check platform-check service-check perf-check
 	$(PYTHON) -m pytest -x -q
 
 ## unit/property/integration tests only (skips the benchmark harnesses)
@@ -31,6 +31,11 @@ platform-check:
 service-check:
 	$(PYTHON) -m repro.cli serve --self-check --quiet
 
+## ratio-based perf gate: delta scoring must stay >=10x the interpreted
+## evaluator on the quick corpus (stable under load; see tools/perf_check.py)
+perf-check:
+	$(PYTHON) tools/perf_check.py
+
 ## the full benchmark suite
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -38,6 +43,11 @@ bench:
 ## just the sweep-engine benchmark: serial-uncached vs parallel-cached
 bench-sweep:
 	$(PYTHON) -m pytest benchmarks/test_bench_sweep.py -q
+
+## the compiled-kernel benchmark: measures eval/delta/B&B/refine rates
+## and writes/updates BENCH_kernel.json (the perf trajectory record)
+bench-kernel:
+	$(PYTHON) -m pytest benchmarks/test_bench_kernel.py -q
 
 ## fail if a public API symbol lacks a docstring / doctest example
 docs-check:

@@ -45,6 +45,7 @@ from repro.gpu.simulator import KernelMeasurement, KernelSimulator
 from repro.gpu.specs import GpuSpec, M2090
 from repro.gpu.topology import GpuTopology, default_topology
 from repro.mapping.budget import SolveBudget
+from repro.mapping.kernel import EvalKernel
 from repro.mapping.greedy import (
     contiguous_mapping,
     lpt_mapping,
@@ -595,15 +596,20 @@ def _solve(
         if not result.optimal:
             # the solver hit its work limit; never return worse than the
             # cheap heuristics (greedy balance, contiguous chain split),
-            # then polish the winner with local search
+            # then polish the winner with local search — all scored
+            # through one compiled kernel (bit-identical, much faster)
+            kernel = EvalKernel(problem)
             for fallback in (
-                lpt_mapping(problem),
-                contiguous_mapping(problem, pdg.topological_order()),
+                lpt_mapping(problem, kernel=kernel),
+                contiguous_mapping(
+                    problem, pdg.topological_order(), kernel=kernel
+                ),
             ):
                 if fallback.tmax < result.tmax:
                     result = fallback
             refined = refine_mapping(
-                problem, result.assignment, max_steps=64, use_swaps=False
+                problem, result.assignment, max_steps=64, use_swaps=False,
+                kernel=kernel,
             )
             if refined.tmax < result.tmax:
                 result = refined

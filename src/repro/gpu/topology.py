@@ -124,6 +124,14 @@ class GpuTopology:
         # sanity: every parent chain must terminate at the host
         for child in self._parent:
             self._ancestors(child)
+        # memoized route tables: the topology is immutable after
+        # construction, so every route is computed at most once and the
+        # cached tuple is shared by all callers (returning tuples keeps
+        # the memo safe without defensive copies)
+        self._p2p_routes: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._via_host_routes: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._to_host_routes: Dict[int, Tuple[int, ...]] = {}
+        self._from_host_routes: Dict[int, Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # structure
@@ -188,29 +196,46 @@ class GpuTopology:
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
-    def route(self, src: int, dst: int) -> List[int]:
+    def route(self, src: int, dst: int) -> Tuple[int, ...]:
         """Directed link ids used by a peer-to-peer transfer src -> dst.
 
         Climbs to the lowest common ancestor, then descends; an intra-GPU
-        "transfer" uses no links.
+        "transfer" uses no links.  Memoized: the returned tuple is shared
+        across calls, never re-walked.
         """
         if src == dst:
-            return []
-        return self._route_names(gpu_name(src), gpu_name(dst))
+            return ()
+        route = self._p2p_routes.get((src, dst))
+        if route is None:
+            route = tuple(self._route_names(gpu_name(src), gpu_name(dst)))
+            self._p2p_routes[(src, dst)] = route
+        return route
 
-    def route_to_host(self, src: int) -> List[int]:
+    def route_to_host(self, src: int) -> Tuple[int, ...]:
         """Uplink ids from GPU ``src`` to the host (device-to-host copy)."""
-        return self._route_names(gpu_name(src), HOST)
+        route = self._to_host_routes.get(src)
+        if route is None:
+            route = tuple(self._route_names(gpu_name(src), HOST))
+            self._to_host_routes[src] = route
+        return route
 
-    def route_from_host(self, dst: int) -> List[int]:
+    def route_from_host(self, dst: int) -> Tuple[int, ...]:
         """Downlink ids from the host to GPU ``dst`` (host-to-device copy)."""
-        return self._route_names(HOST, gpu_name(dst))
+        route = self._from_host_routes.get(dst)
+        if route is None:
+            route = tuple(self._route_names(HOST, gpu_name(dst)))
+            self._from_host_routes[dst] = route
+        return route
 
-    def route_via_host(self, src: int, dst: int) -> List[int]:
+    def route_via_host(self, src: int, dst: int) -> Tuple[int, ...]:
         """Route for host-mediated (non-P2P) transfers, as in [7]."""
         if src == dst:
-            return []
-        return self.route_to_host(src) + self.route_from_host(dst)
+            return ()
+        route = self._via_host_routes.get((src, dst))
+        if route is None:
+            route = self.route_to_host(src) + self.route_from_host(dst)
+            self._via_host_routes[(src, dst)] = route
+        return route
 
     def _route_names(self, src: str, dst: str) -> List[int]:
         src_chain = [src] + self._ancestors(src) if src != HOST else [HOST]

@@ -6,6 +6,8 @@
 * :mod:`repro.mapping.solver_bb` -- from-scratch branch-and-bound backend,
 * :mod:`repro.mapping.greedy` -- communication-unaware baselines (the
   previous work's workload balancing, round-robin),
+* :mod:`repro.mapping.kernel` -- the compiled evaluation kernel
+  (precomputed route tables, O(degree) incremental delta scoring),
 * :mod:`repro.mapping.result` -- mapping results and their breakdowns,
 * :mod:`repro.mapping.budget` -- deterministic solve budgets shared by
   every backend (and the escalation tiers of the service portfolio).
@@ -17,6 +19,7 @@ from repro.mapping.greedy import (
     lpt_mapping,
     round_robin_mapping,
 )
+from repro.mapping.kernel import DeltaEvaluator, EvalKernel, compile_kernel
 from repro.mapping.problem import Broadcast, MappingProblem, build_mapping_problem
 from repro.mapping.refine import refine_mapping
 from repro.mapping.result import MappingResult
@@ -26,12 +29,15 @@ from repro.mapping.solver_milp import MilpNoIncumbent, solve_milp
 __all__ = [
     "BUDGET_TIERS",
     "Broadcast",
+    "DeltaEvaluator",
+    "EvalKernel",
     "MappingProblem",
     "MappingResult",
     "MilpNoIncumbent",
     "SolveBudget",
     "TIER_ORDER",
     "build_mapping_problem",
+    "compile_kernel",
     "contiguous_mapping",
     "lpt_mapping",
     "refine_mapping",

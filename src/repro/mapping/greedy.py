@@ -8,6 +8,13 @@ with no model of inter-GPU communication.  Combined with
 
 ``round_robin_mapping`` deals partitions out in topological order — the
 crudest pipeline mapping, used by the ablation benchmarks.
+
+Each heuristic is split into an ``*_assignment`` function that builds
+the raw assignment (no scoring at all) and a ``*_mapping`` wrapper that
+scores it into a :class:`~repro.mapping.result.MappingResult`.  The
+solver portfolio uses the assignment forms and ranks the seeds through
+the compiled kernel (:mod:`repro.mapping.kernel`) in one batch instead
+of paying a full interpreted evaluation per seed.
 """
 
 from __future__ import annotations
@@ -18,17 +25,11 @@ from repro.mapping.problem import MappingProblem
 from repro.mapping.result import MappingResult, make_result
 
 
-def lpt_mapping(
+def lpt_assignment(
     problem: MappingProblem,
     workloads: Optional[Sequence[float]] = None,
-) -> MappingResult:
-    """Longest-processing-time workload balancing (communication-blind).
-
-    ``workloads`` overrides the balance key — the previous work balances
-    *static* workload (it has no performance model), so callers pass
-    static work estimates to emulate it; the default balances the PEE
-    fragment times.
-    """
+) -> List[int]:
+    """The LPT assignment itself, unscored (see :func:`lpt_mapping`)."""
     weights = list(workloads) if workloads is not None else list(problem.times)
     if len(weights) != problem.num_partitions:
         raise ValueError("workload vector length mismatch")
@@ -43,29 +44,65 @@ def lpt_mapping(
         )
         assignment[pid] = gpu
         loads[gpu] += weights[pid] * slowdown[gpu]
-    return make_result(problem, assignment, "greedy-lpt", optimal=False)
+    return assignment
 
 
-def round_robin_mapping(problem: MappingProblem) -> MappingResult:
-    """Deal partitions to GPUs in index (topological) order."""
-    assignment = [
-        pid % problem.num_gpus for pid in range(problem.num_partitions)
-    ]
-    return make_result(problem, assignment, "round-robin", optimal=False)
+def lpt_mapping(
+    problem: MappingProblem,
+    workloads: Optional[Sequence[float]] = None,
+    kernel=None,
+) -> MappingResult:
+    """Longest-processing-time workload balancing (communication-blind).
+
+    ``workloads`` overrides the balance key — the previous work balances
+    *static* workload (it has no performance model), so callers pass
+    static work estimates to emulate it; the default balances the PEE
+    fragment times.  ``kernel`` scores the result through a prebuilt
+    :class:`~repro.mapping.kernel.EvalKernel` instead of the
+    interpreted evaluator (same numbers, bit for bit).
+
+    >>> from repro.gpu.topology import default_topology
+    >>> p = MappingProblem(times=[4.0, 3.0, 2.0, 1.0], edges={},
+    ...                    host_io=[(0.0, 0.0)] * 4,
+    ...                    topology=default_topology(2))
+    >>> lpt_mapping(p).tmax
+    5.0
+    """
+    assignment = lpt_assignment(problem, workloads=workloads)
+    return make_result(
+        problem, assignment, "greedy-lpt", optimal=False, kernel=kernel
+    )
 
 
-def contiguous_mapping(
+def round_robin_assignment(problem: MappingProblem) -> List[int]:
+    """The round-robin deal, unscored (see :func:`round_robin_mapping`)."""
+    return [pid % problem.num_gpus for pid in range(problem.num_partitions)]
+
+
+def round_robin_mapping(
+    problem: MappingProblem, kernel=None
+) -> MappingResult:
+    """Deal partitions to GPUs in index (topological) order.
+
+    >>> from repro.gpu.topology import default_topology
+    >>> p = MappingProblem(times=[1.0, 1.0, 1.0], edges={},
+    ...                    host_io=[(0.0, 0.0)] * 3,
+    ...                    topology=default_topology(2))
+    >>> round_robin_mapping(p).assignment
+    (0, 1, 0)
+    """
+    return make_result(
+        problem, round_robin_assignment(problem), "round-robin",
+        optimal=False, kernel=kernel,
+    )
+
+
+def contiguous_assignment(
     problem: MappingProblem,
     order: Optional[Sequence[int]] = None,
-) -> MappingResult:
-    """Split a topological order into contiguous per-GPU blocks.
-
-    For chain-shaped PDGs (DES, FFT, ...) contiguous blocks minimize the
-    number of cut edges — exactly G-1 — so this is a strong seed/fallback
-    when the MILP times out on hundreds of partitions.  The block
-    boundary threshold is found by binary search on the bottleneck block
-    time (the classic linear-partitioning argument).
-    """
+) -> List[int]:
+    """The contiguous-blocks split, unscored (see
+    :func:`contiguous_mapping`)."""
     order = list(order) if order is not None else list(range(problem.num_partitions))
     if sorted(order) != list(range(problem.num_partitions)):
         raise ValueError("order must be a permutation of all partitions")
@@ -99,4 +136,30 @@ def contiguous_mapping(
             acc = 0.0
         assignment[pid] = gpu
         acc += t
-    return make_result(problem, assignment, "contiguous", optimal=False)
+    return assignment
+
+
+def contiguous_mapping(
+    problem: MappingProblem,
+    order: Optional[Sequence[int]] = None,
+    kernel=None,
+) -> MappingResult:
+    """Split a topological order into contiguous per-GPU blocks.
+
+    For chain-shaped PDGs (DES, FFT, ...) contiguous blocks minimize the
+    number of cut edges — exactly G-1 — so this is a strong seed/fallback
+    when the MILP times out on hundreds of partitions.  The block
+    boundary threshold is found by binary search on the bottleneck block
+    time (the classic linear-partitioning argument).
+
+    >>> from repro.gpu.topology import default_topology
+    >>> p = MappingProblem(times=[1.0, 1.0, 1.0, 1.0], edges={},
+    ...                    host_io=[(0.0, 0.0)] * 4,
+    ...                    topology=default_topology(2))
+    >>> contiguous_mapping(p).assignment
+    (0, 0, 1, 1)
+    """
+    return make_result(
+        problem, contiguous_assignment(problem, order=order), "contiguous",
+        optimal=False, kernel=kernel,
+    )

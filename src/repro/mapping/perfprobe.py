@@ -1,0 +1,187 @@
+"""Deterministic perf probes for the compiled evaluation kernel.
+
+The perf-regression harness (``benchmarks/test_bench_kernel.py``, the
+``make perf-check`` gate, ``BENCH_kernel.json``) needs problems that are
+(a) big enough that evaluation cost is dominated by real work rather
+than fixture noise, and (b) built without the profiling/partitioning
+front half so a gate run costs seconds.  This module provides a pinned
+*quick corpus* of synthetic :class:`~repro.mapping.problem.MappingProblem`
+instances (seeded, byte counts integral like real workloads) plus the
+shared rate-measurement helpers.
+
+All asserted perf bars are *ratios measured in the same process* (delta
+scoring vs full evaluation), so they hold on a loaded single-core box;
+absolute rates are recorded for the trajectory, never asserted.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Tuple
+
+from repro.gpu.platforms import build_platform
+from repro.gpu.topology import GpuTopology, default_topology
+from repro.mapping.greedy import lpt_assignment
+from repro.mapping.kernel import DeltaEvaluator, EvalKernel
+from repro.mapping.problem import Broadcast, MappingProblem
+
+#: the perf bar shared by ``make perf-check`` and the kernel benchmark:
+#: delta probes must beat interpreted full evaluation by this factor
+MIN_DELTA_RATIO = 10.0
+
+
+def _chain_problem(parts: int, topology: GpuTopology, seed: int) -> MappingProblem:
+    """A pipeline chain: the shape of DES/FFT-style PDGs."""
+    rng = random.Random(seed)
+    times = [float(rng.randrange(1_000, 100_000)) for _ in range(parts)]
+    edges = {
+        (i, i + 1): float(rng.randrange(64, 8192))
+        for i in range(parts - 1)
+    }
+    host_io = [(0.0, 0.0)] * parts
+    host_io[0] = (4096.0, 0.0)
+    host_io[-1] = (0.0, 4096.0)
+    return MappingProblem(
+        times=times, edges=edges, host_io=host_io, topology=topology
+    )
+
+
+def _web_problem(parts: int, topology: GpuTopology, seed: int) -> MappingProblem:
+    """An irregular DAG with fan-outs, broadcasts, and scattered I/O."""
+    rng = random.Random(seed)
+    times = [float(rng.randrange(1_000, 100_000)) for _ in range(parts)]
+    edges = {}
+    for i in range(parts):
+        for j in range(i + 1, min(parts, i + 9)):
+            if rng.random() < 0.3:
+                edges[(i, j)] = float(rng.randrange(64, 8192))
+    broadcasts = [
+        Broadcast(
+            src=rng.randrange(parts // 2),
+            nbytes=float(rng.randrange(256, 2048)),
+            destinations=tuple(
+                sorted({rng.randrange(parts) for _ in range(5)})
+            ),
+        )
+        for _ in range(3)
+    ]
+    host_io = [
+        (
+            float(rng.randrange(64, 1024)) if rng.random() < 0.2 else 0.0,
+            float(rng.randrange(64, 1024)) if rng.random() < 0.2 else 0.0,
+        )
+        for _ in range(parts)
+    ]
+    return MappingProblem(
+        times=times, edges=edges, host_io=host_io, topology=topology,
+        broadcasts=broadcasts,
+    )
+
+
+def quick_corpus() -> List[Tuple[str, MappingProblem]]:
+    """The pinned probe problems: chain / web shapes on three machines.
+
+    Sizes follow the paper's largest apps (DES N=32 maps ~200
+    partitions), which is exactly where the O(degree) delta scorer
+    separates from the O(E + L + P) full evaluations.
+
+    >>> [(label, p.num_partitions) for label, p in quick_corpus()]
+    [('chain-192@g4', 192), ('web-160@deep-tree-8', 160), ('web-128@mixed-box', 128)]
+    """
+    return [
+        ("chain-192@g4", _chain_problem(192, default_topology(4), seed=11)),
+        ("web-160@deep-tree-8",
+         _web_problem(160, build_platform("deep-tree-8"), seed=22)),
+        ("web-128@mixed-box",
+         _web_problem(128, build_platform("mixed-box"), seed=33)),
+    ]
+
+
+def _rate(fn, min_wall_s: float, repeats: int = 3) -> float:
+    """Calls/second of ``fn``: the best of ``repeats`` windows.
+
+    Taking the *fastest* window (the ``timeit`` convention) measures the
+    code, not whatever else the single-core box was doing at the time;
+    GC is paused for the same reason.  Each window runs ``fn`` for at
+    least ``min_wall_s`` wall-clock.
+    """
+    import gc
+
+    best = 0.0
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            calls = 0
+            start = time.perf_counter()
+            deadline = start + min_wall_s
+            while True:
+                fn()
+                calls += 1
+                now = time.perf_counter()
+                if now >= deadline:
+                    break
+            best = max(best, calls / (now - start))
+    finally:
+        if was_enabled:
+            gc.enable()
+    return best
+
+
+def measure_eval_rates(
+    problem: MappingProblem, min_wall_s: float = 0.1, seed: int = 0
+) -> Dict[str, float]:
+    """Evals/second of the three scoring paths on one problem.
+
+    * ``interp_full_per_s`` — the interpreted evaluator
+      (:meth:`MappingProblem.tmax`), what every solver paid pre-kernel;
+    * ``kernel_full_per_s`` — :meth:`EvalKernel.full_tmax`;
+    * ``delta_move_per_s`` — :meth:`DeltaEvaluator.score_move` probes,
+      cycling over the refine-style (partition, GPU) move neighborhood;
+    * ``delta_vs_interp`` / ``delta_vs_kernel`` — the speedup ratios.
+
+    Each rate is the best of three measurement windows (see
+    :func:`_rate`), so the ratios stay stable under background load.
+    """
+    rng = random.Random(seed)
+    assignment = lpt_assignment(problem)
+    kernel = EvalKernel(problem)
+    state = DeltaEvaluator(kernel, assignment)
+    moves = [
+        (pid, gpu)
+        for pid in range(problem.num_partitions)
+        for gpu in range(problem.num_gpus)
+        if gpu != assignment[pid]
+    ]
+    rng.shuffle(moves)
+    score_move = state.score_move
+
+    def scan():
+        # the refine-style neighborhood scan: one probe per move
+        for pid, gpu in moves:
+            score_move(pid, gpu)
+
+    interp = _rate(lambda: problem.tmax(assignment), min_wall_s)
+    full = _rate(lambda: kernel.full_tmax(assignment), min_wall_s)
+    delta = _rate(scan, min_wall_s) * len(moves)
+    return {
+        "interp_full_per_s": interp,
+        "kernel_full_per_s": full,
+        "delta_move_per_s": delta,
+        "delta_vs_interp": delta / interp,
+        "delta_vs_kernel": delta / full,
+    }
+
+
+def measure_eval_rates_gated(
+    problem: MappingProblem, seed: int = 0
+) -> Dict[str, float]:
+    """:func:`measure_eval_rates` with the gate's one-retry policy: a
+    measurement under :data:`MIN_DELTA_RATIO` is repeated once with
+    longer windows before being reported (absorbs scheduler hiccups on
+    a loaded box; a real regression fails twice)."""
+    rates = measure_eval_rates(problem, seed=seed)
+    if rates["delta_vs_interp"] < MIN_DELTA_RATIO:
+        rates = measure_eval_rates(problem, min_wall_s=0.4, seed=seed)
+    return rates

@@ -191,6 +191,16 @@ def build_mapping_problem(
     platform), the per-GPU slowdown factors default to
     :meth:`~repro.gpu.topology.GpuTopology.gpu_slowdowns`; an explicit
     ``gpu_slowdown`` argument overrides them.
+
+    >>> from repro.flow import partition_stage, pdg_stage, profile_stage
+    >>> from repro.synth.families import generate
+    >>> graph = generate("pipeline", 1, {"depth": 4}).graph
+    >>> engine = profile_stage(graph)
+    >>> partitions, partitioning = partition_stage(graph, engine)
+    >>> pdg = pdg_stage(graph, partitions, engine, partitioning=partitioning)
+    >>> problem = build_mapping_problem(pdg, 2)
+    >>> problem.num_gpus, problem.num_partitions == len(partitions)
+    (2, True)
     """
     topology = topology or default_topology(num_gpus)
     if topology.num_gpus != num_gpus:

@@ -37,10 +37,20 @@ def make_result(
     solver: str,
     optimal: bool,
     stats: Tuple[Tuple[str, float], ...] = (),
+    kernel=None,
 ) -> MappingResult:
-    """Score ``assignment`` with the shared evaluator and wrap it."""
-    comm = problem.comm_breakdown(assignment)
-    gpu_times = tuple(problem.gpu_times(assignment))
+    """Score ``assignment`` with the shared evaluator and wrap it.
+
+    ``kernel`` (an :class:`~repro.mapping.kernel.EvalKernel` built for
+    ``problem``) scores through the compiled fast path instead; kernel
+    scores are bit-identical to the interpreted evaluator, so the two
+    paths produce the same result.
+    """
+    if kernel is not None:
+        gpu_times, comm = kernel.breakdown(assignment)
+    else:
+        comm = problem.comm_breakdown(assignment)
+        gpu_times = tuple(problem.gpu_times(assignment))
     tmax = max(
         max(gpu_times, default=0.0), comm.bottleneck_time
     )

@@ -14,14 +14,30 @@ The incumbent starts from the greedy LPT solution.  For the paper-scale
 instances (P up to ~130 partitions) the MILP backend is the workhorse;
 branch-and-bound serves as the independent cross-check on small/medium
 instances and as the no-scipy fallback.
+
+The search runs on the compiled evaluation kernel
+(:mod:`repro.mapping.kernel`): routes come from the kernel's G x G table
+instead of per-transfer tree walks, per-node invariants (the fastest-GPU
+slowdown, the max remaining fragment time) are precomputed once as
+suffix arrays, and the communication bottleneck is maintained
+*incrementally* from each placement's link deltas — placements only
+ever grow loads, so the comm bottleneck along a DFS path is monotone
+and one saved float per frame replaces the historical every-node scan
+over all links.  (The GPU side stays a fresh max over the G per-GPU
+floats: see the note in ``_Search`` for why that preserves the
+pre-kernel solver's float semantics bit for bit.)  The search tree,
+pruning decisions, and returned assignment are identical to the
+pre-kernel solver's (pinned by the golden corpus test); only the
+per-node cost changed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.mapping.budget import SolveBudget
 from repro.mapping.greedy import lpt_mapping
+from repro.mapping.kernel import EvalKernel
 from repro.mapping.problem import MappingProblem
 from repro.mapping.result import MappingResult, make_result
 
@@ -31,6 +47,7 @@ def solve_branch_and_bound(
     max_nodes: Optional[int] = None,
     budget: Optional[SolveBudget] = None,
     incumbent: Optional[Sequence[int]] = None,
+    kernel: Optional[EvalKernel] = None,
 ) -> MappingResult:
     """Exact DFS branch-and-bound; returns the best assignment found.
 
@@ -43,7 +60,17 @@ def solve_branch_and_bound(
     ``incumbent`` seeds the search with an externally-found assignment
     (the portfolio passes its best-so-far); the search then only spends
     nodes on subtrees that can still beat it.  Omitted, the greedy LPT
-    solution seeds the search as before.
+    solution seeds the search as before.  ``kernel`` reuses a prebuilt
+    :class:`~repro.mapping.kernel.EvalKernel`; omitted, one is compiled
+    for the call.
+
+    >>> from repro.gpu.topology import default_topology
+    >>> p = MappingProblem(times=[4.0, 3.0, 2.0, 1.0], edges={},
+    ...                    host_io=[(0.0, 0.0)] * 4,
+    ...                    topology=default_topology(2))
+    >>> result = solve_branch_and_bound(p)
+    >>> result.tmax, result.optimal
+    (5.0, True)
     """
     parts = problem.num_partitions
     gpus = problem.num_gpus
@@ -52,13 +79,15 @@ def solve_branch_and_bound(
 
     if max_nodes is None:
         max_nodes = budget.bb_node_limit if budget is not None else 2_000_000
+    if kernel is None:
+        kernel = EvalKernel(problem)
     if incumbent is not None:
         incumbent = list(incumbent)
         if len(incumbent) != parts:
             raise ValueError("incumbent length mismatch")
     else:
-        incumbent = list(lpt_mapping(problem).assignment)
-    best = problem.tmax(incumbent)
+        incumbent = list(lpt_mapping(problem, kernel=kernel).assignment)
+    best = kernel.full_tmax(incumbent)
     order = sorted(range(parts), key=lambda p: -problem.times[p])
     # admissible even for heterogeneous GPUs: every partition runs at
     # least as fast as on the fastest (lowest-slowdown) device
@@ -67,7 +96,7 @@ def solve_branch_and_bound(
     )
     balance_bound = sum(problem.times) * fastest / gpus
 
-    search = _Search(problem, order, balance_bound, max_nodes)
+    search = _Search(kernel, order, balance_bound, max_nodes)
     search.run(incumbent, best)
     return make_result(
         problem,
@@ -75,17 +104,20 @@ def solve_branch_and_bound(
         "branch-and-bound",
         optimal=not search.exhausted_budget,
         stats=(("nodes", float(search.nodes)),),
+        kernel=kernel,
     )
 
 
 class _Search:
     def __init__(
         self,
-        problem: MappingProblem,
+        kernel: EvalKernel,
         order: Sequence[int],
         balance_bound: float,
         max_nodes: int,
     ) -> None:
+        problem = kernel.problem
+        self.kernel = kernel
         self.problem = problem
         self.order = order
         self.balance_bound = balance_bound
@@ -96,33 +128,36 @@ class _Search:
         self.best = float("inf")
         self.assignment: List[Optional[int]] = [None] * problem.num_partitions
         self.gpu_times = [0.0] * problem.num_gpus
-        # adjacency of the PDG restricted to assigned neighbours
-        self._in_edges: List[List[tuple]] = [[] for _ in range(problem.num_partitions)]
-        self._out_edges: List[List[tuple]] = [[] for _ in range(problem.num_partitions)]
-        for (i, j), nbytes in problem.edges.items():
-            self._out_edges[i].append((j, nbytes))
-            self._in_edges[j].append((i, nbytes))
         self.link_loads = [0.0] * problem.topology.num_links
-        # per-link cost constants (heterogeneous platforms have one
-        # LinkSpec per link; hoisted out of the hot bottleneck loop)
-        self._link_latency = [
-            link.spec.latency_ns for link in problem.topology.links
-        ]
-        self._link_inv_bw = [
-            1.0 / link.spec.bandwidth_bytes_per_ns
-            for link in problem.topology.links
-        ]
+        #: the *communication* bottleneck of the current partial
+        #: placement; placements only add load and link loads are sums
+        #: of byte counts (exact float arithmetic), so it is maintained
+        #: incrementally and saved/restored around each child placement.
+        #: The GPU side stays a fresh max over the G floats: fragment
+        #: times carry arbitrary mantissas, so the historical
+        #: place/unplace round-trips leave last-ulp drift in
+        #: ``gpu_times`` that a fresh scan (what the pre-kernel solver
+        #: did at every node) observes — re-scanning G values keeps the
+        #: search tree bit-identical to the pre-kernel solver's at
+        #: O(G) instead of O(G + L + routes) per node
+        self.comm_bottleneck = 0.0
+        # hoisted per-node invariants (recomputed at every one of the
+        # up-to-max_nodes search nodes before the kernel port):
+        # fastest-GPU slowdown and the suffix max of remaining fragment
+        # times along the fixed visit order
+        fastest = (
+            min(problem.gpu_slowdown)
+            if problem.gpu_slowdown is not None
+            else 1.0
+        )
+        suffix = [0.0] * (len(order) + 1)
+        for depth in range(len(order) - 1, -1, -1):
+            t = problem.times[order[depth]]
+            suffix[depth] = t if t > suffix[depth + 1] else suffix[depth + 1]
+        self._remaining_max = [fastest * t for t in suffix]
         # broadcast bookkeeping: per group, how many placed destinations
         # sit on each GPU (the route is charged on the 0 -> 1 transition)
-        self._bcast_by_src: List[List[int]] = [[] for _ in range(problem.num_partitions)]
-        self._bcast_by_dst: List[List[int]] = [[] for _ in range(problem.num_partitions)]
-        for g_idx, group in enumerate(problem.broadcasts):
-            self._bcast_by_src[group.src].append(g_idx)
-            for j in set(group.destinations):
-                self._bcast_by_dst[j].append(g_idx)
-        self._bcast_counts: List[Dict[int, int]] = [
-            {} for _ in problem.broadcasts
-        ]
+        self._bcast_counts: List[dict] = [{} for _ in kernel.broadcasts]
 
     # ------------------------------------------------------------------
     def run(self, incumbent: List[int], best: float) -> None:
@@ -138,100 +173,98 @@ class _Search:
             self.exhausted_budget = True
             return
         if depth == len(self.order):
-            tmax = self._current_bottleneck()
+            tmax = max(max(self.gpu_times), self.comm_bottleneck)
             if tmax < self.best:
                 self.best = tmax
                 self.best_assignment = [g for g in self.assignment]  # type: ignore
             return
         pid = self.order[depth]
-        fastest = (
-            min(self.problem.gpu_slowdown)
-            if self.problem.gpu_slowdown is not None
-            else 1.0
-        )
-        remaining_max = fastest * max(
-            (self.problem.times[p] for p in self.order[depth:]), default=0.0
-        )
-        for gpu in range(self.problem.num_gpus):
-            delta_links = self._place(pid, gpu)
-            bound = max(
-                self._current_bottleneck(), self.balance_bound, remaining_max
-            )
+        remaining_max = self._remaining_max[depth]
+        balance_bound = self.balance_bound
+        gpu_times = self.gpu_times
+        for gpu in range(self.kernel.num_gpus):
+            saved_bottleneck = self.comm_bottleneck
+            deltas = self._place(pid, gpu)
+            bound = max(gpu_times)
+            if self.comm_bottleneck > bound:
+                bound = self.comm_bottleneck
+            if balance_bound > bound:
+                bound = balance_bound
+            if remaining_max > bound:
+                bound = remaining_max
             if bound < self.best:
                 self._dfs(depth + 1)
-            self._unplace(pid, gpu, delta_links)
+            self._unplace(pid, gpu, deltas)
+            self.comm_bottleneck = saved_bottleneck
 
     # ------------------------------------------------------------------
     def _place(self, pid: int, gpu: int) -> List[tuple]:
+        kernel = self.kernel
         self.assignment[pid] = gpu
-        self.gpu_times[gpu] += self.problem.time_on(pid, gpu)
+        self.gpu_times[gpu] += kernel.ptime[pid][gpu]
         deltas: List[tuple] = []
-        topo = self.problem.topology
+        loads = self.link_loads
+        latency = kernel.latency
+        inv_bw = kernel.inv_bandwidth
+        routes = kernel.routes
+        assignment = self.assignment
+        bottleneck = self.comm_bottleneck
 
         def add(route, nbytes):
+            nonlocal bottleneck
             for link in route:
-                self.link_loads[link] += nbytes
+                load = loads[link] + nbytes
+                loads[link] = load
                 deltas.append((link, nbytes))
+                if load:  # latency is charged only on used links
+                    t = latency[link] + load * inv_bw[link]
+                    if t > bottleneck:
+                        bottleneck = t
 
-        for other, nbytes in self._out_edges[pid]:
-            dst = self.assignment[other]
+        for other, nbytes in kernel.out_edges[pid]:
+            dst = assignment[other]
             if dst is not None and dst != gpu:
-                add(self._route(gpu, dst), nbytes)
-        for other, nbytes in self._in_edges[pid]:
-            src = self.assignment[other]
+                add(routes[gpu][dst], nbytes)
+        for other, nbytes in kernel.in_edges[pid]:
+            src = assignment[other]
             if src is not None and src != gpu:
-                add(self._route(src, gpu), nbytes)
+                add(routes[src][gpu], nbytes)
         # broadcasts where pid is the source: charge one copy per GPU
         # already hosting a destination
-        for g_idx in self._bcast_by_src[pid]:
-            group = self.problem.broadcasts[g_idx]
+        for g_idx in kernel.bcast_by_src[pid]:
+            _src, nbytes, dests = kernel.broadcasts[g_idx]
             dest_gpus = {
-                self.assignment[j]
-                for j in group.destinations
-                if self.assignment[j] is not None
+                assignment[j] for j in dests if assignment[j] is not None
             }
             dest_gpus.discard(gpu)
             for dst in dest_gpus:
-                add(self._route(gpu, dst), group.nbytes)
+                add(routes[gpu][dst], nbytes)
         # broadcasts where pid is a destination: charge the route only on
         # this GPU's first destination of the group
-        for g_idx in self._bcast_by_dst[pid]:
-            group = self.problem.broadcasts[g_idx]
+        for g_idx in kernel.bcast_by_dst[pid]:
+            src_pid, nbytes, _dests = kernel.broadcasts[g_idx]
             counts = self._bcast_counts[g_idx]
             counts[gpu] = counts.get(gpu, 0) + 1
-            src_gpu = self.assignment[group.src]
+            src_gpu = assignment[src_pid]
             if counts[gpu] == 1 and src_gpu is not None and src_gpu != gpu:
-                add(self._route(src_gpu, gpu), group.nbytes)
-        if self.problem.include_host_io:
-            inp, out = self.problem.host_io[pid]
+                add(routes[src_gpu][gpu], nbytes)
+        if kernel.include_host_io:
+            inp, out = kernel.host_io[pid]
             if inp:
-                add(topo.route_from_host(gpu), inp)
+                add(kernel.host_in_routes[gpu], inp)
             if out:
-                add(topo.route_to_host(gpu), out)
+                add(kernel.host_out_routes[gpu], out)
+        self.comm_bottleneck = bottleneck
         return deltas
-
-    def _route(self, src: int, dst: int):
-        topo = self.problem.topology
-        if self.problem.peer_to_peer:
-            return topo.route(src, dst)
-        return topo.route_via_host(src, dst)
 
     def _unplace(self, pid: int, gpu: int, deltas: List[tuple]) -> None:
         self.assignment[pid] = None
-        self.gpu_times[gpu] -= self.problem.time_on(pid, gpu)
-        for g_idx in self._bcast_by_dst[pid]:
+        self.gpu_times[gpu] -= self.kernel.ptime[pid][gpu]
+        for g_idx in self.kernel.bcast_by_dst[pid]:
             counts = self._bcast_counts[g_idx]
             counts[gpu] -= 1
             if not counts[gpu]:
                 del counts[gpu]
+        loads = self.link_loads
         for link, nbytes in deltas:
-            self.link_loads[link] -= nbytes
-
-    def _current_bottleneck(self) -> float:
-        comm = 0.0
-        for link, load in enumerate(self.link_loads):
-            if load:
-                t = self._link_latency[link] + load * self._link_inv_bw[link]
-                if t > comm:
-                    comm = t
-        return max(max(self.gpu_times), comm)
+            loads[link] -= nbytes

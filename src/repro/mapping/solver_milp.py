@@ -70,6 +70,14 @@ def solve_milp(
     A capped solve reports its incumbent: ``optimal`` is False and
     ``solve_stats`` carries the HiGHS status, the explored node count,
     and the remaining relative gap.
+
+    >>> from repro.gpu.topology import default_topology
+    >>> p = MappingProblem(times=[4.0, 3.0, 2.0, 1.0], edges={},
+    ...                    host_io=[(0.0, 0.0)] * 4,
+    ...                    topology=default_topology(2))
+    >>> result = solve_milp(p)
+    >>> result.tmax, result.optimal
+    (5.0, True)
     """
     gpus = problem.num_gpus
     parts = problem.num_partitions

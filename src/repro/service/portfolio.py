@@ -14,7 +14,12 @@ through the solver ladder under a :class:`~repro.mapping.SolveBudget`:
 Every stage runs on the *same* :class:`~repro.mapping.MappingProblem`
 and the best-so-far assignment is tracked across stages, so the answer
 is the minimum over everything computed — a later stage can only improve
-it.  Budget tiers form strict supersets of work (see
+it.  One compiled :class:`~repro.mapping.kernel.EvalKernel` is built per
+solve and shared by every stage: greedy seeds are ranked in a single
+kernel batch, the refine stage scores moves through the delta evaluator,
+and the branch-and-bound stage searches on the kernel's route tables —
+the interpreted evaluator is never touched on the hot path (kernel
+scores are bit-identical to it, so answers are unchanged).  Budget tiers form strict supersets of work (see
 :mod:`repro.mapping.budget`), which gives the *anytime monotonicity*
 guarantee the service tests pin: ``tmax(tier k) >= tmax(tier k+1)``.
 
@@ -46,10 +51,11 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.mapping.budget import BUDGET_TIERS, SolveBudget
 from repro.mapping.greedy import (
-    contiguous_mapping,
-    lpt_mapping,
-    round_robin_mapping,
+    contiguous_assignment,
+    lpt_assignment,
+    round_robin_assignment,
 )
+from repro.mapping.kernel import EvalKernel
 from repro.mapping.problem import MappingProblem
 from repro.mapping.refine import refine_mapping
 from repro.mapping.result import MappingResult, make_result
@@ -151,6 +157,7 @@ def solve_portfolio(
         budget = SolveBudget.tier(budget)
     start = time.perf_counter()
     deadline = start + deadline_s if deadline_s is not None else None
+    kernel = EvalKernel(problem)  # compiled once, shared by every stage
 
     stages: List[StageOutcome] = []
     best: Optional[MappingResult] = None
@@ -169,14 +176,24 @@ def solve_portfolio(
         return deadline is not None and time.perf_counter() > deadline
 
     # -- stage 1: greedy heuristics (always run; instant) ---------------
-    candidates = [lpt_mapping(problem), round_robin_mapping(problem)]
+    # seeds are built unscored and ranked in one kernel batch; only the
+    # winner is materialized into a MappingResult (kernel-scored too)
     order = (
         list(topo_order)
         if topo_order is not None
         else list(range(problem.num_partitions))
     )
-    candidates.append(contiguous_mapping(problem, order))
-    stage_best = min(candidates, key=lambda r: r.tmax)
+    seeds = [
+        ("greedy-lpt", lpt_assignment(problem)),
+        ("round-robin", round_robin_assignment(problem)),
+        ("contiguous", contiguous_assignment(problem, order)),
+    ]
+    scores = kernel.batch_tmax(assignment for _name, assignment in seeds)
+    winner = min(range(len(seeds)), key=scores.__getitem__)
+    stage_best = make_result(
+        problem, seeds[winner][1], seeds[winner][0], optimal=False,
+        kernel=kernel,
+    )
     consider(stage_best, "greedy")
     stages.append(
         StageOutcome(
@@ -189,7 +206,7 @@ def solve_portfolio(
     if budget.refine_steps > 0 and not expired():
         refined = refine_mapping(
             problem, best.assignment, max_steps=budget.refine_steps,
-            use_swaps=False,
+            use_swaps=False, kernel=kernel,
         )
         consider(refined, "refine")
         stages.append(
@@ -211,7 +228,7 @@ def solve_portfolio(
     # -- stage 3: branch-and-bound incumbent improvement -----------------
     if budget.use_bb and not expired():
         bb = solve_branch_and_bound(
-            problem, budget=budget, incumbent=best.assignment
+            problem, budget=budget, incumbent=best.assignment, kernel=kernel
         )
         consider(bb, "branch-and-bound")
         stages.append(
@@ -270,6 +287,7 @@ def solve_portfolio(
         f"portfolio[{best_stage}]",
         optimal=proven,
         stats=best.solve_stats,
+        kernel=kernel,
     )
     return PortfolioResult(
         mapping=mapping,

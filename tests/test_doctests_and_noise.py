@@ -25,6 +25,12 @@ DOCTEST_MODULES = [
     "repro.gpu.memory",
     "repro.gpu.platforms",
     "repro.mapping.budget",
+    "repro.mapping.greedy",
+    "repro.mapping.kernel",
+    "repro.mapping.problem",
+    "repro.mapping.refine",
+    "repro.mapping.solver_bb",
+    "repro.mapping.solver_milp",
     "repro.partition.heuristic",
     "repro.service",
     "repro.service.api",

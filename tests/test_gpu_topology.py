@@ -41,7 +41,7 @@ class TestDefaultTopology:
     def test_one_gpu(self):
         topo = default_topology(1)
         assert topo.route_to_host(0)  # uses sw1 uplink chain
-        assert topo.route(0, 0) == []
+        assert topo.route(0, 0) == ()
 
     def test_rejects_bad_sizes(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,322 @@
+"""Property suite for the compiled evaluation kernel.
+
+The kernel's contract is *bit-exactness*: full evaluation, batch
+evaluation, and every DeltaEvaluator state reachable through
+move/swap/rollback sequences must score exactly like the interpreted
+evaluator (:meth:`MappingProblem.tmax`) — not within a tolerance.  The
+suite pins that across the synthetic corpus and all six named
+platforms, plus adversarial random heterogeneous trees.
+
+Real workloads carry integral byte counts, whose float sums are exact,
+which is what makes incremental link-load maintenance bit-exact; the
+random-tree suite deliberately uses full-mantissa byte values instead,
+where committed-state sums may legitimately round — there the walk
+asserts last-ulp agreement and *bitwise* rollback (rollback restores
+snapshots, so it is exact no matter how the arithmetic rounds).
+"""
+
+import math
+import random
+
+import pytest
+
+from test_platforms import random_hetero_topology, random_problem
+
+from repro.flow import partition_stage, pdg_stage, profile_stage
+from repro.gpu.platforms import PLATFORM_NAMES, build_platform
+from repro.gpu.topology import default_topology
+from repro.mapping.greedy import lpt_assignment
+from repro.mapping.kernel import DeltaEvaluator, EvalKernel, compile_kernel
+from repro.mapping.problem import build_mapping_problem
+from repro.mapping.refine import refine_mapping
+from repro.synth.corpus import PINNED_CORPUS, TINY_CORPUS, generate_corpus
+
+#: corpus slice used for the exactness sweep: the tiny CI corpus plus
+#: one pinned instance per family (the largest of each)
+_ENTRIES = tuple(TINY_CORPUS) + (
+    ("pipeline", 3, {"depth": 12}),
+    ("splitjoin", 3, {"width": 6}),
+    ("butterfly", 5, {"stages": 4, "base": 1, "max_work": 4}),
+    ("feedback", 3, {"loops": 2}),
+    ("random", 4, {"max_branch": 4}),
+    ("dag", 3, {"layers": 6}),
+)
+
+
+def _corpus_problems():
+    """(label, problem) for every corpus entry x topology."""
+    out = []
+    for inst in generate_corpus(_ENTRIES):
+        graph = inst.graph
+        engine = profile_stage(graph)
+        partitions, partitioning = partition_stage(graph, engine)
+        pdg = pdg_stage(graph, partitions, engine, partitioning=partitioning)
+        topologies = [
+            ("g2", default_topology(2)),
+            ("g4", default_topology(4)),
+        ] + [(name, build_platform(name)) for name in PLATFORM_NAMES]
+        for tag, topo in topologies:
+            problem = build_mapping_problem(
+                pdg, topo.num_gpus, topology=topo
+            )
+            out.append((f"{inst.spec.instance_name}@{tag}", problem))
+    return out
+
+
+@pytest.fixture(scope="module")
+def corpus_problems():
+    return _corpus_problems()
+
+
+def _random_assignments(problem, rng, count):
+    return [
+        [rng.randrange(problem.num_gpus)
+         for _ in range(problem.num_partitions)]
+        for _ in range(count)
+    ]
+
+
+class TestFullEvaluation:
+    def test_full_tmax_bit_identical(self, corpus_problems):
+        rng = random.Random(0xC0FFEE)
+        for label, problem in corpus_problems:
+            kernel = EvalKernel(problem)
+            for assignment in _random_assignments(problem, rng, 8):
+                assert kernel.full_tmax(assignment) == problem.tmax(
+                    assignment
+                ), label
+
+    def test_breakdown_bit_identical(self, corpus_problems):
+        rng = random.Random(0xBEEF)
+        for label, problem in corpus_problems:
+            kernel = EvalKernel(problem)
+            for assignment in _random_assignments(problem, rng, 3):
+                gpu_times, comm = kernel.breakdown(assignment)
+                assert gpu_times == tuple(problem.gpu_times(assignment)), label
+                ref = problem.comm_breakdown(assignment)
+                assert comm.link_bytes == ref.link_bytes, label
+                assert comm.link_times == ref.link_times, label
+
+    def test_batch_matches_single(self, corpus_problems):
+        rng = random.Random(7)
+        label, problem = corpus_problems[-1]
+        kernel = compile_kernel(problem)
+        assignments = _random_assignments(problem, rng, 5)
+        assert kernel.batch_tmax(assignments) == [
+            kernel.full_tmax(a) for a in assignments
+        ]
+
+    def test_peer_to_peer_flag_respected(self, corpus_problems):
+        # via-host routing must flow into the precomputed route table
+        from dataclasses import replace
+        for label, problem in corpus_problems[:4]:
+            hosted = replace(problem, peer_to_peer=False)
+            kernel = EvalKernel(hosted)
+            rng = random.Random(1)
+            for assignment in _random_assignments(hosted, rng, 3):
+                assert kernel.full_tmax(assignment) == hosted.tmax(
+                    assignment
+                ), label
+
+
+class TestDeltaEvaluator:
+    def test_random_walk_bit_identical(self, corpus_problems):
+        """Moves, swaps, probes: every reachable state scores exactly."""
+        rng = random.Random(0x5EED)
+        for label, problem in corpus_problems:
+            parts = problem.num_partitions
+            gpus = problem.num_gpus
+            if parts == 0 or gpus < 2:
+                continue
+            kernel = EvalKernel(problem)
+            current = lpt_assignment(problem)
+            state = DeltaEvaluator(kernel, current)
+            for _ in range(30):
+                pid = rng.randrange(parts)
+                if rng.random() < 0.3 and parts >= 2:
+                    other = rng.randrange(parts)
+                    probe = state.score_swap(pid, other)
+                    candidate = list(current)
+                    candidate[pid], candidate[other] = (
+                        candidate[other], candidate[pid]
+                    )
+                    assert probe == problem.tmax(candidate), label
+                    if rng.random() < 0.5:
+                        state.apply_swap(pid, other)
+                        current = candidate
+                else:
+                    gpu = rng.randrange(gpus)
+                    probe = state.score_move(pid, gpu)
+                    candidate = list(current)
+                    candidate[pid] = gpu
+                    assert probe == problem.tmax(candidate), label
+                    if rng.random() < 0.5:
+                        state.apply_move(pid, gpu)
+                        current = candidate
+                # the committed state always re-scores exactly
+                assert state.assignment() == tuple(current), label
+                assert state.tmax() == problem.tmax(current), label
+
+    def test_rollback_is_bitwise(self, corpus_problems):
+        rng = random.Random(0xD1CE)
+        label, problem = max(
+            corpus_problems, key=lambda lp: lp[1].num_partitions
+        )
+        kernel = EvalKernel(problem)
+        start = lpt_assignment(problem)
+        state = DeltaEvaluator(kernel, start)
+        reference = DeltaEvaluator(kernel, start)
+        tokens = []
+        for _ in range(12):
+            pid = rng.randrange(problem.num_partitions)
+            if rng.random() < 0.5:
+                tokens.append(state.apply_move(
+                    pid, rng.randrange(problem.num_gpus)
+                ))
+            else:
+                tokens.append(state.apply_swap(
+                    pid, rng.randrange(problem.num_partitions)
+                ))
+        for token in reversed(tokens):
+            state.rollback(token)
+        assert state.assignment() == reference.assignment()
+        assert state.link_loads == reference.link_loads  # bitwise
+        assert state.gpu_times == reference.gpu_times  # bitwise
+        assert state.bcast_counts == reference.bcast_counts
+
+    def test_validates_input(self, corpus_problems):
+        _label, problem = corpus_problems[0]
+        kernel = EvalKernel(problem)
+        with pytest.raises(ValueError):
+            DeltaEvaluator(kernel, [0] * (problem.num_partitions + 1))
+        with pytest.raises(ValueError):
+            DeltaEvaluator(kernel, [problem.num_gpus] * problem.num_partitions)
+
+    def test_noop_move_returns_none_token(self, corpus_problems):
+        _label, problem = corpus_problems[0]
+        kernel = EvalKernel(problem)
+        state = DeltaEvaluator(kernel, [0] * problem.num_partitions)
+        before = state.tmax()
+        token = state.apply_move(0, 0)
+        assert token is None
+        state.rollback(token)  # harmless
+        assert state.tmax() == before
+
+
+class TestRandomHeteroTrees:
+    """Adversarial float magnitudes: full-mantissa byte counts."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_full_eval_bit_identical(self, seed):
+        topo = random_hetero_topology(seed)
+        problem = random_problem(topo, seed)
+        kernel = EvalKernel(problem)
+        rng = random.Random(seed ^ 0xFACE)
+        for assignment in _random_assignments(problem, rng, 6):
+            assert kernel.full_tmax(assignment) == problem.tmax(assignment)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_delta_walk_last_ulp(self, seed):
+        topo = random_hetero_topology(seed)
+        problem = random_problem(topo, seed)
+        if problem.num_gpus < 2:
+            return
+        kernel = EvalKernel(problem)
+        rng = random.Random(seed ^ 0xB00)
+        current = [rng.randrange(problem.num_gpus)
+                   for _ in range(problem.num_partitions)]
+        state = DeltaEvaluator(kernel, current)
+        for _ in range(40):
+            pid = rng.randrange(problem.num_partitions)
+            gpu = rng.randrange(problem.num_gpus)
+            before = state.tmax()
+            # a probe from the current state prices the candidate
+            probe = state.score_move(pid, gpu)
+            candidate = list(current)
+            candidate[pid] = gpu
+            assert math.isclose(
+                probe, problem.tmax(candidate), rel_tol=1e-12
+            )
+            # probing leaves the state bitwise untouched
+            assert state.tmax() == before
+            if rng.random() < 0.5:
+                state.apply_move(pid, gpu)
+                current = candidate
+            assert math.isclose(
+                state.tmax(), problem.tmax(current), rel_tol=1e-12
+            )
+
+
+class TestRefineEquivalence:
+    """The delta-scored refine returns what the interpreted one did."""
+
+    @staticmethod
+    def _interpreted_refine(problem, assignment, max_steps=10_000,
+                            use_swaps=True):
+        """The pre-kernel implementation, kept as a reference oracle."""
+        current = list(assignment)
+        best = problem.tmax(current)
+        order = sorted(
+            range(problem.num_partitions), key=lambda p: -problem.times[p]
+        )
+        steps = 0
+        improved = True
+        while improved and steps < max_steps:
+            improved = False
+            found = None
+            for pid in order:
+                original = current[pid]
+                for gpu in range(problem.num_gpus):
+                    if gpu == original:
+                        continue
+                    current[pid] = gpu
+                    score = problem.tmax(current)
+                    current[pid] = original
+                    if score < best - 1e-9:
+                        found = (pid, gpu, score)
+                        break
+                if found:
+                    break
+            if found:
+                pid, gpu, score = found
+                current[pid] = gpu
+                best = score
+                improved = True
+                steps += 1
+                continue
+            if use_swaps:
+                found = None
+                for i, a in enumerate(order):
+                    for b in order[i + 1:]:
+                        if current[a] == current[b]:
+                            continue
+                        current[a], current[b] = current[b], current[a]
+                        score = problem.tmax(current)
+                        current[a], current[b] = current[b], current[a]
+                        if score < best - 1e-9:
+                            found = (a, b, score)
+                            break
+                    if found:
+                        break
+                if found:
+                    a, b, score = found
+                    current[a], current[b] = current[b], current[a]
+                    best = score
+                    improved = True
+                    steps += 1
+        return current, best, steps
+
+    def test_matches_interpreted_reference(self, corpus_problems):
+        for label, problem in corpus_problems:
+            if problem.num_gpus < 2 or problem.num_partitions < 2:
+                continue
+            seed = lpt_assignment(problem)
+            want_assign, want_tmax, want_steps = self._interpreted_refine(
+                problem, seed
+            )
+            got = refine_mapping(problem, seed)
+            assert list(got.assignment) == want_assign, label
+            assert got.tmax == want_tmax, label
+            assert dict(got.solve_stats)["refine_steps"] == float(
+                want_steps
+            ), label

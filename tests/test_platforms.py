@@ -220,13 +220,13 @@ class TestRandomHeteroTrees:
         for src in range(topo.num_gpus):
             for dst in range(topo.num_gpus):
                 if src != dst:
-                    assert topo.route(src, dst) == reference_route(
+                    assert list(topo.route(src, dst)) == reference_route(
                         topo, gpu_name(src), gpu_name(dst)
                     )
-            assert topo.route_to_host(src) == reference_route(
+            assert list(topo.route_to_host(src)) == reference_route(
                 topo, gpu_name(src), HOST
             )
-            assert topo.route_from_host(src) == reference_route(
+            assert list(topo.route_from_host(src)) == reference_route(
                 topo, HOST, gpu_name(src)
             )
 

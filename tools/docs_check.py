@@ -2,8 +2,8 @@
 """Documentation gate: every public API symbol must be documented.
 
 Checks, for every name in ``repro.__all__``, ``repro.sweep.__all__``,
-``repro.synth.__all__``, ``repro.service.__all__``, and
-``repro.gpu.__all__``:
+``repro.synth.__all__``, ``repro.service.__all__``,
+``repro.mapping.__all__``, and ``repro.gpu.__all__``:
 
 * the symbol carries a non-empty docstring (classes and functions), and
 * exported *functions* carry an executable example (a ``>>>`` doctest
@@ -43,12 +43,14 @@ def main() -> int:
     sys.path.insert(0, "src")
     import repro
     import repro.gpu
+    import repro.mapping
     import repro.service
     import repro.sweep
     import repro.synth
 
     problems = check_module(repro, require_examples=True)
     problems += check_module(repro.gpu, require_examples=True)
+    problems += check_module(repro.mapping, require_examples=True)
     problems += check_module(repro.sweep, require_examples=True)
     problems += check_module(repro.synth, require_examples=True)
     problems += check_module(repro.service, require_examples=True)
@@ -59,6 +61,7 @@ def main() -> int:
         return 1
     count = (
         len(repro.__all__) + len(repro.gpu.__all__)
+        + len(repro.mapping.__all__)
         + len(repro.sweep.__all__) + len(repro.synth.__all__)
         + len(repro.service.__all__)
     )

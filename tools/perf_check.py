@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Perf gate: delta scoring must stay >= 10x full evaluation.
+
+Runs the pinned quick corpus (:mod:`repro.mapping.perfprobe`) and
+asserts that :meth:`DeltaEvaluator.score_move` probes price refine-style
+move scans at least ``MIN_DELTA_RATIO`` times faster than the
+interpreted evaluator (:meth:`MappingProblem.tmax`) — the cost every
+solver paid per candidate before the compiled kernel existed.
+
+The bar is a *ratio measured in the same process*, so it holds on a
+loaded single-core box where absolute rates swing; a failing problem is
+re-measured once with a longer window before the gate fails, to shrug
+off one-off scheduler hiccups.  Absolute rates are recorded by ``make
+bench-kernel`` into ``BENCH_kernel.json``; this gate never asserts them.
+
+Exits non-zero listing every violation; run via ``make perf-check``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main() -> int:
+    sys.path.insert(0, "src")
+    from repro.mapping.perfprobe import (
+        MIN_DELTA_RATIO,
+        measure_eval_rates_gated,
+        quick_corpus,
+    )
+
+    failures = []
+    for label, problem in quick_corpus():
+        rates = measure_eval_rates_gated(problem)
+        ratio = rates["delta_vs_interp"]
+        status = "ok" if ratio >= MIN_DELTA_RATIO else "FAIL"
+        print(
+            f"  {label:22s} interp {rates['interp_full_per_s']:9.0f}/s  "
+            f"delta {rates['delta_move_per_s']:9.0f}/s  "
+            f"x{ratio:5.1f}  {status}"
+        )
+        if ratio < MIN_DELTA_RATIO:
+            failures.append(f"{label}: delta only x{ratio:.1f} interpreted")
+    if failures:
+        print("perf-check FAILED "
+              f"(bar: delta >= x{MIN_DELTA_RATIO:.0f} interpreted):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"perf-check OK: delta scoring >= x{MIN_DELTA_RATIO:.0f} "
+          "interpreted full evaluation on the quick corpus")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
