@@ -1,12 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-slow synth-check platform-check service-check perf-check bench bench-sweep bench-kernel docs-check experiments clean
+.PHONY: test test-fast test-slow synth-check platform-check service-check perf-check batch-check bench bench-sweep bench-kernel docs-check experiments clean
 
 ## tier-1 verify: the full suite, benchmarks included (see ROADMAP.md);
 ## gated on the synth generate+diffcheck smoke check, the platform
 ## property suite, the service dedup round trip, and the kernel perf bar
-test: synth-check platform-check service-check perf-check
+test: synth-check platform-check service-check perf-check batch-check
 	$(PYTHON) -m pytest -x -q
 
 ## unit/property/integration tests only (skips the benchmark harnesses)
@@ -35,6 +35,12 @@ service-check:
 ## evaluator on the quick corpus (stable under load; see tools/perf_check.py)
 perf-check:
 	$(PYTHON) tools/perf_check.py
+
+## fast batch-evaluator gate: population-scoring exactness (bitwise vs
+## the interpreted evaluator, NumPy and fallback) + metaheuristic
+## determinism; the full property suites run under `make test` anyway
+batch-check:
+	$(PYTHON) -m pytest tests/test_batch_properties.py tests/test_metaheuristic.py -x -q
 
 ## the full benchmark suite
 bench:

@@ -16,6 +16,8 @@ paper's technique or the baselines it compares against:
                    ``"roundrobin"``            topological round-robin
                    ``"portfolio"``             anytime solver escalation
                                                (:mod:`repro.service.portfolio`)
+                   ``"metaheuristic"``         population annealing
+                                               (:mod:`repro.mapping.metaheuristic`)
 =================  ==========================  ===========================
 
 ``peer_to_peer=False`` additionally reroutes all inter-GPU traffic through
@@ -71,7 +73,9 @@ from repro.runtime.executor import (
 from repro.runtime.fragments import FragmentPlan
 
 PARTITIONERS = ("ours", "previous", "single", "perfilter")
-MAPPERS = ("ilp", "ilp-nocomm", "lpt", "roundrobin", "portfolio")
+MAPPERS = (
+    "ilp", "ilp-nocomm", "lpt", "roundrobin", "portfolio", "metaheuristic",
+)
 
 
 @dataclass
@@ -309,7 +313,8 @@ def mapping_stage(
     (assignment + score breakdown) is cacheable like the other stages.
 
     ``solve_budget`` injects a :class:`~repro.mapping.SolveBudget` into
-    the ``ilp`` and ``portfolio`` mappers.  A non-default budget enters
+    the ``ilp``, ``portfolio``, and ``metaheuristic`` mappers.  A
+    non-default budget enters
     the cache key (a small-budget incumbent and an ample-budget optimum
     are different results); the deterministic default tier keys like
     the historical no-budget form, so existing cache entries stay
@@ -327,7 +332,7 @@ def mapping_stage(
     key = None
     if cache is not None:
         budget_parts = {}
-        if mapper in ("ilp", "ilp-nocomm", "portfolio"):
+        if mapper in ("ilp", "ilp-nocomm", "portfolio", "metaheuristic"):
             resolved = (
                 solve_budget if solve_budget is not None
                 else SolveBudget.default()  # env opt-in applied here
@@ -476,8 +481,9 @@ def map_stream_graph(
     """Run the full mapping flow and simulate the pipelined execution.
 
     ``solve_budget`` bounds the mapping solve with a deterministic
-    :class:`~repro.mapping.SolveBudget` (``ilp`` and ``portfolio``
-    mappers); omitted, the solvers use their default budget — a
+    :class:`~repro.mapping.SolveBudget` (``ilp``, ``portfolio``, and
+    ``metaheuristic`` mappers); omitted, the solvers use their default
+    budget — a
     deterministic node cap, wall-clock only via the
     ``REPRO_MILP_TIME_LIMIT_S`` opt-in.
 
@@ -586,6 +592,13 @@ def _solve(
             topo_order=pdg.topological_order(),
         )
         return answer.mapping
+    if mapper == "metaheuristic":
+        from repro.mapping.metaheuristic import solve_metaheuristic
+
+        return solve_metaheuristic(
+            problem, budget=solve_budget,
+            topo_order=pdg.topological_order(),
+        )
     if mapper == "ilp":
         try:
             result = solve_milp(problem, budget=solve_budget)

@@ -8,18 +8,29 @@
   previous work's workload balancing, round-robin),
 * :mod:`repro.mapping.kernel` -- the compiled evaluation kernel
   (precomputed route tables, O(degree) incremental delta scoring),
+* :mod:`repro.mapping.batch` -- vectorized population scoring over the
+  kernel's tables (NumPy structure-of-arrays, pure-python fallback),
+* :mod:`repro.mapping.metaheuristic` -- population simulated annealing
+  on the batch evaluator (the portfolio's opt-in escape tier),
 * :mod:`repro.mapping.result` -- mapping results and their breakdowns,
 * :mod:`repro.mapping.budget` -- deterministic solve budgets shared by
   every backend (and the escalation tiers of the service portfolio).
 """
 
+from repro.mapping.batch import BatchEvaluator
 from repro.mapping.budget import BUDGET_TIERS, TIER_ORDER, SolveBudget
 from repro.mapping.greedy import (
     contiguous_mapping,
     lpt_mapping,
     round_robin_mapping,
 )
-from repro.mapping.kernel import DeltaEvaluator, EvalKernel, compile_kernel
+from repro.mapping.kernel import (
+    DeltaEvaluator,
+    EvalKernel,
+    canonical_gpu_fold,
+    compile_kernel,
+)
+from repro.mapping.metaheuristic import solve_metaheuristic
 from repro.mapping.problem import Broadcast, MappingProblem, build_mapping_problem
 from repro.mapping.refine import refine_mapping
 from repro.mapping.result import MappingResult
@@ -28,6 +39,7 @@ from repro.mapping.solver_milp import MilpNoIncumbent, solve_milp
 
 __all__ = [
     "BUDGET_TIERS",
+    "BatchEvaluator",
     "Broadcast",
     "DeltaEvaluator",
     "EvalKernel",
@@ -37,11 +49,13 @@ __all__ = [
     "SolveBudget",
     "TIER_ORDER",
     "build_mapping_problem",
+    "canonical_gpu_fold",
     "compile_kernel",
     "contiguous_mapping",
     "lpt_mapping",
     "refine_mapping",
     "round_robin_mapping",
     "solve_branch_and_bound",
+    "solve_metaheuristic",
     "solve_milp",
 ]

@@ -1,0 +1,443 @@
+"""Vectorized population scoring over the compiled kernel's tables.
+
+:class:`~repro.mapping.kernel.EvalKernel` made scoring one assignment
+cheap and :class:`~repro.mapping.kernel.DeltaEvaluator` made scoring one
+*move* cheap; the metaheuristic tier (:mod:`repro.mapping.metaheuristic`)
+instead wants thousands of unrelated candidates priced per step.
+:class:`BatchEvaluator` lays the kernel's flattened edge / route /
+compute tables out as structure-of-arrays NumPy buffers and scores a
+whole population in a handful of vectorized passes; without NumPy it
+falls back to a pure-python loop over the same tables, so the dependency
+stays optional.
+
+**Exactness invariant.**  ``batch_tmax`` is *bit-identical* to looping
+:meth:`~repro.mapping.problem.MappingProblem.tmax` — not approximately
+equal.  Float sums do not commute, so the vectorized path reproduces the
+interpreted evaluator's accumulation orders exactly:
+
+* Per-link loads are folded by one ``np.bincount`` over a single index
+  sequence whose per-candidate order is exactly the evaluator's: PDG
+  edges in ``problem.edges`` iteration order (each edge's route links in
+  route order), then broadcast groups in order (destinations ascending,
+  as ``sorted(dest_gpus)`` yields them), then host I/O per partition
+  ascending, input route before output route.  ``np.bincount``
+  accumulates float64 weights sequentially in array order, so each
+  load's fold order is the scalar one.  Candidates own disjoint bins
+  (``candidate * (L + 1) + link``), so interleaving *across* candidates
+  never reorders any single fold.
+* Variable-length routes, inactive broadcast destinations, and padding
+  all land in a per-candidate *dummy bin* that is dropped after the
+  fold — no masking multiplications that could perturb floats.
+* Per-GPU compute times are folded the same way (ascending partition
+  id per GPU), and link times divide by bandwidth (never multiply by a
+  reciprocal), matching the scalar kernel ulp for ulp.
+
+``tests/test_batch_properties.py`` fuzzes this equivalence across the
+named platforms, adversarial random float problems, and the
+NumPy-vs-fallback pair.
+
+>>> from repro.gpu.topology import default_topology
+>>> from repro.mapping.problem import MappingProblem
+>>> p = MappingProblem(times=[4.0, 3.0, 2.0], edges={(0, 1): 64.0},
+...                    host_io=[(64.0, 0.0), (0.0, 0.0), (0.0, 64.0)],
+...                    topology=default_topology(2))
+>>> be = BatchEvaluator(EvalKernel(p))
+>>> pop = [[0, 0, 1], [0, 1, 1], [1, 1, 1]]
+>>> be.batch_tmax(pop) == [p.tmax(a) for a in pop]
+True
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.mapping.kernel import EvalKernel, canonical_gpu_fold
+
+if TYPE_CHECKING:  # imported lazily: repro.synth pulls in the full flow
+    from repro.synth.rng import SynthRng
+
+try:  # NumPy is optional: the fallback path keeps deps light
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via use_numpy=False
+    _np = None
+
+__all__ = [
+    "BatchEvaluator",
+    "apply_moves",
+    "kick_population",
+    "sample_moves",
+]
+
+#: the population size the vectorized path is tuned for (buffers are
+#: cached per size; other sizes work, they just build fresh buffers)
+DEFAULT_POPULATION = 256
+
+
+class BatchEvaluator:
+    """Structure-of-arrays population scorer over one compiled kernel.
+
+    ``use_numpy`` selects the path: ``None`` (default) auto-detects,
+    ``True`` requires NumPy (raises if missing), ``False`` forces the
+    pure-python fallback — the property suite runs both and asserts
+    bitwise equality.  :attr:`vectorized` reports which path is live.
+    """
+
+    def __init__(
+        self, kernel: EvalKernel, use_numpy: Optional[bool] = None
+    ) -> None:
+        self.kernel = kernel
+        if use_numpy is None:
+            use_numpy = _np is not None
+        elif use_numpy and _np is None:
+            raise RuntimeError("NumPy requested but not importable")
+        self.vectorized = bool(use_numpy)
+        if self.vectorized:
+            self._build_tables()
+
+    # ------------------------------------------------------------------
+    # table construction (once per problem)
+    # ------------------------------------------------------------------
+    def _build_tables(self) -> None:
+        np = _np
+        k = self.kernel
+        G, L, P = k.num_gpus, k.num_links, k.num_partitions
+        self._G, self._L, self._P = G, L, P
+        #: bins per candidate: one per link plus the shared dummy bin
+        self._stride = L + 1
+        dummy = L
+        # GPU-pair route rows, dummy-padded to the longest route; the
+        # diagonal stays all-dummy because the evaluator skips
+        # same-GPU edges entirely
+        S = max((len(r) for row in k.routes for r in row), default=0) or 1
+        rt = np.full((G * G, S), dummy, dtype=np.int64)
+        for s in range(G):
+            for d in range(G):
+                if s != d:
+                    route = k.routes[s][d]
+                    rt[s * G + d, : len(route)] = route
+        self._rt, self._S = rt, S
+        # per-GPU host rows: input route then output route, each padded
+        SH = max(
+            [len(r) for r in k.host_in_routes]
+            + [len(r) for r in k.host_out_routes] + [1]
+        )
+        htab = np.full((G, 2 * SH), dummy, dtype=np.int64)
+        for g in range(G):
+            route = k.host_in_routes[g]
+            htab[g, : len(route)] = route
+            route = k.host_out_routes[g]
+            htab[g, SH: SH + len(route)] = route
+        self._htab, self._SH = htab, SH
+        self._ei = np.array([e[0] for e in k.edge_list], dtype=np.int64)
+        self._ej = np.array([e[1] for e in k.edge_list], dtype=np.int64)
+        self._ew = np.array([e[2] for e in k.edge_list])
+        self._E = len(k.edge_list)
+        self._bc = [
+            (src, nbytes, np.array(dests, dtype=np.int64))
+            for src, nbytes, dests in k.broadcasts
+        ]
+        self._hio = [
+            (pid, inp, out)
+            for pid, (inp, out) in enumerate(k.host_io)
+            if (inp or out) and k.include_host_io
+        ]
+        self._hpids = np.array([h[0] for h in self._hio], dtype=np.int64)
+        self._H = len(self._hio)
+        self._K = (
+            self._E * S + len(self._bc) * G * S + self._H * 2 * SH
+        )
+        self._ptime_flat = np.array(k.ptime).reshape(-1) if P else (
+            np.zeros(0)
+        )
+        self._pidbase = (np.arange(P) * G)[:, None]
+        self._lat = np.array(k.latency)[None, :]
+        self._bw = np.array(k.bandwidth)[None, :]
+        self._per_n: dict = {}
+
+    def _buffers(self, N: int):
+        """Per-population-size scratch: pre-offset gather tables (the
+        candidate's bin offset is baked into every table row, so no
+        pass over the index buffer ever adds offsets), the expanded
+        weight vector, and reusable gather buffers."""
+        got = self._per_n.get(N)
+        if got is not None:
+            return got
+        np = _np
+        G, S, SH = self._G, self._S, self._SH
+        n = np.arange(N)
+        off = n * self._stride
+        rt_off = np.ascontiguousarray(
+            (self._rt[:, None, :] + off[None, :, None]).reshape(-1, S)
+        )
+        ht_off = np.ascontiguousarray(
+            (self._htab[:, None, :] + off[None, :, None]).reshape(
+                -1, 2 * SH
+            )
+        )
+        # weights in the exact section order of the index buffer
+        parts = [np.repeat(self._ew, S * N)]
+        for _src, nbytes, _dests in self._bc:
+            parts.append(np.full(G * N * S, nbytes))
+        if self._H:
+            hw = np.empty((self._H, 2 * SH))
+            for i, (_pid, inp, out) in enumerate(self._hio):
+                hw[i, :SH] = inp
+                hw[i, SH:] = out
+            parts.append(np.repeat(hw, N, axis=0).reshape(-1))
+        weights = np.concatenate(parts) if parts else np.zeros(0)
+        got = self._per_n[N] = (
+            n,
+            off + self._L,  # per-candidate dummy bin ids
+            rt_off,
+            ht_off,
+            weights,
+            n * self._G,
+            np.empty(self._K * N, dtype=np.int64),
+            np.empty((max(self._E, 1), N), dtype=np.int64),
+            np.empty((max(self._P, 1), N), dtype=np.int64),
+        )
+        return got
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def batch_tmax(
+        self, assignments: Sequence[Sequence[int]]
+    ) -> List[float]:
+        """Score every assignment; bit-identical to the scalar loop.
+
+        Accepts any N x P sequence-of-sequences (or an ndarray) and
+        returns one float per candidate, in order.
+
+        >>> from repro.gpu.topology import default_topology
+        >>> from repro.mapping.problem import MappingProblem
+        >>> p = MappingProblem(times=[2.0, 1.0], edges={},
+        ...                    host_io=[(0.0, 0.0), (0.0, 0.0)],
+        ...                    topology=default_topology(2))
+        >>> BatchEvaluator(EvalKernel(p)).batch_tmax([[0, 1], [0, 0]])
+        [2.0, 3.0]
+        """
+        if not self.vectorized:
+            return [self._score_one(a) for a in assignments]
+        np = _np
+        A = np.asarray(assignments, dtype=np.int64)
+        if A.ndim != 2 and A.size == 0:
+            return []
+        if A.ndim != 2 or A.shape[1] != self.kernel.num_partitions:
+            raise ValueError(
+                "expected an N x num_partitions assignment matrix"
+            )
+        N = A.shape[0]
+        if N == 0:
+            return []
+        if A.size and (A.min() < 0 or A.max() >= self._G):
+            raise ValueError("GPU id out of range in population")
+        return self._batch_numpy(A).tolist()
+
+    def _batch_numpy(self, A):
+        np = _np
+        A = np.ascontiguousarray(A.T)  # (P, N): candidates are columns
+        P, N = A.shape
+        G, S, L, E = self._G, self._S, self._L, self._E
+        (narange, dummy_bins, rt_off, ht_off, weights, goff, idx,
+         pairbuf, gbuf) = self._buffers(N)
+        pos = 0
+        # -- PDG edges: (E, N, S) rows, one row gather per candidate pair
+        if E:
+            pair = np.take(A, self._ei, axis=0, out=pairbuf[:E])
+            pair *= G
+            pair += np.take(A, self._ej, axis=0)
+            pair *= N
+            pair += narange
+            np.take(
+                rt_off, pair.reshape(-1), axis=0,
+                out=idx[pos:pos + E * S * N].reshape(E * N, S),
+            )
+            pos += E * S * N
+        # -- broadcasts: per group, destination GPUs ascending ----------
+        for src_pid, _nbytes, dests in self._bc:
+            sec = idx[pos:pos + G * S * N].reshape(G, N, S)
+            src = A[src_pid]
+            dest_map = np.take(A, dests, axis=0)
+            active = np.zeros((G, N), dtype=bool)
+            active[dest_map, narange[None, :]] = True
+            active[src, narange] = False  # the source GPU is discarded
+            pairs = (
+                src[None, :] * G + np.arange(G)[:, None]
+            ) * N + narange
+            np.take(rt_off, pairs.reshape(-1), axis=0,
+                    out=sec.reshape(G * N, S))
+            np.copyto(
+                sec, dummy_bins[None, :, None], where=~active[:, :, None]
+            )
+            pos += G * S * N
+        # -- host I/O: partitions ascending, input cols then output ----
+        if self._H:
+            gi = np.take(A, self._hpids, axis=0)
+            gi *= N
+            gi += narange
+            width = 2 * self._SH
+            np.take(
+                ht_off, gi.reshape(-1), axis=0,
+                out=idx[pos:pos + self._H * width * N].reshape(
+                    self._H * N, width),
+            )
+            pos += self._H * width * N
+        loads = np.bincount(
+            idx[:pos], weights=weights[:pos],
+            minlength=N * self._stride,
+        ).reshape(N, self._stride)[:, :L]
+        # -- per-GPU compute folds (ascending pid per accumulator) ------
+        if P:
+            flat = np.add(self._pidbase, A, out=gbuf[:P])
+            ptimes = np.take(self._ptime_flat, flat)
+            gids = np.add(A, goff[None, :], out=gbuf[:P])
+            gpu_times = np.bincount(
+                gids.reshape(-1), weights=ptimes.reshape(-1),
+                minlength=N * G,
+            ).reshape(N, G)
+            gpu_side = gpu_times.max(axis=1)
+        else:
+            gpu_side = np.zeros(N)
+        if L:
+            link_times = np.where(
+                loads != 0.0, self._lat + loads / self._bw, 0.0
+            )
+            comm = link_times.max(axis=1)
+        else:
+            comm = np.zeros(N)
+        return np.maximum(gpu_side, comm)
+
+    def _score_one(self, assignment: Sequence[int]) -> float:
+        """Pure-python fallback: same tables, same folds, no NumPy."""
+        kernel = self.kernel
+        assignment = list(assignment)
+        if len(assignment) != kernel.num_partitions:
+            raise ValueError(
+                "expected an N x num_partitions assignment matrix"
+            )
+        for gpu in assignment:
+            if not 0 <= gpu < kernel.num_gpus:
+                raise ValueError("GPU id out of range in population")
+        members: List[List[int]] = [[] for _ in range(kernel.num_gpus)]
+        for pid, gpu in enumerate(assignment):
+            members[gpu].append(pid)  # ascending pid by construction
+        gpu_side = 0.0
+        for gpu in range(kernel.num_gpus):
+            t = canonical_gpu_fold(
+                kernel.ptime_by_gpu[gpu].__getitem__, members[gpu]
+            )
+            if t > gpu_side:
+                gpu_side = t
+        comm = 0.0
+        latency = kernel.latency
+        bandwidth = kernel.bandwidth
+        for link, load in enumerate(kernel.link_loads(assignment)):
+            if load:
+                t = latency[link] + load / bandwidth[link]
+                if t > comm:
+                    comm = t
+        return max(gpu_side, comm)
+
+
+# ----------------------------------------------------------------------
+# population move generation (deterministic, SynthRng-driven)
+# ----------------------------------------------------------------------
+def sample_moves(
+    population: Sequence[Sequence[int]],
+    num_gpus: int,
+    rng: SynthRng,
+    tabu: Optional[Sequence] = None,
+) -> List[Optional[Tuple[int, int]]]:
+    """One neighborhood move ``(pid, new_gpu)`` per candidate.
+
+    ``tabu`` supplies per-candidate masks (anything supporting ``in``,
+    e.g. a set of partition ids barred for that candidate); a tabu'd
+    draw retries a bounded number of times and yields ``None`` for that
+    candidate if every retry is barred, so the RNG stream length stays
+    bounded and deterministic.
+
+    >>> from repro.synth.rng import SynthRng
+    >>> rng = SynthRng("doc|sample")
+    >>> moves = sample_moves([[0, 1], [1, 0]], 2, rng)
+    >>> all(m is None or (0 <= m[0] < 2 and 0 <= m[1] < 2) for m in moves)
+    True
+    """
+    moves: List[Optional[Tuple[int, int]]] = []
+    for c, assignment in enumerate(population):
+        parts = len(assignment)
+        if parts == 0 or num_gpus < 2:
+            moves.append(None)
+            continue
+        barred = tabu[c] if tabu is not None else ()
+        chosen = None
+        for _attempt in range(4):
+            pid = rng.randint(0, parts - 1)
+            if pid in barred:
+                continue
+            gpu = rng.randint(0, num_gpus - 2)
+            if gpu >= assignment[pid]:
+                gpu += 1  # uniform over the *other* GPUs
+            chosen = (pid, gpu)
+            break
+        moves.append(chosen)
+    return moves
+
+
+def apply_moves(
+    population: Sequence[Sequence[int]],
+    moves: Sequence[Optional[Tuple[int, int]]],
+) -> List[List[int]]:
+    """The neighbor population: each candidate with its move applied.
+
+    ``None`` moves copy the candidate unchanged.  Inputs are never
+    mutated.
+
+    >>> apply_moves([[0, 0], [1, 1]], [(1, 1), None])
+    [[0, 1], [1, 1]]
+    """
+    out = []
+    for assignment, move in zip(population, moves):
+        neighbor = list(assignment)
+        if move is not None:
+            pid, gpu = move
+            neighbor[pid] = gpu
+        out.append(neighbor)
+    return out
+
+
+def kick_population(
+    population: Sequence[Sequence[int]],
+    num_gpus: int,
+    rng: SynthRng,
+    strength: int,
+    only: Optional[Sequence[int]] = None,
+) -> List[List[int]]:
+    """Crossover-free restarts: ``strength`` random reassignments each.
+
+    The classic iterated-local-search kick — enough randomness to leave
+    the current basin, no recombination, so candidates stay independent
+    walks.  ``only`` limits the kick to the listed candidate indices
+    (the stagnated ones); others are copied unchanged.  Deterministic:
+    the RNG is consumed in candidate order, kicked or not decided by
+    ``only`` alone.
+
+    >>> from repro.synth.rng import SynthRng
+    >>> rng = SynthRng("doc|kick")
+    >>> kicked = kick_population([[0, 0, 0]], 2, rng, strength=2)
+    >>> len(kicked[0])
+    3
+    """
+    chosen = set(range(len(population))) if only is None else set(only)
+    out = []
+    for c, assignment in enumerate(population):
+        neighbor = list(assignment)
+        if c in chosen and neighbor and num_gpus >= 2:
+            for _ in range(strength):
+                pid = rng.randint(0, len(neighbor) - 1)
+                gpu = rng.randint(0, num_gpus - 2)
+                if gpu >= neighbor[pid]:
+                    gpu += 1
+                neighbor[pid] = gpu
+        out.append(neighbor)
+    return out

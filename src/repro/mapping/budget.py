@@ -89,6 +89,14 @@ class SolveBudget:
     use_bb: bool = True
     #: whether the portfolio runs the MILP stage
     use_milp: bool = True
+    #: metaheuristic-stage round cap; ``0`` (the default everywhere,
+    #: including every named tier) skips the stage, keeping existing
+    #: budgets, cache keys, and golden answers byte-identical
+    mh_rounds: int = 0
+    #: metaheuristic population size (``0`` skips the stage)
+    mh_population: int = 0
+    #: SplitMix64 seed token of the metaheuristic RNG stream
+    mh_seed: int = 0
 
     @classmethod
     def tier(cls, name: str) -> "SolveBudget":

@@ -58,7 +58,38 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.mapping.problem import CommBreakdown, MappingProblem
 
-__all__ = ["DeltaEvaluator", "EvalKernel", "compile_kernel"]
+__all__ = [
+    "DeltaEvaluator",
+    "EvalKernel",
+    "canonical_gpu_fold",
+    "compile_kernel",
+]
+
+
+def canonical_gpu_fold(col, pids: Iterable[int], start: float = 0.0) -> float:
+    """Fold per-partition compute times in the canonical order.
+
+    This is *the* exactness-critical accumulation of the repo: one
+    GPU's time is the left fold of its members' times in **ascending
+    partition id** order, which is the order the interpreted evaluator
+    (:meth:`~repro.mapping.problem.MappingProblem.gpu_times`) feeds its
+    per-GPU accumulators.  Float sums do not commute, so every scoring
+    path — the delta evaluator's probes, its commit-time recomputes,
+    and the batch evaluator's pure-python fallback — must run this one
+    fold rather than re-deriving it; ``tests/test_batch_properties.py``
+    carries a mutation test that fails if the fold order ever changes.
+
+    ``col`` maps a partition id to its time on the GPU in question
+    (typically ``kernel.ptime_by_gpu[gpu].__getitem__``); ``pids`` must
+    already be ascending; ``start`` resumes the fold from a cached
+    prefix sum.
+
+    >>> canonical_gpu_fold({0: 2.0, 1: 3.0, 2: 4.0}.__getitem__, [0, 1, 2])
+    9.0
+    >>> canonical_gpu_fold([5.0, 7.0].__getitem__, [1], start=1.0)
+    8.0
+    """
+    return sum(map(col, pids), start)
 
 
 class EvalKernel:
@@ -348,7 +379,10 @@ class DeltaEvaluator:
     # ------------------------------------------------------------------
     def _recompute_gpu(self, gpu: int) -> None:
         """Recompute one GPU's time in canonical (ascending pid) order,
-        rebuilding its prefix-fold cache along the way."""
+        rebuilding its prefix-fold cache along the way.  The loop
+        materializes every partial sum of :func:`canonical_gpu_fold`
+        over the membership, so probes resuming from ``prefix[k]`` are
+        bitwise continuations of this fold."""
         col = self.kernel.ptime_by_gpu[gpu]
         total = 0.0
         prefix = [0.0]
@@ -542,17 +576,19 @@ class DeltaEvaluator:
 
         # canonical (ascending pid) folds of the two affected GPU times:
         # resume each fold from the prefix cache at the moved
-        # partition's position and finish the tail with a C-speed
-        # sum(map(...)) — bitwise the evaluator's accumulation loop
+        # partition's position and finish the tail through the one
+        # shared fold helper — bitwise the evaluator's accumulation loop
         members = self.members[old]
         col = kernel.ptime_by_gpu[old].__getitem__
         cut = bisect_left(members, pid)
-        old_time = sum(map(col, members[cut + 1:]), self.prefix[old][cut])
+        old_time = canonical_gpu_fold(
+            col, members[cut + 1:], self.prefix[old][cut]
+        )
         members = self.members[gpu]
         col = kernel.ptime_by_gpu[gpu].__getitem__
         cut = bisect_left(members, pid)
-        new_time = sum(
-            map(col, members[cut:]), self.prefix[gpu][cut] + col(pid)
+        new_time = canonical_gpu_fold(
+            col, members[cut:], self.prefix[gpu][cut] + col(pid)
         )
 
         gpu_side = 0.0

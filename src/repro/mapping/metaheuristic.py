@@ -1,0 +1,229 @@
+"""Population metaheuristic over the batch evaluator.
+
+The portfolio's refine stage is a single first-improvement walk — great
+at draining an easy basin, stuck at its first local optimum.  This
+module adds the classic escape machinery as one deterministic tier:
+seeded multi-start local search (a *population* of independent walks),
+simulated annealing acceptance under a deterministic SplitMix64
+temperature schedule, and kick/restart perturbation for stagnated
+walks.  Every step prices the whole population in one
+:meth:`~repro.mapping.batch.BatchEvaluator.batch_tmax` call.
+
+**Approximate-rank / exact-accept contract.**  Population scores are
+only trusted to *rank* candidates; before any candidate can become (or
+replace) the incumbent that this solver returns or the service caches,
+it is rescored through the bit-exact scalar kernel
+(:meth:`~repro.mapping.kernel.EvalKernel.full_tmax`) and accepted only
+on a strict scalar improvement.  The returned mapping's ``tmax`` is
+therefore bit-identical to
+:meth:`~repro.mapping.problem.MappingProblem.tmax` no matter what the
+batch path did, and the rescore count is reported in ``solve_stats``.
+
+**Determinism and anytime monotonicity.**  All randomness flows from
+one :class:`~repro.synth.rng.SynthRng` stream seeded by
+``(mh_seed, population)`` — never by wall clock, thread, or process —
+so equal inputs give equal mappings anywhere.  The temperature at round
+``r`` is ``T0 * ALPHA**r``, a function of the *absolute* round index
+(never of the total round count), and nothing else reads ``rounds``;
+a budget with more rounds therefore replays the smaller budget's
+trajectory exactly and extends it — the strict work-superset that makes
+``mh_rounds`` an anytime knob (the incumbent only ever improves).
+
+>>> from repro.gpu.topology import default_topology
+>>> from repro.mapping.problem import MappingProblem
+>>> p = MappingProblem(times=[400.0, 300.0, 200.0, 100.0],
+...                    edges={(0, 1): 64.0, (2, 3): 64.0},
+...                    host_io=[(64.0, 0.0)] + [(0.0, 0.0)] * 3,
+...                    topology=default_topology(2))
+>>> result = solve_metaheuristic(p, rounds=8, population=8, seed=1)
+>>> result.solver, result.tmax == p.tmax(list(result.assignment))
+('metaheuristic', True)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Union
+
+from repro.mapping.batch import (
+    BatchEvaluator,
+    apply_moves,
+    kick_population,
+    sample_moves,
+)
+from repro.mapping.budget import SolveBudget
+from repro.mapping.greedy import (
+    contiguous_assignment,
+    lpt_assignment,
+    round_robin_assignment,
+)
+from repro.mapping.kernel import EvalKernel
+from repro.mapping.result import MappingResult, make_result
+
+__all__ = ["solve_metaheuristic"]
+
+#: defaults for standalone use (``--mapper metaheuristic`` with a budget
+#: whose metaheuristic knobs are zero); the portfolio stage only runs
+#: when the budget sets the knobs explicitly
+DEFAULT_ROUNDS = 32
+DEFAULT_POPULATION = 64
+
+#: initial temperature as a fraction of the seed incumbent's objective
+T0_FRACTION = 0.05
+#: geometric cooling per round — applied to the absolute round index
+ALPHA = 0.90
+#: rounds a moved partition stays barred for its candidate
+TABU_TENURE = 3
+#: rounds without per-candidate improvement before a kick
+KICK_AFTER = 6
+#: random reassignments per kick
+KICK_STRENGTH = 3
+
+_U64 = float(1 << 64)
+
+
+def solve_metaheuristic(
+    problem,
+    budget: Union[SolveBudget, str, None] = None,
+    topo_order: Optional[Sequence[int]] = None,
+    *,
+    rounds: Optional[int] = None,
+    population: Optional[int] = None,
+    seed: Optional[int] = None,
+    incumbent: Optional[Sequence[int]] = None,
+    kernel: Optional[EvalKernel] = None,
+) -> MappingResult:
+    """Population simulated annealing with exact incumbent acceptance.
+
+    ``budget`` supplies the ``mh_rounds`` / ``mh_population`` /
+    ``mh_seed`` knobs (falling back to the module defaults when zero);
+    the keyword arguments override individual knobs.  ``incumbent``
+    seeds the population with a known-good assignment — the result is
+    then never worse than it.  ``kernel`` reuses a prebuilt
+    :class:`~repro.mapping.kernel.EvalKernel` (the portfolio passes its
+    own).
+
+    The result's ``solver`` is ``"metaheuristic"``; ``solve_stats``
+    reports ``mh_rounds``, ``mh_population``, and ``mh_rescores`` (how
+    many candidates were rescored through the scalar kernel).
+
+    >>> from repro.gpu.topology import default_topology
+    >>> from repro.mapping.problem import MappingProblem
+    >>> p = MappingProblem(times=[4.0, 3.0, 2.0, 1.0], edges={},
+    ...                    host_io=[(0.0, 0.0)] * 4,
+    ...                    topology=default_topology(2))
+    >>> solve_metaheuristic(p, rounds=4, population=4, seed=0).tmax
+    5.0
+    """
+    from repro.synth.rng import SynthRng
+
+    if budget is None:
+        budget = SolveBudget.default()
+    elif isinstance(budget, str):
+        budget = SolveBudget.tier(budget)
+    rounds = rounds if rounds is not None else (
+        budget.mh_rounds or DEFAULT_ROUNDS
+    )
+    population = population if population is not None else (
+        budget.mh_population or DEFAULT_POPULATION
+    )
+    if rounds < 0 or population < 1:
+        raise ValueError("need rounds >= 0 and population >= 1")
+    seed = seed if seed is not None else budget.mh_seed
+    if kernel is None:
+        kernel = EvalKernel(problem)
+    batch = BatchEvaluator(kernel)
+    num_gpus = problem.num_gpus
+    rng = SynthRng(f"metaheuristic|{seed}|{population}")
+
+    # -- seeded multi-start population ---------------------------------
+    order = (
+        list(topo_order)
+        if topo_order is not None
+        else list(range(problem.num_partitions))
+    )
+    bases: List[List[int]] = []
+    if incumbent is not None:
+        bases.append(list(incumbent))
+    bases.append(lpt_assignment(problem))
+    bases.append(round_robin_assignment(problem))
+    bases.append(contiguous_assignment(problem, order))
+    pop = [list(b) for b in bases[:population]]
+    fill = 0
+    while len(pop) < population:
+        # diversify the rest: progressively harder kicks of the bases
+        source = bases[fill % len(bases)]
+        strength = 1 + fill // len(bases)
+        pop.extend(
+            kick_population([source], num_gpus, rng, strength=strength)
+        )
+        fill += 1
+
+    scores = batch.batch_tmax(pop)
+    best_idx = min(range(len(pop)), key=scores.__getitem__)
+    best_tmax = kernel.full_tmax(pop[best_idx])  # exact-accept gateway
+    best_assign = list(pop[best_idx])
+    rescores = 1
+    t0 = T0_FRACTION * best_tmax
+
+    tabu: List[dict] = [{} for _ in range(population)]
+    stagnant = [0] * population
+    for r in range(rounds):
+        temperature = t0 * (ALPHA ** r)
+        masks = [
+            frozenset(p for p, expiry in t.items() if expiry > r)
+            for t in tabu
+        ]
+        moves = sample_moves(pop, num_gpus, rng, tabu=masks)
+        neighbors = apply_moves(pop, moves)
+        nscores = batch.batch_tmax(neighbors)
+        for c, move in enumerate(moves):
+            if move is None:
+                stagnant[c] += 1
+                continue
+            delta = nscores[c] - scores[c]
+            if delta < 0:
+                accept = True
+            elif temperature > 0.0:
+                u = rng.next_u64() / _U64
+                accept = u < math.exp(-delta / temperature)
+            else:
+                accept = False
+            if accept:
+                pop[c] = neighbors[c]
+                scores[c] = nscores[c]
+                tabu[c][move[0]] = r + 1 + TABU_TENURE
+                stagnant[c] = 0 if delta < 0 else stagnant[c] + 1
+            else:
+                stagnant[c] += 1
+        # exact-accept: batch scores only *nominate* an incumbent; the
+        # scalar kernel decides
+        c_best = min(range(len(pop)), key=scores.__getitem__)
+        if scores[c_best] < best_tmax:
+            exact = kernel.full_tmax(pop[c_best])
+            rescores += 1
+            if exact < best_tmax:
+                best_tmax = exact
+                best_assign = list(pop[c_best])
+        stale = [c for c in range(population) if stagnant[c] >= KICK_AFTER]
+        if stale:
+            pop = kick_population(
+                pop, num_gpus, rng, strength=KICK_STRENGTH, only=stale
+            )
+            scores = batch.batch_tmax(pop)
+            for c in stale:
+                stagnant[c] = 0
+                tabu[c].clear()
+
+    return make_result(
+        problem,
+        best_assign,
+        "metaheuristic",
+        optimal=False,
+        stats=(
+            ("mh_population", float(population)),
+            ("mh_rescores", float(rescores)),
+            ("mh_rounds", float(rounds)),
+        ),
+        kernel=kernel,
+    )

@@ -7,9 +7,13 @@ through the solver ladder under a :class:`~repro.mapping.SolveBudget`:
 
 1. **greedy** — LPT, round-robin, and contiguous-blocks heuristics plus
    a bounded local-search polish: microseconds, always feasible;
-2. **branch-and-bound** — the from-scratch exact solver, seeded with the
-   greedy incumbent and capped at ``budget.bb_node_limit`` nodes;
-3. **MILP** — the HiGHS backend under ``budget.milp_node_limit``.
+2. **metaheuristic** — population simulated annealing over the batch
+   evaluator (:mod:`repro.mapping.metaheuristic`), opt-in via the
+   budget's ``mh_rounds`` / ``mh_population`` knobs (zero in every
+   named tier), seeded with the refine incumbent;
+3. **branch-and-bound** — the from-scratch exact solver, seeded with the
+   best incumbent so far and capped at ``budget.bb_node_limit`` nodes;
+4. **MILP** — the HiGHS backend under ``budget.milp_node_limit``.
 
 Every stage runs on the *same* :class:`~repro.mapping.MappingProblem`
 and the best-so-far assignment is tracked across stages, so the answer
@@ -92,7 +96,7 @@ def tier_for_deadline(remaining_s: float) -> str:
 class StageOutcome:
     """One portfolio stage's contribution."""
 
-    stage: str  #: "greedy", "refine", "branch-and-bound", or "milp"
+    stage: str  #: "greedy", "refine", "metaheuristic", "branch-and-bound", or "milp"
     solver: str  #: the winning backend's name for this stage
     tmax: float  #: the stage's own best objective (inf if it failed)
     optimal: bool  #: whether this stage *proved* optimality
@@ -225,7 +229,36 @@ def solve_portfolio(
             )
         )
 
-    # -- stage 3: branch-and-bound incumbent improvement -----------------
+    # -- stage 3: metaheuristic population search -------------------------
+    # opt-in via the budget's mh knobs (zero in every named tier, so the
+    # pinned portfolio answers are untouched); seeded with the incumbent,
+    # so it can only improve on the refine stage
+    if budget.mh_rounds > 0 and budget.mh_population > 0 and not expired():
+        from repro.mapping.metaheuristic import solve_metaheuristic
+
+        mh = solve_metaheuristic(
+            problem, budget=budget, topo_order=topo_order,
+            incumbent=best.assignment, kernel=kernel,
+        )
+        consider(mh, "metaheuristic")
+        stages.append(
+            StageOutcome(
+                stage="metaheuristic", solver=mh.solver, tmax=mh.tmax,
+                optimal=False, ran=True,
+            )
+        )
+    else:
+        stages.append(
+            StageOutcome(
+                stage="metaheuristic", solver="metaheuristic",
+                tmax=float("inf"), optimal=False, ran=False,
+                note="skipped: no rounds budgeted"
+                if budget.mh_rounds <= 0 or budget.mh_population <= 0
+                else "skipped: deadline",
+            )
+        )
+
+    # -- stage 4: branch-and-bound incumbent improvement -----------------
     if budget.use_bb and not expired():
         bb = solve_branch_and_bound(
             problem, budget=budget, incumbent=best.assignment, kernel=kernel
@@ -248,7 +281,7 @@ def solve_portfolio(
             )
         )
 
-    # -- stage 4: MILP ----------------------------------------------------
+    # -- stage 5: MILP ----------------------------------------------------
     if budget.use_milp and not proven and not expired():
         try:
             milp = solve_milp(problem, budget=budget)

@@ -1,0 +1,331 @@
+"""Property/fuzz layer for batch population scoring.
+
+The batch evaluator's contract is the kernel's, lifted to populations:
+*bit-exactness* against the interpreted evaluator
+(:meth:`MappingProblem.tmax`), not closeness.  Float sums do not
+commute, so the vectorized path must replicate the interpreted fold
+order exactly — these tests pin that across the synthetic corpus x the
+full topology set (g2/g4 plus every named platform), across adversarial
+random heterogeneous trees with full-mantissa byte counts (where any
+reordering shows up in the last ulp), and between the NumPy path and
+the pure-python fallback.
+
+The mutation test at the bottom guards the one shared accumulation
+helper (:func:`repro.mapping.kernel.canonical_gpu_fold`): replacing it
+with a reversed-order fold must make the delta scorer *and* the batch
+fallback visibly diverge from the interpreted evaluator — if that test
+ever stops failing under mutation, the fold order is no longer
+load-bearing and the exactness suite has lost its teeth.
+
+``TestBatchExactness`` + ``TestMoveGeneration`` + ``TestCanonicalFold``
+form the fast subset that ``make batch-check`` runs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from test_kernel import _corpus_problems
+from test_platforms import random_hetero_topology, random_problem
+
+import repro.mapping.batch as batch_mod
+import repro.mapping.kernel as kernel_mod
+from repro.mapping.batch import (
+    BatchEvaluator,
+    apply_moves,
+    kick_population,
+    sample_moves,
+    _np,
+)
+from repro.mapping.kernel import DeltaEvaluator, EvalKernel
+from repro.mapping.problem import MappingProblem
+from repro.gpu.topology import default_topology
+from repro.synth.rng import SynthRng
+
+needs_numpy = pytest.mark.skipif(_np is None, reason="NumPy unavailable")
+
+
+@pytest.fixture(scope="module")
+def corpus_problems():
+    return _corpus_problems()
+
+
+def _random_population(problem, rng, count):
+    return [
+        [rng.randrange(problem.num_gpus)
+         for _ in range((problem.num_partitions))]
+        for _ in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# exactness
+# ----------------------------------------------------------------------
+class TestBatchExactness:
+    def test_corpus_bit_identical(self, corpus_problems):
+        """Corpus x topology set: batch == the interpreted loop, bitwise."""
+        rng = random.Random(0xBA7C4)
+        for label, problem in corpus_problems:
+            evaluator = BatchEvaluator(EvalKernel(problem))
+            pop = _random_population(problem, rng, 17)
+            assert evaluator.batch_tmax(pop) == [
+                problem.tmax(a) for a in pop
+            ], label
+
+    def test_adversarial_trees_bit_identical(self):
+        """Random hetero trees, full-mantissa floats: still bitwise.
+
+        ``random_problem`` draws times/bytes with ``rng.uniform`` —
+        sums of those round, so any accumulation-order deviation in the
+        vectorized path lands in the last ulp and fails this test.
+        """
+        rng = random.Random(0xF107)
+        for seed in range(40):
+            topology = random_hetero_topology(seed)
+            problem = random_problem(topology, seed)
+            evaluator = BatchEvaluator(EvalKernel(problem))
+            pop = _random_population(problem, rng, 9)
+            assert evaluator.batch_tmax(pop) == [
+                problem.tmax(a) for a in pop
+            ], seed
+
+    def test_fallback_matches_numpy(self, corpus_problems):
+        rng = random.Random(0xFA11)
+        for label, problem in corpus_problems[::5]:
+            kernel = EvalKernel(problem)
+            vec = BatchEvaluator(kernel)
+            plain = BatchEvaluator(kernel, use_numpy=False)
+            assert not plain.vectorized
+            pop = _random_population(problem, rng, 7)
+            assert vec.batch_tmax(pop) == plain.batch_tmax(pop), label
+
+    def test_empty_population(self, corpus_problems):
+        _label, problem = corpus_problems[0]
+        kernel = EvalKernel(problem)
+        for evaluator in (
+            BatchEvaluator(kernel), BatchEvaluator(kernel, use_numpy=False)
+        ):
+            assert evaluator.batch_tmax([]) == []
+
+    def test_singleton_population(self, corpus_problems):
+        for label, problem in corpus_problems[:3]:
+            evaluator = BatchEvaluator(EvalKernel(problem))
+            assignment = [0] * problem.num_partitions
+            assert evaluator.batch_tmax([assignment]) == [
+                problem.tmax(assignment)
+            ], label
+
+    def test_population_sizes_dont_interact(self):
+        """Per-N cached buffers: interleaving sizes changes nothing."""
+        problem = random_problem(random_hetero_topology(3), 3)
+        evaluator = BatchEvaluator(EvalKernel(problem))
+        rng = random.Random(5)
+        pops = {n: _random_population(problem, rng, n) for n in (1, 4, 33)}
+        want = {
+            n: [problem.tmax(a) for a in pop] for n, pop in pops.items()
+        }
+        for n in (33, 1, 4, 33, 1):  # revisit sizes in scrambled order
+            assert evaluator.batch_tmax(pops[n]) == want[n], n
+
+    @needs_numpy
+    def test_ndarray_input_accepted(self):
+        problem = random_problem(random_hetero_topology(7), 7)
+        evaluator = BatchEvaluator(EvalKernel(problem))
+        pop = _random_population(problem, random.Random(7), 6)
+        matrix = _np.asarray(pop, dtype=_np.int64)
+        assert evaluator.batch_tmax(matrix) == evaluator.batch_tmax(pop)
+
+    def test_shape_errors(self):
+        problem = random_problem(random_hetero_topology(1), 1)
+        kernel = EvalKernel(problem)
+        for evaluator in (
+            BatchEvaluator(kernel), BatchEvaluator(kernel, use_numpy=False)
+        ):
+            bad_width = [[0] * (problem.num_partitions + 1)]
+            with pytest.raises(ValueError, match="num_partitions"):
+                evaluator.batch_tmax(bad_width)
+
+    def test_gpu_range_errors(self):
+        problem = random_problem(random_hetero_topology(2), 2)
+        kernel = EvalKernel(problem)
+        for evaluator in (
+            BatchEvaluator(kernel), BatchEvaluator(kernel, use_numpy=False)
+        ):
+            bad = [[problem.num_gpus] * problem.num_partitions]
+            with pytest.raises(ValueError, match="out of range"):
+                evaluator.batch_tmax(bad)
+            neg = [[-1] * problem.num_partitions]
+            with pytest.raises(ValueError, match="out of range"):
+                evaluator.batch_tmax(neg)
+
+    @needs_numpy
+    def test_use_numpy_flag(self):
+        problem = random_problem(random_hetero_topology(4), 4)
+        kernel = EvalKernel(problem)
+        assert BatchEvaluator(kernel, use_numpy=True).vectorized
+        assert BatchEvaluator(kernel).vectorized
+
+
+# ----------------------------------------------------------------------
+# hypothesis fuzz: arbitrary populations on a fixed adversarial problem
+# ----------------------------------------------------------------------
+_FUZZ_PROBLEM = random_problem(random_hetero_topology(11), 11)
+_FUZZ_KERNEL = EvalKernel(_FUZZ_PROBLEM)
+_FUZZ_EVALUATORS = (
+    BatchEvaluator(_FUZZ_KERNEL),
+    BatchEvaluator(_FUZZ_KERNEL, use_numpy=False),
+)
+
+
+class TestBatchFuzz:
+    @given(
+        pop=st.lists(
+            st.lists(
+                st.integers(0, _FUZZ_PROBLEM.num_gpus - 1),
+                min_size=_FUZZ_PROBLEM.num_partitions,
+                max_size=_FUZZ_PROBLEM.num_partitions,
+            ),
+            min_size=0, max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_population_bit_identical(self, pop):
+        want = [_FUZZ_PROBLEM.tmax(a) for a in pop]
+        for evaluator in _FUZZ_EVALUATORS:
+            assert evaluator.batch_tmax(pop) == want
+
+
+# ----------------------------------------------------------------------
+# population move generation
+# ----------------------------------------------------------------------
+class TestMoveGeneration:
+    def test_sample_moves_deterministic_and_valid(self):
+        pop = [[0, 1, 2, 0], [2, 2, 1, 0], [0, 0, 0, 0]]
+        a = sample_moves(pop, 3, SynthRng("t|mv"))
+        b = sample_moves(pop, 3, SynthRng("t|mv"))
+        assert a == b
+        for c, move in enumerate(a):
+            assert move is not None
+            pid, gpu = move
+            assert 0 <= pid < 4 and 0 <= gpu < 3
+            assert gpu != pop[c][pid]  # always a real move
+
+    def test_sample_moves_respects_tabu(self):
+        pop = [[0, 1]] * 8
+        tabu = [{0, 1}, set()] * 4  # candidate 0/2/4/6 fully barred
+        moves = sample_moves(pop, 2, SynthRng("t|tabu"), tabu=tabu)
+        for c, move in enumerate(moves):
+            if c % 2 == 0:
+                assert move is None  # every pid barred -> bounded give-up
+            elif move is not None:
+                assert move[0] not in tabu[c]
+
+    def test_sample_moves_degenerate(self):
+        assert sample_moves([[]], 4, SynthRng("t|d1")) == [None]
+        assert sample_moves([[0, 0]], 1, SynthRng("t|d2")) == [None]
+
+    def test_apply_moves_copies(self):
+        pop = [[0, 0], [1, 1]]
+        out = apply_moves(pop, [(0, 1), None])
+        assert out == [[1, 0], [1, 1]]
+        assert pop == [[0, 0], [1, 1]]  # inputs untouched
+        assert out[1] is not pop[1]
+
+    def test_kick_population_only_and_deterministic(self):
+        pop = [[0] * 6, [1] * 6, [0] * 6]
+        a = kick_population(pop, 4, SynthRng("t|k"), strength=3, only=[1])
+        b = kick_population(pop, 4, SynthRng("t|k"), strength=3, only=[1])
+        assert a == b
+        assert a[0] == pop[0] and a[2] == pop[2]  # untouched candidates
+        assert a[1] != pop[1]  # strength-3 kick away from a uniform row
+        assert all(0 <= g < 4 for g in a[1])
+
+    def test_kick_population_scores_stay_exact(self):
+        problem = random_problem(random_hetero_topology(9), 9)
+        evaluator = BatchEvaluator(EvalKernel(problem))
+        pop = _random_population(problem, random.Random(9), 10)
+        kicked = kick_population(
+            pop, problem.num_gpus, SynthRng("t|ks"), strength=2
+        )
+        assert evaluator.batch_tmax(kicked) == [
+            problem.tmax(a) for a in kicked
+        ]
+
+
+# ----------------------------------------------------------------------
+# canonical-fold mutation guard
+# ----------------------------------------------------------------------
+def _reversed_fold(col, pids, start=0.0):
+    """The mutant: same terms, opposite order (and start added last)."""
+    total = 0.0
+    for pid in reversed(list(pids)):
+        total += col(pid)
+    return total + start
+
+
+def _probe_divergence(problem):
+    """Max |score_move - interpreted| over a move sweep."""
+    kernel = EvalKernel(problem)
+    assignment = [pid % problem.num_gpus
+                  for pid in range(problem.num_partitions)]
+    state = DeltaEvaluator(kernel, assignment)
+    worst = 0.0
+    for pid in range(problem.num_partitions):
+        for gpu in range(problem.num_gpus):
+            if gpu == assignment[pid]:
+                continue
+            probed = state.score_move(pid, gpu)
+            trial = list(assignment)
+            trial[pid] = gpu
+            worst = max(worst, abs(probed - problem.tmax(trial)))
+    return worst
+
+
+class TestCanonicalFold:
+    #: compute times whose left fold rounds differently in reverse —
+    #: both over the full list and over its 4-element prefix (the
+    #: per-GPU membership the batch fallback folds), so either scoring
+    #: path exposes a reordered fold in the last ulp
+    _TIMES = [0.786, 0.3103, 0.4818, 0.5875, 0.909, 0.5096]
+
+    def _problem(self):
+        return MappingProblem(
+            times=list(self._TIMES), edges={},
+            host_io=[(0.0, 0.0)] * len(self._TIMES),
+            topology=default_topology(2),
+        )
+
+    def test_times_are_order_sensitive(self):
+        # the fixture must actually expose fold order, or the mutation
+        # test below would vacuously pass
+        assert sum(self._TIMES) != _reversed_fold(
+            self._TIMES.__getitem__, range(len(self._TIMES))
+        )
+        assert sum(self._TIMES[:4]) != _reversed_fold(
+            self._TIMES.__getitem__, range(4)
+        )
+
+    def test_score_move_exact_with_canonical_fold(self):
+        assert _probe_divergence(self._problem()) == 0.0
+        for seed in range(10):
+            problem = random_problem(random_hetero_topology(seed), seed)
+            if problem.num_gpus >= 2:
+                assert _probe_divergence(problem) == 0.0, seed
+
+    def test_score_move_mutant_fold_diverges(self, monkeypatch):
+        """Reversing the shared fold must break delta-scoring exactness."""
+        monkeypatch.setattr(
+            kernel_mod, "canonical_gpu_fold", _reversed_fold
+        )
+        assert _probe_divergence(self._problem()) > 0.0
+
+    def test_batch_fallback_mutant_fold_diverges(self, monkeypatch):
+        """The pure-python batch path shares the same helper."""
+        problem = self._problem()
+        want = [problem.tmax([0, 0, 0, 0, 1, 1])]
+        monkeypatch.setattr(
+            batch_mod, "canonical_gpu_fold", _reversed_fold
+        )
+        mutant = BatchEvaluator(EvalKernel(problem), use_numpy=False)
+        assert mutant.batch_tmax([[0, 0, 0, 0, 1, 1]]) != want

@@ -24,9 +24,11 @@ DOCTEST_MODULES = [
     "repro.graph.flatten",
     "repro.gpu.memory",
     "repro.gpu.platforms",
+    "repro.mapping.batch",
     "repro.mapping.budget",
     "repro.mapping.greedy",
     "repro.mapping.kernel",
+    "repro.mapping.metaheuristic",
     "repro.mapping.problem",
     "repro.mapping.refine",
     "repro.mapping.solver_bb",

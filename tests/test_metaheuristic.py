@@ -1,0 +1,289 @@
+"""Determinism and exactness guarantees of the metaheuristic tier.
+
+Three families of pins, mirroring ``tests/test_portfolio.py``:
+
+* **determinism** — equal inputs give bit-identical mappings,
+  back-to-back in one process *and* across thread- and process-pool
+  executors (the SynthRng stream owes nothing to wall clock, thread
+  identity, or hash randomization);
+* **anytime monotonicity** — ``mh_rounds`` is a work-superset knob: the
+  temperature schedule keys on the absolute round index, so a longer
+  run replays a shorter run's trajectory exactly and its incumbent can
+  only improve;
+* **exact-accept** — every returned mapping's ``tmax`` is *bit-equal*
+  to the interpreted evaluator's verdict on its assignment (batch
+  scores may rank, only the scalar kernel accepts), and an injected
+  incumbent is never worsened.
+
+Plus the portfolio integration: the stage is skipped (never run, note
+recorded) under every named tier — the pinned golden answers predate
+it — and runs under a budget that sets the ``mh_*`` knobs.
+"""
+
+import random
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import replace
+
+import pytest
+
+from test_platforms import random_hetero_topology, random_problem
+
+from repro.flow import partition_stage, pdg_stage, profile_stage
+from repro.gpu.topology import default_topology
+from repro.mapping.budget import BUDGET_TIERS, TIER_ORDER, SolveBudget
+from repro.mapping.kernel import EvalKernel
+from repro.mapping.metaheuristic import solve_metaheuristic
+from repro.mapping.problem import build_mapping_problem
+from repro.service.portfolio import solve_portfolio
+from repro.synth.corpus import TINY_CORPUS, generate_corpus
+
+NUM_GPUS = 2
+
+
+@pytest.fixture(scope="module")
+def corpus_problems():
+    out = []
+    for instance in generate_corpus(TINY_CORPUS):
+        graph = instance.graph
+        engine = profile_stage(graph)
+        partitions, partitioning = partition_stage(graph, engine)
+        pdg = pdg_stage(graph, partitions, engine, partitioning=partitioning)
+        problem = build_mapping_problem(
+            pdg, NUM_GPUS, topology=default_topology(NUM_GPUS)
+        )
+        out.append(
+            (instance.spec.instance_name, problem, pdg.topological_order())
+        )
+    return out
+
+
+def _fingerprint(result):
+    return (
+        tuple(result.assignment),
+        result.tmax,
+        tuple(sorted(result.solve_stats)),
+    )
+
+
+def _solve_seeded(task):
+    """Executor worker: build problem ``seed``, solve with pinned knobs.
+
+    Module-level (picklable) so both thread and process pools can run
+    it; the problem is rebuilt inside the worker, so nothing is shared
+    with the parent beyond the seed.
+    """
+    seed = task
+    from test_platforms import random_hetero_topology, random_problem
+
+    from repro.mapping.metaheuristic import solve_metaheuristic
+
+    problem = random_problem(random_hetero_topology(seed), seed)
+    result = solve_metaheuristic(
+        problem, rounds=10, population=12, seed=seed
+    )
+    return (
+        tuple(result.assignment),
+        result.tmax,
+        tuple(sorted(result.solve_stats)),
+    )
+
+
+class TestDeterminism:
+    def test_back_to_back_identical(self, corpus_problems):
+        for label, problem, _ in corpus_problems:
+            first = solve_metaheuristic(
+                problem, rounds=8, population=12, seed=7
+            )
+            second = solve_metaheuristic(
+                problem, rounds=8, population=12, seed=7
+            )
+            assert _fingerprint(first) == _fingerprint(second), label
+
+    def test_thread_pool_matches_serial(self):
+        seeds = list(range(6))
+        serial = [_solve_seeded(s) for s in seeds]
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            threaded = list(pool.map(_solve_seeded, seeds))
+        assert threaded == serial
+
+    def test_process_pool_matches_serial(self):
+        seeds = list(range(4))
+        serial = [_solve_seeded(s) for s in seeds]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            forked = list(pool.map(_solve_seeded, seeds))
+        assert forked == serial
+
+    def test_seed_changes_the_trajectory(self, corpus_problems):
+        # not a correctness property, but if every seed walked the same
+        # path the multi-start tier would be multi-start in name only
+        _, problem, _ = max(
+            corpus_problems, key=lambda item: item[1].num_partitions
+        )
+        kicks = {
+            tuple(
+                solve_metaheuristic(
+                    problem, rounds=8, population=8, seed=seed
+                ).assignment
+            )
+            for seed in range(8)
+        }
+        assert len(kicks) >= 1  # all valid; diversity is best-effort
+
+
+class TestAnytimeMonotonicity:
+    def test_more_rounds_never_worse(self, corpus_problems):
+        """The strict work-superset pin, mirroring the portfolio tiers."""
+        for label, problem, _ in corpus_problems:
+            tmaxes = [
+                solve_metaheuristic(
+                    problem, rounds=rounds, population=8, seed=3
+                ).tmax
+                for rounds in (0, 4, 8, 16)
+            ]
+            for cheap, rich in zip(tmaxes, tmaxes[1:]):
+                assert rich <= cheap, (
+                    f"{label}: more rounds worsened tmax "
+                    f"({cheap:.6g} -> {rich:.6g})"
+                )
+
+    def test_more_population_never_invalid(self, corpus_problems):
+        _, problem, _ = corpus_problems[0]
+        for population in (1, 2, 5, 16):
+            result = solve_metaheuristic(
+                problem, rounds=4, population=population, seed=1
+            )
+            assert result.tmax == problem.tmax(list(result.assignment))
+
+    def test_incumbent_never_worsened(self):
+        for seed in range(12):
+            problem = random_problem(random_hetero_topology(seed), seed)
+            rng = random.Random(seed)
+            incumbent = [
+                rng.randrange(problem.num_gpus)
+                for _ in range(problem.num_partitions)
+            ]
+            result = solve_metaheuristic(
+                problem, rounds=6, population=6, seed=seed,
+                incumbent=incumbent,
+            )
+            assert result.tmax <= problem.tmax(incumbent), seed
+
+
+class TestExactAccept:
+    def test_result_rescores_bit_identical(self, corpus_problems):
+        """The acceptance pin: never approx — the scalar kernel's word
+        is final, so the result must rescore to the same bits."""
+        for label, problem, _ in corpus_problems:
+            result = solve_metaheuristic(
+                problem, rounds=12, population=16, seed=5
+            )
+            assert result.tmax == problem.tmax(
+                list(result.assignment)
+            ), label
+
+    def test_adversarial_trees_rescore_bit_identical(self):
+        for seed in range(15):
+            problem = random_problem(random_hetero_topology(seed), seed)
+            result = solve_metaheuristic(
+                problem, rounds=8, population=8, seed=seed
+            )
+            assert result.tmax == problem.tmax(
+                list(result.assignment)
+            ), seed
+
+    def test_stats_report_the_work(self, corpus_problems):
+        _, problem, _ = corpus_problems[0]
+        result = solve_metaheuristic(
+            problem, rounds=9, population=11, seed=2
+        )
+        stats = dict(result.solve_stats)
+        assert stats["mh_rounds"] == 9.0
+        assert stats["mh_population"] == 11.0
+        assert stats["mh_rescores"] >= 1.0  # the seed rescore at least
+        assert result.solver == "metaheuristic"
+        assert not result.optimal
+
+    def test_shared_kernel_changes_nothing(self, corpus_problems):
+        _, problem, _ = corpus_problems[0]
+        own = solve_metaheuristic(problem, rounds=6, population=8, seed=4)
+        shared = solve_metaheuristic(
+            problem, rounds=6, population=8, seed=4,
+            kernel=EvalKernel(problem),
+        )
+        assert _fingerprint(own) == _fingerprint(shared)
+
+    def test_bad_knobs_raise(self, corpus_problems):
+        _, problem, _ = corpus_problems[0]
+        with pytest.raises(ValueError, match="population"):
+            solve_metaheuristic(problem, rounds=4, population=0)
+        with pytest.raises(ValueError, match="rounds"):
+            solve_metaheuristic(problem, rounds=-1, population=4)
+
+
+class TestBudgetKnobs:
+    def test_named_tiers_keep_the_stage_off(self):
+        """The golden portfolio answers predate this tier, so every
+        named budget must leave the mh knobs at zero."""
+        for name in TIER_ORDER:
+            tier = BUDGET_TIERS[name]
+            assert tier.mh_rounds == 0, name
+            assert tier.mh_population == 0, name
+
+    def test_bare_budget_still_equals_default_tier(self):
+        assert SolveBudget() == SolveBudget.tier("default")
+
+    def test_mh_knobs_enter_the_cache_key(self):
+        dry = SolveBudget.tier("small").key_parts()
+        wet = replace(
+            SolveBudget.tier("small"), mh_rounds=8, mh_population=16
+        ).key_parts()
+        assert dry != wet
+
+    def test_budget_supplies_the_knobs(self, corpus_problems):
+        _, problem, _ = corpus_problems[0]
+        budget = replace(
+            SolveBudget.tier("instant"), mh_rounds=5, mh_population=7,
+            mh_seed=9,
+        )
+        result = solve_metaheuristic(problem, budget=budget)
+        stats = dict(result.solve_stats)
+        assert stats["mh_rounds"] == 5.0
+        assert stats["mh_population"] == 7.0
+
+
+class TestPortfolioIntegration:
+    def test_named_tiers_skip_the_stage(self, corpus_problems):
+        _, problem, order = corpus_problems[0]
+        for tier in TIER_ORDER:
+            answer = solve_portfolio(problem, budget=tier, topo_order=order)
+            outcome = answer.stage("metaheuristic")
+            assert not outcome.ran, tier
+            assert "no rounds budgeted" in outcome.note, tier
+
+    def test_opted_in_stage_runs_and_never_worsens(self, corpus_problems):
+        for label, problem, order in corpus_problems:
+            base = SolveBudget.tier("small")
+            with_mh = replace(base, mh_rounds=8, mh_population=12, mh_seed=1)
+            plain = solve_portfolio(problem, budget=base, topo_order=order)
+            boosted = solve_portfolio(
+                problem, budget=with_mh, topo_order=order
+            )
+            outcome = boosted.stage("metaheuristic")
+            assert outcome.ran, label
+            assert outcome.solver == "metaheuristic"
+            assert boosted.mapping.tmax <= plain.mapping.tmax, label
+            assert boosted.mapping.tmax == problem.tmax(
+                list(boosted.mapping.assignment)
+            ), label
+
+    def test_stage_is_deterministic_inside_the_portfolio(
+        self, corpus_problems
+    ):
+        _, problem, order = corpus_problems[-1]
+        budget = replace(
+            SolveBudget.tier("instant"), mh_rounds=6, mh_population=8,
+        )
+        first = solve_portfolio(problem, budget=budget, topo_order=order)
+        second = solve_portfolio(problem, budget=budget, topo_order=order)
+        assert first.mapping.assignment == second.mapping.assignment
+        assert first.mapping.tmax == second.mapping.tmax

@@ -1,13 +1,20 @@
 #!/usr/bin/env python3
-"""Perf gate: delta scoring must stay >= 10x full evaluation.
+"""Perf gate: delta scoring and batch scoring must clear their bars.
 
 Runs the pinned quick corpus (:mod:`repro.mapping.perfprobe`) and
-asserts that :meth:`DeltaEvaluator.score_move` probes price refine-style
-move scans at least ``MIN_DELTA_RATIO`` times faster than the
-interpreted evaluator (:meth:`MappingProblem.tmax`) — the cost every
-solver paid per candidate before the compiled kernel existed.
+asserts two ratios:
 
-The bar is a *ratio measured in the same process*, so it holds on a
+* :meth:`DeltaEvaluator.score_move` probes price refine-style move
+  scans at least ``MIN_DELTA_RATIO`` times faster than the interpreted
+  evaluator (:meth:`MappingProblem.tmax`) — the cost every solver paid
+  per candidate before the compiled kernel existed;
+* :meth:`BatchEvaluator.batch_tmax` prices a population of
+  ``BATCH_POPULATION`` candidates at least ``MIN_BATCH_RATIO`` times
+  faster than the interpreted per-candidate loop (skipped with a note
+  when NumPy is unavailable — the pure-python fallback is a correctness
+  feature, not a perf claim).
+
+Each bar is a *ratio measured in the same process*, so it holds on a
 loaded single-core box where absolute rates swing; a failing problem is
 re-measured once with a longer window before the gate fails, to shrug
 off one-off scheduler hiccups.  Absolute rates are recorded by ``make
@@ -23,14 +30,18 @@ import sys
 
 def main() -> int:
     sys.path.insert(0, "src")
+    from repro.mapping.batch import _np
     from repro.mapping.perfprobe import (
+        MIN_BATCH_RATIO,
         MIN_DELTA_RATIO,
+        measure_batch_rates_gated,
         measure_eval_rates_gated,
         quick_corpus,
     )
 
     failures = []
-    for label, problem in quick_corpus():
+    corpus = quick_corpus()
+    for label, problem in corpus:
         rates = measure_eval_rates_gated(problem)
         ratio = rates["delta_vs_interp"]
         status = "ok" if ratio >= MIN_DELTA_RATIO else "FAIL"
@@ -41,14 +52,33 @@ def main() -> int:
         )
         if ratio < MIN_DELTA_RATIO:
             failures.append(f"{label}: delta only x{ratio:.1f} interpreted")
+    if _np is None:
+        print("  batch bar skipped: NumPy unavailable "
+              "(pure-python fallback carries no perf claim)")
+    else:
+        for label, problem in corpus:
+            rates = measure_batch_rates_gated(problem)
+            ratio = rates["batch_vs_interp"]
+            status = "ok" if ratio >= MIN_BATCH_RATIO else "FAIL"
+            print(
+                f"  {label:22s} interp {rates['interp_full_per_s']:9.0f}/s  "
+                f"batch {rates['batch_cand_per_s']:9.0f}/s  "
+                f"x{ratio:5.1f}  {status}"
+            )
+            if ratio < MIN_BATCH_RATIO:
+                failures.append(
+                    f"{label}: batch only x{ratio:.1f} interpreted"
+                )
     if failures:
         print("perf-check FAILED "
-              f"(bar: delta >= x{MIN_DELTA_RATIO:.0f} interpreted):")
+              f"(bars: delta >= x{MIN_DELTA_RATIO:.0f}, "
+              f"batch >= x{MIN_BATCH_RATIO:.0f} interpreted):")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"perf-check OK: delta scoring >= x{MIN_DELTA_RATIO:.0f} "
-          "interpreted full evaluation on the quick corpus")
+    print(f"perf-check OK: delta >= x{MIN_DELTA_RATIO:.0f} and "
+          f"batch >= x{MIN_BATCH_RATIO:.0f} interpreted evaluation "
+          "on the quick corpus")
     return 0
 
 
