@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-slow synth-check platform-check service-check perf-check batch-check bench bench-sweep bench-kernel docs-check experiments clean
+.PHONY: test test-fast test-slow synth-check platform-check service-check perf-check batch-check bench bench-sweep bench-kernel bench-milp docs-check experiments clean
 
 ## tier-1 verify: the full suite, benchmarks included (see ROADMAP.md);
 ## gated on the synth generate+diffcheck smoke check, the platform
@@ -32,7 +32,8 @@ service-check:
 	$(PYTHON) -m repro.cli serve --self-check --quiet
 
 ## ratio-based perf gate: delta scoring must stay >=10x the interpreted
-## evaluator on the quick corpus (stable under load; see tools/perf_check.py)
+## evaluator on the quick corpus, and MILP model rebinds >=1.5x the
+## legacy per-solve rebuild (stable under load; see tools/perf_check.py)
 perf-check:
 	$(PYTHON) tools/perf_check.py
 
@@ -54,6 +55,11 @@ bench-sweep:
 ## and writes/updates BENCH_kernel.json (the perf trajectory record)
 bench-kernel:
 	$(PYTHON) -m pytest benchmarks/test_bench_kernel.py -q
+
+## the MILP model-reuse benchmark: preparation rates (rebind vs legacy
+## rebuild) and solve amortization, recorded into BENCH_milp.json
+bench-milp:
+	$(PYTHON) -m pytest benchmarks/test_bench_milp.py -q
 
 ## fail if a public API symbol lacks a docstring / doctest example
 docs-check:

@@ -1,0 +1,108 @@
+"""Benchmark: the persistent MILP model vs per-solve rebuilds.
+
+Measures, and records into ``BENCH_milp.json`` at the repo root:
+
+* model-preparation rates on the sweep-grid repeat shapes
+  (:func:`repro.mapping.perfprobe.milp_sweep_shapes`): the legacy
+  row-by-row rebuild every solve used to pay vs
+  :meth:`CompiledMilpModel.bind` stamping a payload into the cached
+  structure — the ratio is the asserted bar
+  (:data:`MIN_MILP_REUSE_RATIO`, same one-retry policy as the kernel
+  bars);
+* end-to-end first-solve vs repeat-solve wall times through the model
+  cache under a root-only budget — recorded for the trajectory, never
+  asserted, because the branch-and-bound work is bit-identical on both
+  sides (``tests/test_milp_model.py`` pins that) and only the
+  preparation differs;
+* which backend the solves ran through (direct HiGHS bindings or the
+  ``scipy.optimize.milp`` fallback).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.mapping.budget import SolveBudget
+from repro.mapping.milp_model import (
+    CompiledMilpModel,
+    MilpModelCache,
+    highs_backend_available,
+)
+from repro.mapping.perfprobe import (
+    MIN_MILP_REUSE_RATIO,
+    measure_milp_reuse_rates_gated,
+    milp_sweep_shapes,
+)
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_milp.json"
+
+#: root-only budget for the recorded solve timings: one node explores
+#: the presolve + root relaxation both paths share, keeping the bench
+#: seconds-cheap while still timing a real HiGHS invocation
+ROOT_BUDGET = SolveBudget(milp_node_limit=1)
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_milp(benchmark):
+    shapes = milp_sweep_shapes()
+
+    # -- the asserted bar: preparation rates, reuse vs rebuild ----------
+    reuse_rates = {
+        label: measure_milp_reuse_rates_gated(problem)
+        for label, problem in shapes
+    }
+
+    # -- recorded trajectory: end-to-end solve amortization -------------
+    root_solve = {}
+    for label, problem in shapes:
+        cache = MilpModelCache()
+        model, _ = cache.get_or_compile(problem)
+        first_s = _best_of(
+            lambda: CompiledMilpModel(problem).solve(problem, ROOT_BUDGET)
+        )
+        repeat_s = _best_of(lambda: model.solve(problem, ROOT_BUDGET))
+        root_solve[label] = {
+            "first_solve_ms": first_s * 1e3,
+            "repeat_solve_ms": repeat_s * 1e3,
+            "amortization": first_s / repeat_s,
+        }
+
+    def repeat_sweep():
+        for _, problem in shapes:
+            model = CompiledMilpModel(problem)
+            model.solve(problem, ROOT_BUDGET)
+
+    benchmark.pedantic(repeat_sweep, rounds=1, iterations=1)
+
+    record = {
+        "schema": "bench-milp/v1",
+        "min_reuse_ratio": MIN_MILP_REUSE_RATIO,
+        "sweep_shapes": reuse_rates,
+        "root_solve": root_solve,
+        "backend": {"direct_highs": highs_backend_available()},
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+
+    print()
+    for label, rates in reuse_rates.items():
+        print(f"{label:18s} rebuild {rates['rebuild_prep_per_s']:8.0f}/s  "
+              f"rebind {rates['rebind_prep_per_s']:9.0f}/s  "
+              f"(x{rates['reuse_vs_rebuild']:.0f} rebuild)")
+    for label, times in root_solve.items():
+        print(f"{label:18s} first {times['first_solve_ms']:7.1f}ms  "
+              f"repeat {times['repeat_solve_ms']:7.1f}ms  "
+              f"(x{times['amortization']:.2f})")
+
+    # ratio bar only — absolute rates are recorded, never asserted
+    for label, rates in reuse_rates.items():
+        assert rates["reuse_vs_rebuild"] >= MIN_MILP_REUSE_RATIO, (
+            label, rates,
+        )

@@ -56,6 +56,7 @@ from repro.mapping.greedy import (
 from repro.mapping.refine import refine_mapping
 from repro.mapping.problem import MappingProblem, build_mapping_problem
 from repro.mapping.result import MappingResult
+from repro.mapping.milp_model import MODEL_CACHE
 from repro.mapping.solver_milp import MilpNoIncumbent, solve_milp
 from repro.partition.baseline import (
     one_kernel_per_filter,
@@ -601,7 +602,12 @@ def _solve(
         )
     if mapper == "ilp":
         try:
-            result = solve_milp(problem, budget=solve_budget)
+            # the process-wide compiled-model cache: sweep grids repeat
+            # (graph-shape x platform) signatures, so only the first
+            # solve of each shape pays the model assembly
+            result = solve_milp(
+                problem, budget=solve_budget, model_cache=MODEL_CACHE
+            )
         except MilpNoIncumbent:
             # budget exhausted before any incumbent: fall back to the
             # heuristic chain below with an empty starting point
@@ -628,7 +634,10 @@ def _solve(
                 result = refined
         return result
     if mapper == "ilp-nocomm":
-        return solve_milp(problem, include_comm=False, budget=solve_budget)
+        return solve_milp(
+            problem, include_comm=False, budget=solve_budget,
+            model_cache=MODEL_CACHE,
+        )
     if mapper == "lpt":
         workloads = None
         if static_workload_balance:

@@ -3,6 +3,9 @@
 * :mod:`repro.mapping.problem` -- the mapping problem (Eqs. III.1-III.7)
   and the shared assignment evaluator,
 * :mod:`repro.mapping.solver_milp` -- MILP backend (scipy / HiGHS),
+* :mod:`repro.mapping.milp_model` -- the persistent compiled MILP model
+  (compile once per structural signature, rebind the numeric payload,
+  warm-start HiGHS from an incumbent via a MIP start),
 * :mod:`repro.mapping.solver_bb` -- from-scratch branch-and-bound backend,
 * :mod:`repro.mapping.greedy` -- communication-unaware baselines (the
   previous work's workload balancing, round-robin),
@@ -31,6 +34,12 @@ from repro.mapping.kernel import (
     compile_kernel,
 )
 from repro.mapping.metaheuristic import solve_metaheuristic
+from repro.mapping.milp_model import (
+    MODEL_CACHE,
+    CompiledMilpModel,
+    MilpModelCache,
+    milp_signature,
+)
 from repro.mapping.problem import Broadcast, MappingProblem, build_mapping_problem
 from repro.mapping.refine import refine_mapping
 from repro.mapping.result import MappingResult
@@ -41,10 +50,13 @@ __all__ = [
     "BUDGET_TIERS",
     "BatchEvaluator",
     "Broadcast",
+    "CompiledMilpModel",
     "DeltaEvaluator",
     "EvalKernel",
+    "MODEL_CACHE",
     "MappingProblem",
     "MappingResult",
+    "MilpModelCache",
     "MilpNoIncumbent",
     "SolveBudget",
     "TIER_ORDER",
@@ -53,6 +65,7 @@ __all__ = [
     "compile_kernel",
     "contiguous_mapping",
     "lpt_mapping",
+    "milp_signature",
     "refine_mapping",
     "round_robin_mapping",
     "solve_branch_and_bound",

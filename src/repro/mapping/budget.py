@@ -52,6 +52,41 @@ DEFAULT_MILP_NODE_LIMIT = 150
 WALL_CLOCK_ENV = "REPRO_MILP_TIME_LIMIT_S"
 
 
+def normalize_wall_clock(value) -> Optional[float]:
+    """Canonicalize a wall-clock cap: empty/zero mean *unset*.
+
+    ``REPRO_MILP_TIME_LIMIT_S=0`` used to slip through the env var's
+    string-truthiness check as ``time_limit_s=0.0``, which the solver
+    then silently ignored — while still perturbing every cache key that
+    embeds :meth:`SolveBudget.key_parts`.  All wall-clock inputs (env
+    var, ``with_wall_clock``, the legacy ``time_limit_s=`` argument,
+    direct construction) funnel through here: ``None``, empty/blank
+    strings, and ``0`` all normalize to ``None`` (no limit); negative
+    values are rejected.
+
+    >>> normalize_wall_clock(None), normalize_wall_clock(""), normalize_wall_clock("0")
+    (None, None, None)
+    >>> normalize_wall_clock(0), normalize_wall_clock(2.5)
+    (None, 2.5)
+    >>> normalize_wall_clock(-1)
+    Traceback (most recent call last):
+        ...
+    ValueError: wall-clock limit must be >= 0, got -1.0
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = value.strip()
+        if not value:
+            return None
+    value = float(value)
+    if value < 0:
+        raise ValueError(f"wall-clock limit must be >= 0, got {value}")
+    if value == 0:
+        return None
+    return value
+
+
 @dataclass(frozen=True)
 class SolveBudget:
     """How much work each solver stage of a mapping solve may spend.
@@ -98,6 +133,14 @@ class SolveBudget:
     #: SplitMix64 seed token of the metaheuristic RNG stream
     mh_seed: int = 0
 
+    def __post_init__(self) -> None:
+        # one normalization point: every construction path (tiers, env
+        # var, with_wall_clock, legacy time_limit_s args, replace())
+        # lands here, so a zero cap can never leak into cache keys
+        object.__setattr__(
+            self, "time_limit_s", normalize_wall_clock(self.time_limit_s)
+        )
+
     @classmethod
     def tier(cls, name: str) -> "SolveBudget":
         """The named budget tier.
@@ -124,23 +167,28 @@ class SolveBudget:
         With ``REPRO_MILP_TIME_LIMIT_S`` set in the environment, the
         returned budget carries that wall-clock cap (the pre-budget
         behaviour); otherwise it is the deterministic ``default`` tier.
+        The value passes :func:`normalize_wall_clock`, so ``"0"`` and
+        ``""`` mean "no limit" rather than a zero-second cap.
 
         >>> SolveBudget.default().name
         'default'
         """
         budget = BUDGET_TIERS["default"]
-        wall = os.environ.get(WALL_CLOCK_ENV)
-        if wall:
-            budget = replace(budget, time_limit_s=float(wall))
+        wall = normalize_wall_clock(os.environ.get(WALL_CLOCK_ENV))
+        if wall is not None:
+            budget = replace(budget, time_limit_s=wall)
         return budget
 
     def with_wall_clock(self, time_limit_s: Optional[float]) -> "SolveBudget":
-        """A copy carrying an explicit wall-clock cap.
+        """A copy carrying an explicit wall-clock cap (normalized — a
+        zero/empty cap unsets the limit, negatives raise).
 
         >>> SolveBudget.tier("ample").with_wall_clock(5.0).time_limit_s
         5.0
+        >>> SolveBudget.tier("ample").with_wall_clock(0) == SolveBudget.tier("ample")
+        True
         """
-        return replace(self, time_limit_s=time_limit_s)
+        return replace(self, time_limit_s=normalize_wall_clock(time_limit_s))
 
     def key_parts(self) -> Dict[str, object]:
         """The budget as cache-key knobs (see :func:`repro.flow.stage_key`).

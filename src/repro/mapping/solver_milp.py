@@ -26,17 +26,30 @@ load.  Wall-clock limits are opt-in (``budget.time_limit_s`` or the
 legacy ``time_limit_s`` argument).  A solve that hits its cap returns
 the incumbent with ``optimal=False``; a solve that hits the cap before
 *any* incumbent raises :class:`MilpNoIncumbent`.
+
+Model assembly goes through the persistent compiled backend
+(:mod:`repro.mapping.milp_model`): the sparse model is compiled once
+per structural signature and held in a bounded cache, later solves
+rebind only the numeric payload, and an ``incumbent`` assignment (the
+portfolio passes its best-so-far) is injected as a HiGHS MIP start.
+``solve_stats`` reports ``milp_warm_start`` accordingly (cache reuse is
+*not* a solve_stat — it depends on process-global state, and equal
+solves must return byte-equal results; read
+:meth:`MilpModelCache.stats` instead).  The legacy :class:`_Builder` is
+kept as the reference implementation the compiled model is
+structure-checked against.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
-from scipy.optimize import Bounds, LinearConstraint, milp
+from scipy.optimize import Bounds, LinearConstraint
 
 from repro.mapping.budget import SolveBudget
+from repro.mapping.milp_model import MODEL_CACHE, MilpModelCache
 from repro.mapping.problem import MappingProblem
 from repro.mapping.result import MappingResult, make_result
 
@@ -55,6 +68,8 @@ def solve_milp(
     include_comm: bool = True,
     mip_rel_gap: Optional[float] = None,
     budget: Optional[SolveBudget] = None,
+    incumbent: Optional[Sequence[int]] = None,
+    model_cache: Optional[MilpModelCache] = None,
 ) -> MappingResult:
     """Solve the mapping problem with HiGHS (optimal modulo the gap).
 
@@ -66,6 +81,18 @@ def solve_milp(
     bit-identical.  The legacy ``time_limit_s``/``mip_rel_gap``
     arguments override the corresponding budget fields when given
     explicitly.
+
+    The compiled model comes from ``model_cache`` (the process-wide
+    :data:`~repro.mapping.milp_model.MODEL_CACHE` when omitted), so
+    repeat solves of one (graph-shape x platform) signature skip the
+    model assembly; reuse never changes the answer — a rebound model is
+    bit-identical to a fresh build — and is deliberately not reported
+    in ``solve_stats`` (it depends on cache state, and equal solves
+    return byte-equal results; see :meth:`MilpModelCache.stats`).
+    ``incumbent`` (a feasible
+    assignment, e.g. the portfolio's best-so-far) is injected as a MIP
+    start when the direct HiGHS backend is available
+    (``milp_warm_start``); the returned mapping is never worse than it.
 
     A capped solve reports its incumbent: ``optimal`` is False and
     ``solve_stats`` carries the HiGHS status, the explored node count,
@@ -92,35 +119,42 @@ def solve_milp(
 
         budget = replace(budget, mip_rel_gap=mip_rel_gap)
 
-    builder = _Builder(problem, include_comm)
-    builder.build()
-    options: Dict[str, object] = {"mip_rel_gap": budget.mip_rel_gap}
-    if budget.milp_node_limit is not None:
-        options["node_limit"] = budget.milp_node_limit
-    if budget.time_limit_s:
-        options["time_limit"] = budget.time_limit_s
-    res = milp(
-        c=builder.objective,
-        constraints=builder.constraints,
-        integrality=builder.integrality,
-        bounds=builder.bounds,
-        options=options,
-    )
-    if res.x is None:
-        raise MilpNoIncumbent(f"MILP solver failed: {res.message}")
-    assignment = builder.extract_assignment(res.x)
-    stats = [("milp_status", float(res.status))]
-    for attr, stat in (
+    cache = model_cache if model_cache is not None else MODEL_CACHE
+    model, _ = cache.get_or_compile(problem, include_comm)
+    res = model.solve(problem, budget, incumbent=incumbent)
+    if res["x"] is None:
+        raise MilpNoIncumbent(f"MILP solver failed: {res['message']}")
+    assignment = model.extract_assignment(res["x"])
+    stats = [("milp_status", float(res["status"]))]
+    for key, stat in (
         ("mip_node_count", "milp_nodes"),
         ("mip_gap", "milp_gap"),
     ):
-        value = getattr(res, attr, None)
-        if value is not None:
-            stats.append((stat, float(value)))
-    return make_result(
-        problem, assignment, "milp", optimal=(res.status == 0),
+        if res[key] is not None:
+            stats.append((stat, float(res[key])))
+    # NOTE: whether the model came from the cache is deliberately NOT a
+    # solve_stat — it depends on process-global cache state, and equal
+    # solves must return byte-equal results (the cached-replay sweep
+    # tests pin that).  Reuse is observable via MilpModelCache.stats().
+    stats.append(("milp_warm_start", 1.0 if res["warm_started"] else 0.0))
+    result = make_result(
+        problem, assignment, "milp", optimal=(res["status"] == 0),
         stats=tuple(stats),
     )
+    if incumbent is not None:
+        # a warm-started solve must never answer worse than the start it
+        # was handed; if HiGHS's capped run ends on a worse incumbent
+        # (e.g. the MIP start was rejected at tolerance), keep the
+        # caller's — and drop any optimality claim, which would now
+        # certify a different point than the one returned
+        incumbent_tmax = problem.tmax(list(incumbent))
+        if result.tmax > incumbent_tmax:
+            stats.append(("milp_clamped", 1.0))
+            return make_result(
+                problem, list(incumbent), "milp", optimal=False,
+                stats=tuple(stats),
+            )
+    return result
 
 
 class _Builder:

@@ -57,6 +57,12 @@ class Job:
     error: Optional[str] = None
     #: how many solver invocations this job actually cost (0 on dedup)
     solves: int = 0
+    #: the *requested* budget tier when a deadline downgraded the solve
+    #: to a cheaper tier (``None`` on any untainted job).  Dedup refuses
+    #: to serve a marked job: its result answers a cheaper question than
+    #: the key promises, and the store is persistent — without the
+    #: marker one deadline request would poison the key forever.
+    downgraded_from: Optional[str] = None
 
     def to_json(self) -> dict:
         return asdict(self)

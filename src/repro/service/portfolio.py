@@ -166,15 +166,28 @@ def solve_portfolio(
     stages: List[StageOutcome] = []
     best: Optional[MappingResult] = None
     best_stage = ""
-    proven = False
+    # the smallest tmax any stage *certified* (proved optimal, modulo
+    # that stage's mip_rel_gap).  The portfolio's answer is only
+    # "optimal" when the returned best equals a certified tmax: a
+    # budget-capped stage can hold an incumbent strictly better than a
+    # gap-optimal MILP answer, and stamping `optimal=True` on that
+    # incumbent would claim a proof nothing produced.
+    proven_tmax: Optional[float] = None
 
     def consider(result: MappingResult, stage: str) -> None:
-        nonlocal best, best_stage, proven
+        nonlocal best, best_stage, proven_tmax
         if best is None or result.tmax < best.tmax:
             best = result
             best_stage = stage
         if result.optimal:
-            proven = True
+            proven_tmax = (
+                result.tmax
+                if proven_tmax is None
+                else min(proven_tmax, result.tmax)
+            )
+
+    def certified() -> bool:
+        return proven_tmax is not None and best.tmax == proven_tmax
 
     def expired() -> bool:
         return deadline is not None and time.perf_counter() > deadline
@@ -282,9 +295,14 @@ def solve_portfolio(
         )
 
     # -- stage 5: MILP ----------------------------------------------------
-    if budget.use_milp and not proven and not expired():
+    if budget.use_milp and not certified() and not expired():
         try:
-            milp = solve_milp(problem, budget=budget)
+            # warm-start HiGHS from the best incumbent so far (a MIP
+            # start), instead of letting it rediscover the mapping the
+            # earlier stages already paid for
+            milp = solve_milp(
+                problem, budget=budget, incumbent=list(best.assignment)
+            )
         except MilpNoIncumbent as exc:
             stages.append(
                 StageOutcome(
@@ -304,7 +322,7 @@ def solve_portfolio(
     else:
         note = (
             "skipped: budget" if not budget.use_milp
-            else "skipped: already proven optimal" if proven
+            else "skipped: already proven optimal" if certified()
             else "skipped: deadline"
         )
         stages.append(
@@ -314,6 +332,11 @@ def solve_portfolio(
             )
         )
 
+    # `optimal` only when a proving stage certified *this* tmax.  Note
+    # the mip_rel_gap caveat: an "optimal" MILP stage certifies its
+    # answer modulo the budget's relative gap (nonzero in every tier but
+    # "ample"), so portfolio-level "optimal" inherits that tolerance.
+    proven = certified()
     mapping = make_result(
         problem,
         list(best.assignment),

@@ -21,10 +21,14 @@ flow.  A submitted :class:`~repro.service.api.MappingRequest` travels:
 Everything is deterministic except opt-in deadlines: equal requests
 yield equal answers, and the dedup layer makes that literal — they yield
 the *same* answer object.  Deadline-downgraded and failed jobs are not
-canonical: later submissions of the same key re-solve at full budget
-instead of replaying them (the one sharing window is a duplicate that
-attaches while a deadline job is already in flight — it receives that
-job's possibly-downgraded answer, like any in-flight rider).
+canonical: a downgraded completion is stored with a structural
+``downgraded_from`` marker that dedup refuses to serve, so later
+submissions of the same key re-solve at full budget instead of
+replaying it — while a canonical copy of the same result is filed under
+the *effective* tier's own key, where it is an untainted answer (the
+one sharing window is a duplicate that attaches while a deadline job is
+already in flight — it receives that job's possibly-downgraded answer,
+like any in-flight rider).
 
 >>> from repro.service.api import MappingRequest
 >>> with MappingService(workers=2) as service:
@@ -308,9 +312,15 @@ class MappingService:
                 self._stats.dedup_inflight += 1
                 return Ticket(ticket, "inflight", request.tag)
             job = self.store.get(key)
+            # only canonical completions serve as dedup sources: the
+            # structural `downgraded_from` marker (not the result
+            # payload, which a solver backend could echo wrongly) is
+            # what keeps a deadline-downgraded answer from being
+            # replayed as a full-tier one forever
             if (
                 job is not None
                 and job.state == DONE
+                and job.downgraded_from is None
                 and (job.result or {}).get("budget") == request.budget
             ):
                 self._stats.dedup_completed += 1
@@ -451,11 +461,45 @@ class MappingService:
             return
         with self._lock:
             self._stats.solved += 1
-        self._finish(ticket, DONE, solves=1, result=result)
+        downgraded = tier != ticket.request.budget
+        self._finish(
+            ticket, DONE, solves=1, result=result,
+            downgraded_from=ticket.request.budget if downgraded else None,
+        )
+        if downgraded:
+            # the answer is tainted for *this* key, but it is a genuine
+            # full-quality answer for the tier it actually ran under —
+            # file a canonical copy there so an honest effective-tier
+            # request dedups instead of re-solving
+            self._store_effective_copy(ticket, tier, result)
         if self._progress is not None:
             self._progress(
                 f"{ticket.request.app}/{ticket.request.n} [{tier}] done"
             )
+
+    def _store_effective_copy(
+        self, ticket: _JobTicket, tier: str, result: dict
+    ) -> None:
+        """File a downgraded solve's result under the effective tier's
+        own canonical key (scheduling fields stripped), where it is an
+        untainted answer.  Existing or in-flight jobs win — this is a
+        dedup bonus, never an overwrite."""
+        from dataclasses import replace
+
+        effective = replace(
+            ticket.request, budget=tier,
+            deadline_s=None, priority=0, tag=None,
+        )
+        key = request_key(effective, graph_fp=self._fingerprint(effective))
+        with self._lock:
+            if key in self._inflight:
+                return
+        if self.store.get(key) is not None:
+            return
+        self.store.put(Job(
+            key=key, request=request_to_json(effective), state=DONE,
+            result=result, solves=0,
+        ))
 
     def _finish(self, ticket: _JobTicket, state: str, **fields) -> None:
         job = self.store.update(ticket.key, state=state, **fields)

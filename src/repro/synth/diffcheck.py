@@ -48,6 +48,7 @@ from repro.mapping.greedy import lpt_mapping, round_robin_mapping
 from repro.mapping.problem import MappingProblem, build_mapping_problem
 from repro.mapping.result import MappingResult
 from repro.mapping.solver_bb import solve_branch_and_bound
+from repro.mapping.milp_model import MODEL_CACHE
 from repro.mapping.solver_milp import solve_milp
 from repro.synth.corpus import PINNED_CORPUS, generate_corpus
 from repro.synth.families import SynthGraph
@@ -240,9 +241,13 @@ def diffcheck_problem(
         # the ample tier's large deterministic node cap (the default
         # tier trades proofs on search-heavy instances for latency);
         # the explicit gap/wall-clock arguments override budget fields
+        # the shared compiled-model cache pays off here too: the check
+        # solves every corpus instance on the same platform, so the
+        # per-signature model assembly is amortized across instances
+        # that share a shape
         milp = solve_milp(
             problem, time_limit_s=milp_time_limit_s, mip_rel_gap=mip_rel_gap,
-            budget=SolveBudget.tier("ample"),
+            budget=SolveBudget.tier("ample"), model_cache=MODEL_CACHE,
         )
     except RuntimeError as exc:  # solver found nothing inside the limit
         report.skips.append(f"milp: no solution within limit ({exc})")

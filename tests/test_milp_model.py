@@ -1,0 +1,290 @@
+"""The persistent compiled MILP model: structure, determinism, reuse.
+
+Pins the tentpole invariants of the warm-started MILP backend
+(:mod:`repro.mapping.milp_model`):
+
+* the compiled model's canonical CSC arrays are **bit-identical** to
+  what the legacy row-by-row builder hands scipy, on the pinned corpus
+  x the catalog platforms — so switching backends cannot move a single
+  float;
+* fresh-vs-reused and back-to-back solves agree **exactly**
+  (assignment, tmax, node counts) under a fixed budget — model reuse
+  must not change node ordering;
+* a warm-started capped solve never answers worse than the injected
+  incumbent;
+* the direct-HiGHS backend and the ``scipy.optimize.milp`` fallback
+  agree on optimal instances;
+* the bounded cache is structurally keyed (numeric payload changes
+  share a model; shape/platform/``include_comm`` changes do not), LRU
+  at capacity, and safe under thread hammering.
+"""
+
+import threading
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from scipy.optimize._milp import _constraints_to_components
+
+from repro.flow import partition_stage, pdg_stage, profile_stage
+from repro.gpu.platforms import build_platform
+from repro.gpu.topology import default_topology
+from repro.mapping.budget import SolveBudget
+from repro.mapping.greedy import lpt_mapping
+from repro.mapping.milp_model import (
+    CompiledMilpModel,
+    MilpModelCache,
+    highs_backend_available,
+    milp_signature,
+)
+from repro.mapping.problem import MappingProblem, build_mapping_problem
+from repro.mapping.solver_milp import _Builder, solve_milp
+from repro.synth.corpus import PINNED_CORPUS, generate_corpus
+
+PLATFORMS = ("g2", "g4", "mixed-box", "two-island")
+
+
+def _topology(name):
+    if name == "g2":
+        return default_topology(2)
+    if name == "g4":
+        return default_topology(4)
+    return build_platform(name)
+
+
+@pytest.fixture(scope="module")
+def corpus_pdgs():
+    """(label, pdg) for every pinned corpus instance."""
+    out = []
+    for instance in generate_corpus(PINNED_CORPUS):
+        graph = instance.graph
+        engine = profile_stage(graph)
+        partitions, partitioning = partition_stage(graph, engine)
+        pdg = pdg_stage(graph, partitions, engine, partitioning=partitioning)
+        out.append((instance.spec.instance_name, pdg))
+    return out
+
+
+@pytest.fixture(scope="module")
+def corpus_problems(corpus_pdgs):
+    """(label, platform, MappingProblem) across the catalog platforms."""
+    out = []
+    for label, pdg in corpus_pdgs:
+        for name in PLATFORMS:
+            topo = _topology(name)
+            out.append((
+                label, name,
+                build_mapping_problem(pdg, topo.num_gpus, topology=topo),
+            ))
+    return out
+
+
+class TestCompiledStructure:
+    def test_canonical_csc_matches_the_legacy_builder(self, corpus_problems):
+        """The compiled arrays (structure, values, bounds, objective,
+        integrality) equal scipy's conversion of the legacy constraint
+        blocks bit-for-bit — the backend switch moves no float."""
+        for label, name, problem in corpus_problems:
+            for include_comm in (True, False):
+                builder = _Builder(problem, include_comm)
+                builder.build()
+                a, b_l, b_u = _constraints_to_components(builder.constraints)
+                a = a.tocsc()
+                a.sort_indices()
+                model = CompiledMilpModel(problem, include_comm)
+                data = model.bind(problem)
+                where = (label, name, include_comm)
+                assert np.array_equal(a.indptr, model._csc_indptr), where
+                assert np.array_equal(a.indices, model._csc_indices), where
+                assert np.array_equal(a.data, data), where
+                assert np.array_equal(b_l, model.row_lower), where
+                assert np.array_equal(b_u, model.row_upper), where
+                assert np.array_equal(builder.objective, model.objective)
+                assert np.array_equal(
+                    builder.integrality.astype(np.uint8), model.integrality
+                ), where
+
+    def test_rebinding_another_payload_is_exact_too(self, corpus_pdgs):
+        """One compiled model, rebound to a different numeric payload of
+        the same shape, reproduces a fresh build of *that* payload."""
+        _, pdg = max(corpus_pdgs, key=lambda item: len(item[1]))
+        topo = _topology("mixed-box")
+        base = build_mapping_problem(pdg, topo.num_gpus, topology=topo)
+        scaled = replace(
+            base,
+            times=[t * 1.75 for t in base.times],
+            edges={e: b * 3.0 for e, b in base.edges.items()},
+            host_io=[(i * 2.0, o * 2.0) for i, o in base.host_io],
+        )
+        model = CompiledMilpModel(base)
+        assert model.matches(scaled)
+        builder = _Builder(scaled, True)
+        builder.build()
+        a, _, _ = _constraints_to_components(builder.constraints)
+        a = a.tocsc()
+        a.sort_indices()
+        assert np.array_equal(a.data, model.bind(scaled))
+
+
+class TestSolveDeterminism:
+    BUDGET = SolveBudget.tier("default")
+
+    def test_fresh_vs_reused_and_back_to_back_are_bit_identical(
+        self, corpus_problems
+    ):
+        """The tentpole invariant: build->solve, rebind->solve, and a
+        from-scratch second compile all return byte-identical answers
+        (assignment, tmax, milp_nodes) under a fixed budget."""
+        for label, name, problem in corpus_problems:
+            first = solve_milp(
+                problem, budget=self.BUDGET, model_cache=MilpModelCache()
+            )
+            cache = MilpModelCache()
+            reused_a = solve_milp(problem, budget=self.BUDGET, model_cache=cache)
+            reused_b = solve_milp(problem, budget=self.BUDGET, model_cache=cache)
+            where = (label, name)
+            # the second solve really did reuse the compiled model ...
+            cache_stats = cache.stats()
+            assert (cache_stats["misses"], cache_stats["hits"]) == (1, 1)
+            stats = [
+                dict(r.solve_stats) for r in (first, reused_a, reused_b)
+            ]
+            # ... and reuse is invisible in the result — byte-equal
+            # solve_stats regardless of cache state
+            assert stats[0] == stats[1] == stats[2], where
+            for other in (reused_a, reused_b):
+                assert first.assignment == other.assignment, where
+                assert first.tmax == other.tmax, where
+                assert first.optimal == other.optimal, where
+
+    def test_warm_started_capped_solve_never_worse_than_incumbent(
+        self, corpus_problems
+    ):
+        """Injecting an incumbent into a node-capped solve can only
+        improve the answer — the MIP start is the floor."""
+        capped = replace(self.BUDGET, milp_node_limit=1)
+        for label, name, problem in corpus_problems:
+            incumbent = list(lpt_mapping(problem).assignment)
+            result = solve_milp(problem, budget=capped, incumbent=incumbent)
+            assert result.tmax <= problem.tmax(incumbent) * (1 + 1e-12), (
+                label, name,
+            )
+
+    @pytest.mark.skipif(
+        not highs_backend_available(),
+        reason="no direct HiGHS bindings; only the scipy path exists",
+    )
+    def test_direct_and_scipy_backends_agree_on_optimal_instances(
+        self, corpus_problems
+    ):
+        """Both backends run the same arrays through the same solver
+        configuration, so proven-optimal answers must coincide."""
+        checked = 0
+        for label, name, problem in corpus_problems:
+            if name != "g2":  # one platform is plenty for backend parity
+                continue
+            model = CompiledMilpModel(problem)
+            direct = model.solve(problem, self.BUDGET, backend="highs")
+            if direct["status"] != 0:
+                continue
+            fallback = model.solve(problem, self.BUDGET, backend="scipy")
+            assert fallback["status"] == 0, (label, name)
+            assert np.array_equal(direct["x"], fallback["x"]), (label, name)
+            assert direct["mip_node_count"] == fallback["mip_node_count"]
+            checked += 1
+        assert checked >= 5  # the parity claim must actually be exercised
+
+
+class TestSignatureAndCache:
+    def _problem(self, times=(4.0, 3.0, 2.0, 1.0), nbytes=8.0, gpus=2):
+        return MappingProblem(
+            times=list(times),
+            edges={(0, 1): nbytes},
+            host_io=[(0.0, 0.0)] * len(times),
+            topology=default_topology(gpus),
+        )
+
+    def test_numeric_payload_stays_out_of_the_signature(self):
+        assert milp_signature(self._problem()) == milp_signature(
+            self._problem(times=(9.0, 8.0, 7.0, 6.0), nbytes=1024.0)
+        )
+
+    def test_structure_enters_the_signature(self):
+        base = self._problem()
+        assert milp_signature(base) != milp_signature(
+            self._problem(gpus=4)
+        )
+        assert milp_signature(base) != milp_signature(base, include_comm=False)
+        rerouted = replace(base, peer_to_peer=False)
+        assert milp_signature(base) != milp_signature(rerouted)
+        with_io = replace(base, host_io=[(64.0, 0.0)] + [(0.0, 0.0)] * 3)
+        assert milp_signature(base) != milp_signature(with_io)
+        # moving the heaviest partition moves the symmetry-breaking
+        # anchor, which is a *row* of the model, hence structural
+        anchor_moved = self._problem(times=(1.0, 2.0, 3.0, 4.0))
+        assert milp_signature(base) != milp_signature(anchor_moved)
+
+    def test_platform_content_enters_the_signature(self):
+        """Same GPU count, different machine content: no model sharing."""
+        pdg_free = self._problem(gpus=4)
+        other = replace(pdg_free, topology=build_platform("mixed-box"))
+        assert milp_signature(pdg_free) != milp_signature(other)
+
+    def test_cache_reuses_across_payloads_and_counts(self):
+        cache = MilpModelCache(capacity=4)
+        model_a, reused_a = cache.get_or_compile(self._problem())
+        # a payload change that keeps the symmetry anchor (the argmax
+        # partition) in place — the anchor is part of the row structure
+        model_b, reused_b = cache.get_or_compile(
+            self._problem(times=(40.0, 2.0, 3.0, 4.0), nbytes=512.0)
+        )
+        assert (reused_a, reused_b) == (False, True)
+        assert model_a is model_b
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"], stats["size"]) == (1, 1, 1)
+
+    def test_lru_eviction_at_capacity(self):
+        cache = MilpModelCache(capacity=2)
+        a = self._problem()
+        b = self._problem(gpus=4)
+        c = replace(self._problem(gpus=4), topology=build_platform("mixed-box"))
+        cache.get_or_compile(a)
+        cache.get_or_compile(b)
+        cache.get_or_compile(a)  # refresh a: b is now least recent
+        cache.get_or_compile(c)  # evicts b
+        assert cache.get_or_compile(a)[1] is True
+        assert cache.get_or_compile(b)[1] is False  # recompiled
+        assert cache.stats()["evictions"] >= 2
+        assert len(cache) == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            MilpModelCache(capacity=0)
+
+    def test_thread_hammer_one_compile_identical_answers(self):
+        """Many threads racing one signature: every solve returns the
+        same answer and the cache stays consistent."""
+        cache = MilpModelCache(capacity=4)
+        problem = self._problem(times=(40.0, 30.0, 20.0, 10.0))
+        budget = SolveBudget.tier("default")
+        results, errors = [], []
+
+        def worker():
+            try:
+                result = solve_milp(
+                    problem, budget=budget, model_cache=cache
+                )
+                results.append((tuple(result.assignment), result.tmax))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(set(results)) == 1
+        stats = cache.stats()
+        assert stats["size"] == 1
+        assert stats["hits"] + stats["misses"] == 12

@@ -171,6 +171,36 @@ class TestPortfolioMechanics:
         assert math.isfinite(answer.mapping.tmax)
         assert "no incumbent" in answer.stage("milp").note
 
+    def test_optimal_claim_requires_certifying_the_returned_best(
+        self, monkeypatch
+    ):
+        """A stage can be 'optimal' (e.g. MILP modulo its mip_rel_gap)
+        while the portfolio holds a strictly better incumbent from a
+        capped stage — stamping optimal=True on that incumbent would
+        claim a proof nothing produced."""
+        from repro.mapping.result import make_result
+
+        problem = self._chain()
+        everything_on_gpu0 = [0] * problem.num_partitions
+
+        def gap_optimal_milp(problem, budget=None, incumbent=None, **kwargs):
+            # a gap-satisfying "optimal" answer strictly worse than what
+            # the heuristic stages already hold
+            return make_result(
+                problem, everything_on_gpu0, "milp", optimal=True,
+                stats=(("milp_status", 0.0),),
+            )
+
+        monkeypatch.setattr(portfolio_mod, "solve_milp", gap_optimal_milp)
+        budget = replace(SolveBudget.tier("default"), use_bb=False)
+        answer = solve_portfolio(problem, budget=budget)
+        milp_stage = answer.stage("milp")
+        assert milp_stage.ran and milp_stage.optimal
+        assert answer.mapping.tmax < problem.tmax(everything_on_gpu0)
+        # the certifying stage certified *its own* tmax, not the best
+        assert answer.status == "feasible"
+        assert not answer.mapping.optimal
+
     def test_tier_for_deadline_ladder(self):
         assert tier_for_deadline(60.0) == "ample"
         assert tier_for_deadline(2.0) == "default"
@@ -215,6 +245,32 @@ class TestSolveBudget:
         dry = SolveBudget.tier("default").key_parts()
         wet = SolveBudget.tier("default").with_wall_clock(5.0).key_parts()
         assert dry != wet
+
+    def test_zero_wall_clock_means_no_limit(self, monkeypatch):
+        """``REPRO_MILP_TIME_LIMIT_S=0`` used to pass string-truthiness
+        and set a 0.0 cap the solver silently ignored — while changing
+        every budget-derived cache key.  Zero and empty mean *unset*."""
+        # the env-var call path
+        monkeypatch.setenv(WALL_CLOCK_ENV, "0")
+        assert SolveBudget.default().time_limit_s is None
+        assert SolveBudget.default() == SolveBudget.tier("default")
+        monkeypatch.setenv(WALL_CLOCK_ENV, "")
+        assert SolveBudget.default().time_limit_s is None
+        # the explicit-argument call path
+        assert SolveBudget.tier("ample").with_wall_clock(0).time_limit_s is None
+        assert SolveBudget.tier("ample").with_wall_clock(None).time_limit_s is None
+        # ...and direct construction, so no zero cap can enter a key
+        assert (
+            SolveBudget(time_limit_s=0.0).key_parts()
+            == SolveBudget().key_parts()
+        )
+
+    def test_negative_wall_clock_is_rejected(self, monkeypatch):
+        monkeypatch.setenv(WALL_CLOCK_ENV, "-3")
+        with pytest.raises(ValueError, match="wall-clock"):
+            SolveBudget.default()
+        with pytest.raises(ValueError, match="wall-clock"):
+            SolveBudget.tier("default").with_wall_clock(-1.0)
 
 
 class _KeyRecorder:
@@ -289,6 +345,17 @@ class TestDeterministicMilp:
             topology=default_topology(2),
         )
         result = solve_milp(problem, time_limit_s=5.0)
+        assert result.optimal
+
+    def test_zero_wall_clock_argument_means_unlimited(self):
+        """``time_limit_s=0`` through the legacy solver argument is the
+        no-limit solve, not a zero-second one (and not a distinct
+        budget): the solve must succeed and prove optimality."""
+        problem = MappingProblem(
+            times=[5.0, 4.0], edges={}, host_io=[(0.0, 0.0)] * 2,
+            topology=default_topology(2),
+        )
+        result = solve_milp(problem, time_limit_s=0)
         assert result.optimal
 
 

@@ -259,6 +259,72 @@ class TestServiceDedup:
             downgraded_tier, "ample",
         ]
 
+    def test_downgrade_marker_refuses_even_a_spoofed_budget_field(self):
+        """The dedup guard must be *structural* (Job.downgraded_from),
+        not trust the result payload: a solve_fn that echoes the
+        requested tier instead of the effective one used to make the
+        store serve a downgraded answer to a deadline-free duplicate."""
+
+        class _SpoofingSolver(_CountingSolver):
+            def __call__(self, request, tier, cache):
+                payload = super().__call__(request, tier, cache)
+                # claim the *requested* tier, whatever actually ran
+                payload["budget"] = request.budget
+                return payload
+
+        solver = _SpoofingSolver()
+        with MappingService(workers=1, solve_fn=solver) as service:
+            rushed = MappingRequest(app="Bitonic", n=8, num_gpus=2,
+                                    budget="ample", deadline_s=2.5)
+            service.submit(rushed).result()
+            assert solver.calls[0][2] != "ample"  # it was downgraded
+            patient = MappingRequest(app="Bitonic", n=8, num_gpus=2,
+                                     budget="ample")
+            ticket = service.submit(patient)
+            assert ticket.dedup is None  # refused: marker, not payload
+            ticket.result()
+        assert len(solver.calls) == 2
+        assert solver.calls[1][2] == "ample"
+
+    def test_downgraded_result_is_canonical_under_the_effective_tier(self):
+        """The downgraded answer is full quality *for the tier that
+        actually ran*: it is filed under that tier's own key, so an
+        honest effective-tier request dedups instead of re-solving."""
+        solver = _CountingSolver()
+        with MappingService(workers=1, solve_fn=solver) as service:
+            rushed = MappingRequest(app="Bitonic", n=8, num_gpus=2,
+                                    budget="ample", deadline_s=2.5)
+            service.submit(rushed).result()
+            effective_tier = solver.calls[0][2]
+            assert effective_tier != "ample"
+            honest = MappingRequest(app="Bitonic", n=8, num_gpus=2,
+                                    budget=effective_tier)
+            ticket = service.submit(honest)
+            assert ticket.dedup == "completed"
+            assert ticket.result()["budget"] == effective_tier
+        assert len(solver.calls) == 1  # the copy answered, no re-solve
+
+    def test_downgrade_marker_survives_a_restart(self, tmp_path):
+        """The poisoning was *persistent* — the marker must be too."""
+        store_dir = str(tmp_path / "store")
+        solver = _CountingSolver()
+        with MappingService(store=JobStore(store_dir), workers=1,
+                            solve_fn=solver) as service:
+            rushed = MappingRequest(app="Bitonic", n=8, num_gpus=2,
+                                    budget="ample", deadline_s=2.5)
+            service.submit(rushed).result()
+        assert solver.calls[0][2] != "ample"
+
+        revived_solver = _CountingSolver()
+        with MappingService(store=JobStore(store_dir), workers=1,
+                            solve_fn=revived_solver) as revived:
+            patient = MappingRequest(app="Bitonic", n=8, num_gpus=2,
+                                     budget="ample")
+            ticket = revived.submit(patient)
+            assert ticket.dedup is None  # marker refused the replay
+            assert ticket.result()["budget"] == "ample"
+        assert [tier for _, _, tier in revived_solver.calls] == ["ample"]
+
     def test_distinct_requests_each_solve(self):
         solver = _CountingSolver()
         with MappingService(workers=2, solve_fn=solver) as service:

@@ -8,7 +8,7 @@ from repro.flow import pdg_stage, partition_stage, profile_stage
 from repro.mapping.greedy import lpt_mapping
 from repro.mapping.problem import MappingProblem, build_mapping_problem
 from repro.mapping.result import MappingResult, make_result
-from repro.mapping import solver_milp
+from repro.mapping import milp_model, solver_milp
 from repro.gpu.topology import default_topology
 from repro.synth import PINNED_CORPUS, diffcheck_corpus, generate
 from repro.synth import diffcheck as diffcheck_mod
@@ -74,14 +74,16 @@ class TestMilpTimeoutPath:
     deterministically by forcing HiGHS's reported status."""
 
     def test_time_limit_status_clears_optimal_flag(self, monkeypatch):
-        real_milp = solver_milp.milp
+        real_solve = milp_model.CompiledMilpModel.solve
 
-        def milp_hitting_limit(*args, **kwargs):
-            res = real_milp(*args, **kwargs)
-            res.status = 1  # scipy/HiGHS: iteration or time limit
+        def solve_hitting_limit(self, *args, **kwargs):
+            res = dict(real_solve(self, *args, **kwargs))
+            res["status"] = 1  # scipy/HiGHS: iteration or time limit
             return res
 
-        monkeypatch.setattr(solver_milp, "milp", milp_hitting_limit)
+        monkeypatch.setattr(
+            milp_model.CompiledMilpModel, "solve", solve_hitting_limit
+        )
         result = solver_milp.solve_milp(_toy_problem())
         assert result.optimal is False
         assert dict(result.solve_stats)["milp_status"] == 1.0
@@ -89,13 +91,16 @@ class TestMilpTimeoutPath:
         assert len(result.assignment) == 4
 
     def test_no_solution_raises_runtime_error(self, monkeypatch):
-        class _NoSolution:
-            x = None
-            status = 1
-            message = "time limit reached with no incumbent"
+        def solve_no_solution(self, *args, **kwargs):
+            return {
+                "status": 1, "x": None, "fun": None,
+                "mip_node_count": None, "mip_gap": None,
+                "message": "time limit reached with no incumbent",
+                "warm_started": False,
+            }
 
         monkeypatch.setattr(
-            solver_milp, "milp", lambda *a, **k: _NoSolution()
+            milp_model.CompiledMilpModel, "solve", solve_no_solution
         )
         with pytest.raises(RuntimeError, match="time limit"):
             solver_milp.solve_milp(_toy_problem())

@@ -12,7 +12,12 @@ asserts two ratios:
   ``BATCH_POPULATION`` candidates at least ``MIN_BATCH_RATIO`` times
   faster than the interpreted per-candidate loop (skipped with a note
   when NumPy is unavailable — the pure-python fallback is a correctness
-  feature, not a perf claim).
+  feature, not a perf claim);
+* rebinding a cached :class:`CompiledMilpModel` prepares a solver-ready
+  MILP at least ``MIN_MILP_REUSE_RATIO`` times faster than the legacy
+  per-solve rebuild, on the sweep-grid repeat shapes — the solve that
+  follows is bit-identical on both sides, so preparation is the whole
+  difference the model cache makes.
 
 Each bar is a *ratio measured in the same process*, so it holds on a
 loaded single-core box where absolute rates swing; a failing problem is
@@ -34,8 +39,11 @@ def main() -> int:
     from repro.mapping.perfprobe import (
         MIN_BATCH_RATIO,
         MIN_DELTA_RATIO,
+        MIN_MILP_REUSE_RATIO,
         measure_batch_rates_gated,
         measure_eval_rates_gated,
+        measure_milp_reuse_rates_gated,
+        milp_sweep_shapes,
         quick_corpus,
     )
 
@@ -69,16 +77,31 @@ def main() -> int:
                 failures.append(
                     f"{label}: batch only x{ratio:.1f} interpreted"
                 )
+    for label, problem in milp_sweep_shapes():
+        rates = measure_milp_reuse_rates_gated(problem)
+        ratio = rates["reuse_vs_rebuild"]
+        status = "ok" if ratio >= MIN_MILP_REUSE_RATIO else "FAIL"
+        print(
+            f"  {label:22s} rebuild {rates['rebuild_prep_per_s']:8.0f}/s  "
+            f"rebind {rates['rebind_prep_per_s']:10.0f}/s  "
+            f"x{ratio:5.1f}  {status}"
+        )
+        if ratio < MIN_MILP_REUSE_RATIO:
+            failures.append(
+                f"{label}: milp rebind only x{ratio:.1f} rebuild"
+            )
     if failures:
         print("perf-check FAILED "
               f"(bars: delta >= x{MIN_DELTA_RATIO:.0f}, "
-              f"batch >= x{MIN_BATCH_RATIO:.0f} interpreted):")
+              f"batch >= x{MIN_BATCH_RATIO:.0f}, "
+              f"milp reuse >= x{MIN_MILP_REUSE_RATIO:.1f}):")
         for failure in failures:
             print(f"  - {failure}")
         return 1
     print(f"perf-check OK: delta >= x{MIN_DELTA_RATIO:.0f} and "
-          f"batch >= x{MIN_BATCH_RATIO:.0f} interpreted evaluation "
-          "on the quick corpus")
+          f"batch >= x{MIN_BATCH_RATIO:.0f} interpreted evaluation, "
+          f"milp rebind >= x{MIN_MILP_REUSE_RATIO:.1f} rebuild "
+          "on the probe shapes")
     return 0
 
 
