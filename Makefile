@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-slow synth-check platform-check service-check perf-check batch-check bench bench-sweep bench-kernel bench-milp docs-check experiments clean
+.PHONY: test test-fast test-slow synth-check platform-check service-check perf-check batch-check bench bench-sweep bench-kernel bench-milp bench-service docs-check experiments clean
 
 ## tier-1 verify: the full suite, benchmarks included (see ROADMAP.md);
 ## gated on the synth generate+diffcheck smoke check, the platform
@@ -26,10 +26,12 @@ synth-check:
 platform-check:
 	$(PYTHON) -m pytest tests/test_platforms.py -x -q
 
-## fast in-process service round trip: 8 duplicate submissions must
-## cost exactly one solve and return identical results (CI gate)
+## fast service round trips, in-process and over HTTP: 8 duplicate
+## submissions must cost exactly one solve and return identical
+## results, with the HTTP leg verified through /metrics (CI gate)
 service-check:
 	$(PYTHON) -m repro.cli serve --self-check --quiet
+	$(PYTHON) -m repro.cli serve --self-check-http --quiet
 
 ## ratio-based perf gate: delta scoring must stay >=10x the interpreted
 ## evaluator on the quick corpus, and MILP model rebinds >=1.5x the
@@ -60,6 +62,12 @@ bench-kernel:
 ## rebuild) and solve amortization, recorded into BENCH_milp.json
 bench-milp:
 	$(PYTHON) -m pytest benchmarks/test_bench_milp.py -q
+
+## the HTTP serving-tier load benchmark: duplicate-heavy and
+## adversarial-unique mixes against a live server, recorded into
+## BENCH_service.json (runs under `make test` too, via benchmarks/)
+bench-service:
+	$(PYTHON) -m pytest benchmarks/test_bench_service.py -q
 
 ## fail if a public API symbol lacks a docstring / doctest example
 docs-check:

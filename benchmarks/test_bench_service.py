@@ -1,0 +1,177 @@
+"""Benchmark: the HTTP serving tier under synthetic load.
+
+Drives two traffic mixes through a *live* ``MappingHTTPServer`` (real
+sockets, real solves at the ``instant`` tier) and records, into
+``BENCH_service.json`` at the repo root:
+
+* **duplicate-heavy** — 48 POSTs over 6 unique requests from 8
+  concurrent clients: the dedup layer should collapse 48 submissions to
+  6 solves (the ratio IS asserted — it is the serving tier's core
+  contract, not a timing);
+* **adversarial-unique** — 32 POSTs, every one a distinct graph: the
+  worst case for every cache in the service.  The graph-fingerprint
+  memo must stay flat (LRU-bounded) even though every request misses —
+  asserted with the cap deliberately set *below* the number of uniques.
+
+Throughput and latency percentiles are recorded for the trajectory,
+never asserted — wall-clock on a loaded CI box is not a contract.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.service import MappingService, serve_http
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+#: client threads driving each mix
+CLIENTS = 8
+
+#: the duplicate-heavy mix: 6 unique requests, 8 POSTs each
+DUP_UNIQUE = [
+    {"app": "Bitonic", "n": 8, "num_gpus": 1, "budget": "instant"},
+    {"app": "Bitonic", "n": 8, "num_gpus": 2, "budget": "instant"},
+    {"app": "DES", "n": 4, "num_gpus": 2, "budget": "instant"},
+    {"app": "DES", "n": 8, "num_gpus": 2, "budget": "instant"},
+    {"app": "synth:pipeline", "n": 0, "num_gpus": 2, "budget": "instant"},
+    {"app": "synth:pipeline", "n": 1, "num_gpus": 2, "budget": "instant"},
+]
+DUP_REPEATS = 8
+
+#: the adversarial-unique mix: every request is a distinct graph, so
+#: every layer (job store, in-flight tickets, fingerprint memo, stage
+#: cache) misses
+UNIQUE_REQUESTS = [
+    {"app": family, "n": seed, "num_gpus": 2, "budget": "instant"}
+    for family in ("synth:pipeline", "synth:dag")
+    for seed in range(16)
+]
+
+#: fingerprint-memo cap used for the flatness assertion — deliberately
+#: smaller than len(UNIQUE_REQUESTS) so "bounded" is actually exercised
+MEMO_CAP = 16
+
+
+def _drive(requests):
+    """POST ``requests`` from CLIENTS threads against a fresh server;
+    returns (service, per-request latencies, wall seconds)."""
+    service = MappingService(workers=2)
+    service._fingerprint_cap = MEMO_CAP
+    server = serve_http(service, port=0)
+    url = server.url + "/api/v1/solve"
+    latencies = [0.0] * len(requests)
+    errors = []
+
+    def client(worker):
+        for index in range(worker, len(requests), CLIENTS):
+            line = json.dumps(requests[index]).encode()
+            post = urllib.request.Request(
+                url, data=line, method="POST",
+                headers={"X-Tenant": f"bench-{worker}"},
+            )
+            t0 = time.perf_counter()
+            try:
+                with urllib.request.urlopen(post, timeout=120) as resp:
+                    payload = json.loads(resp.read())
+                if payload.get("state") != "done":
+                    errors.append(payload)
+            except Exception as exc:  # noqa: BLE001 - recorded, re-raised
+                errors.append(repr(exc))
+            latencies[index] = time.perf_counter() - t0
+
+    threads = [
+        threading.Thread(target=client, args=(worker,))
+        for worker in range(CLIENTS)
+    ]
+    started = time.perf_counter()
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+    finally:
+        server.stop()
+        service.shutdown(wait=True)
+    assert not errors, errors
+    return service, latencies, wall
+
+
+def _percentile(sorted_values, q):
+    index = min(len(sorted_values) - 1,
+                max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def _mix_record(requests, unique, service, latencies, wall):
+    stats = service.stats()
+    ordered = sorted(latencies)
+    return {
+        "requests": len(requests),
+        "unique": unique,
+        "clients": CLIENTS,
+        "workers": 2,
+        "wall_s": wall,
+        "throughput_rps": len(requests) / wall,
+        "latency_ms": {
+            "p50": _percentile(ordered, 0.50) * 1e3,
+            "p99": _percentile(ordered, 0.99) * 1e3,
+            "max": ordered[-1] * 1e3,
+        },
+        "solved": stats.solved,
+        "dedup_hits": stats.dedup_hits,
+        "dedup_ratio": stats.dedup_hits / stats.submitted,
+        "fingerprint_memo": {
+            "size": len(service._fingerprints),
+            "cap": MEMO_CAP,
+        },
+    }
+
+
+def test_bench_service(benchmark):
+    # -- duplicate-heavy ------------------------------------------------
+    dup_requests = DUP_UNIQUE * DUP_REPEATS
+
+    def drive_dup():
+        return _drive(dup_requests)
+
+    dup_service, dup_latencies, dup_wall = benchmark.pedantic(
+        drive_dup, rounds=1, iterations=1,
+    )
+    dup = _mix_record(dup_requests, len(DUP_UNIQUE), dup_service,
+                      dup_latencies, dup_wall)
+
+    # -- adversarial-unique ---------------------------------------------
+    uniq_service, uniq_latencies, uniq_wall = _drive(UNIQUE_REQUESTS)
+    uniq = _mix_record(UNIQUE_REQUESTS, len(UNIQUE_REQUESTS),
+                       uniq_service, uniq_latencies, uniq_wall)
+
+    record = {
+        "schema": "bench-service/v1",
+        "mixes": {
+            "duplicate_heavy": dup,
+            "adversarial_unique": uniq,
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+
+    print()
+    for name, mix in record["mixes"].items():
+        print(f"{name:18s} {mix['requests']:3d} reqs "
+              f"{mix['throughput_rps']:7.1f} rps  "
+              f"p50 {mix['latency_ms']['p50']:6.1f}ms  "
+              f"p99 {mix['latency_ms']['p99']:6.1f}ms  "
+              f"dedup {mix['dedup_ratio']:.0%}")
+
+    # -- contracts (never timings) --------------------------------------
+    # dedup: 48 duplicate-heavy submissions cost exactly 6 solves
+    assert dup["solved"] == len(DUP_UNIQUE)
+    assert dup["dedup_hits"] == len(dup_requests) - len(DUP_UNIQUE)
+    # adversarial-unique: nothing dedups, every request solves ...
+    assert uniq["solved"] == len(UNIQUE_REQUESTS)
+    assert uniq["dedup_hits"] == 0
+    # ... and the fingerprint memo stays flat (LRU bound < uniques)
+    assert uniq["fingerprint_memo"]["size"] <= MEMO_CAP

@@ -77,7 +77,7 @@ from repro.sweep import (
     SweepSpec,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "C2070",

@@ -42,7 +42,9 @@ Examples::
     repro submit --app DES --n 16 --gpus 2 --budget ample --to reqs.jsonl
     repro submit --app Bitonic --n 8 --platform two-island >> reqs.jsonl
     repro serve --requests reqs.jsonl --cache-dir .sweep-cache --workers 2
+    repro serve --http 8080 --workers 2 --cache-dir .sweep-cache
     repro serve --self-check
+    repro serve --self-check-http
     repro cache stats --cache-dir .sweep-cache
     repro cache purge --cache-dir .sweep-cache --stage mapping
 """
@@ -520,10 +522,28 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "(process mode needs --cache-dir)")
     parser.add_argument("--strict", action="store_true",
                         help="abort on the first malformed request line")
+    parser.add_argument("--http", type=int, metavar="PORT",
+                        help="serve HTTP on PORT instead of a JSONL "
+                             "stream (see docs/SERVICE.md for the API)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="HTTP bind address (default 127.0.0.1)")
+    parser.add_argument("--rate", type=float, default=16.0,
+                        help="admission: token-bucket refill rate per "
+                             "tenant, tokens/second (default 16)")
+    parser.add_argument("--burst", type=float, default=64.0,
+                        help="admission: token-bucket capacity per "
+                             "tenant (default 64)")
+    parser.add_argument("--max-queue-depth", type=int, default=256,
+                        help="admission: shed with 429 once this many "
+                             "jobs are queued (default 256)")
     parser.add_argument("--self-check", action="store_true",
                         help="in-process round trip: N duplicate "
                              "submissions must cost exactly one solve "
                              "(CI gate; ignores --requests)")
+    parser.add_argument("--self-check-http", action="store_true",
+                        help="live-HTTP round trip: N duplicate POSTs "
+                             "against a real server must cost exactly "
+                             "one solve, asserted via /metrics (CI gate)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the summary line on stderr")
     return parser
@@ -561,6 +581,107 @@ def _serve_self_check(args, parser) -> int:
     return 0
 
 
+def _serve_self_check_http(args, parser) -> int:
+    """The HTTP half of ``make service-check``: duplicate POSTs against
+    a *live* server must cost one solve, proven by scraping /metrics."""
+    import concurrent.futures
+    import json as _json
+    import urllib.request
+
+    from repro.service import MappingService, serve_http
+
+    duplicates = 8
+    line = _json.dumps({"app": "Bitonic", "n": 8, "num_gpus": 2,
+                        "budget": "instant"}).encode()
+
+    def post(url):
+        request = urllib.request.Request(
+            url + "/api/v1/solve", data=line, method="POST",
+            headers={"X-Tenant": "self-check"},
+        )
+        with urllib.request.urlopen(request, timeout=60) as resp:
+            return resp.read()
+
+    with MappingService(workers=2) as service:
+        server = serve_http(service, host=args.host, port=0)
+        try:
+            with concurrent.futures.ThreadPoolExecutor(duplicates) as pool:
+                bodies = list(pool.map(
+                    post, [server.url] * duplicates,
+                ))
+            with urllib.request.urlopen(
+                server.url + "/metrics", timeout=10,
+            ) as resp:
+                metrics = resp.read().decode()
+        finally:
+            server.stop()
+
+    def metric(name):
+        for line_ in metrics.splitlines():
+            if line_.startswith(name + " "):
+                return float(line_.split()[-1])
+        return None
+
+    solved = metric("repro_service_solved_total")
+    dedup = sum(
+        float(line_.split()[-1])
+        for line_ in metrics.splitlines()
+        if line_.startswith("repro_service_dedup_total{")
+    )
+    results = [
+        _json.loads(body).get("result") for body in bodies
+    ]
+    identical = all(result == results[0] for result in results)
+    ok = solved == 1 and dedup == duplicates - 1 and identical
+    if not args.quiet or not ok:
+        print(
+            f"http self-check: {duplicates} duplicate POSTs -> "
+            f"{solved:.0f} solve(s), {dedup:.0f} dedup hit(s) "
+            f"(via /metrics), identical results: {identical}",
+            file=sys.stderr,
+        )
+    if not ok:
+        print("http self-check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _serve_http_main(args, parser, cache, store, progress) -> int:
+    """Foreground HTTP mode of ``repro serve`` (runs until SIGINT)."""
+    from repro.service import (
+        AdmissionController,
+        MappingHTTPServer,
+        MappingService,
+    )
+
+    admission = AdmissionController(
+        rate=args.rate, burst=args.burst,
+        max_queue_depth=args.max_queue_depth,
+    )
+    service = MappingService(
+        cache=cache, store=store, workers=args.workers,
+        executor=args.executor, progress=progress,
+    )
+    server = MappingHTTPServer(
+        service, host=args.host, port=args.http,
+        admission=admission, verbose=not args.quiet,
+    )
+    if not args.quiet:
+        print(f"serving on {server.url} "
+              f"(rate {args.rate}/s, burst {args.burst}, "
+              f"queue bound {args.max_queue_depth})", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        service.shutdown(wait=True)
+    if not args.quiet:
+        print(f"service: {service.stats().render()}", file=sys.stderr)
+    return 0
+
+
 def serve_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``repro serve``."""
     from repro.service import JobStore, MappingService, serve_stream
@@ -572,8 +693,13 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         parser.error("--workers must be >= 1")
     if args.self_check:
         return _serve_self_check(args, parser)
-    if not args.requests:
-        parser.error("give --requests FILE ('-' for stdin) or --self-check")
+    if args.self_check_http:
+        return _serve_self_check_http(args, parser)
+    if args.http is not None and args.requests:
+        parser.error("--http serves the network API; drop --requests")
+    if not args.requests and args.http is None:
+        parser.error("give --requests FILE ('-' for stdin), --http PORT, "
+                     "or --self-check")
     if args.executor == "process" and not args.cache_dir:
         parser.error("--executor process needs --cache-dir (workers share "
                      "stage results through the disk store)")
@@ -588,6 +714,9 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     progress = None if args.quiet else (
         lambda line: print(line, file=sys.stderr)
     )
+
+    if args.http is not None:
+        return _serve_http_main(args, parser, cache, store, progress)
 
     try:
         in_fh = sys.stdin if args.requests == "-" else open(args.requests)

@@ -13,7 +13,13 @@ from four pieces:
   always a valid best-so-far mapping;
 * :mod:`repro.service.server` — :class:`MappingService`, tying them
   together over worker threads (or a process pool) and a shared
-  :class:`~repro.sweep.StageCache`.
+  :class:`~repro.sweep.StageCache`;
+* :mod:`repro.service.http` — the network front end (``/api/v1/solve``,
+  ``/api/v1/batch``, ``/api/v1/jobs/<key>``, ``/metrics``,
+  ``/healthz``), byte-identical to the stdio wire format;
+* :mod:`repro.service.admission` — per-tenant token-bucket rate
+  limiting (tier-priced) and queue-depth load shedding for the HTTP
+  tier.
 
 Quick round trip::
 
@@ -32,6 +38,12 @@ Quick round trip::
 True
 """
 
+from repro.service.admission import (
+    TIER_COST,
+    Admission,
+    AdmissionController,
+    TokenBucket,
+)
 from repro.service.api import (
     MappingRequest,
     parse_request_line,
@@ -39,6 +51,11 @@ from repro.service.api import (
     request_key,
     request_to_json,
     serve_stream,
+)
+from repro.service.http import (
+    MappingHTTPServer,
+    render_metrics,
+    serve_http,
 )
 from repro.service.jobs import Job, JobStore
 from repro.service.portfolio import (
@@ -58,9 +75,12 @@ from repro.service.server import (
 from repro.mapping.budget import BUDGET_TIERS, TIER_ORDER, SolveBudget
 
 __all__ = [
+    "Admission",
+    "AdmissionController",
     "BUDGET_TIERS",
     "Job",
     "JobStore",
+    "MappingHTTPServer",
     "MappingRequest",
     "MappingService",
     "PortfolioResult",
@@ -68,13 +88,17 @@ __all__ = [
     "ServiceStats",
     "SolveBudget",
     "StageOutcome",
+    "TIER_COST",
     "TIER_ORDER",
     "Ticket",
+    "TokenBucket",
     "WorkQueue",
     "parse_request_line",
+    "render_metrics",
     "request_from_json",
     "request_key",
     "request_to_json",
+    "serve_http",
     "serve_stream",
     "solve_portfolio",
     "solve_request",

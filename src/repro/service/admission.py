@@ -1,0 +1,222 @@
+"""Admission control for the HTTP serving tier.
+
+Two independent load-shedding mechanisms, both *scheduling-only* — an
+admitted request is submitted completely unchanged, so canonical
+request keys and every cached or golden result stay byte-identical:
+
+* **per-tenant token buckets** — each tenant (the ``X-Tenant`` request
+  header; anonymous traffic shares one bucket) refills at ``rate``
+  tokens per second up to ``burst``.  A request's token cost is tied to
+  its :class:`~repro.mapping.budget.SolveBudget` tier
+  (:data:`TIER_COST`: ``instant`` 1, ``small`` 2, ``default`` 4,
+  ``ample`` 8), so a tenant's budget buys eight quick heuristic answers
+  or one full MILP proof — admission speaks the same currency as the
+  solver portfolio.
+* **a queue-depth bound** — once the service's
+  :class:`~repro.service.queue.WorkQueue` holds ``max_queue_depth``
+  jobs, further submissions are shed instead of growing the backlog
+  without bound.
+
+A shed request is answered ``429 Too Many Requests`` with a
+``Retry-After`` hint (seconds until the bucket can cover the cost, or
+the configured re-poll interval when the queue is full).
+
+Tenant buckets live in a bounded LRU (``max_tenants``): a flood of
+one-shot tenant names must not grow a long-lived server's memory, and
+an evicted tenant merely restarts from a full burst allowance.
+
+>>> clock = _FakeClock()
+>>> control = AdmissionController(rate=1.0, burst=4.0, clock=clock)
+>>> control.admit("alice", budget="default").allowed   # cost 4 of 4
+True
+>>> verdict = control.admit("alice", budget="instant")  # bucket empty
+>>> verdict.allowed, verdict.reason, verdict.retry_after
+(False, 'rate', 1.0)
+>>> clock.advance(1.0)                                  # 1 token back
+>>> control.admit("alice", budget="instant").allowed
+True
+>>> control.admit("bob", budget="instant").allowed      # separate bucket
+True
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.mapping.budget import TIER_ORDER
+
+#: token cost per solve-budget tier: each rung of the escalation ladder
+#: does a strict superset of the previous one's work, so cost doubles
+#: per rung — one "ample" proof rents the same admission budget as
+#: eight "instant" heuristics
+TIER_COST: Dict[str, int] = {
+    name: 2 ** index for index, name in enumerate(TIER_ORDER)
+}
+
+
+class _FakeClock:
+    """Deterministic test/doctest clock (callable like ``time.monotonic``)."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@dataclass(frozen=True)
+class Admission:
+    """One admission verdict."""
+
+    #: whether the request may be submitted
+    allowed: bool
+    #: seconds the client should wait before retrying (the 429
+    #: ``Retry-After`` value; ``0.0`` on an allowed request)
+    retry_after: float = 0.0
+    #: ``None`` (allowed), ``"rate"``, or ``"queue"``
+    reason: Optional[str] = None
+
+
+class TokenBucket:
+    """One tenant's token bucket (not thread-safe on its own; the
+    controller serializes access)."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def acquire(self, cost: float, now: float):
+        """Try to take ``cost`` tokens; returns ``(ok, retry_after)``.
+
+        >>> bucket = TokenBucket(rate=2.0, burst=4.0, now=0.0)
+        >>> bucket.acquire(4.0, now=0.0)
+        (True, 0.0)
+        >>> bucket.acquire(1.0, now=0.0)   # empty: 1 token is 0.5 s away
+        (False, 0.5)
+        >>> bucket.acquire(1.0, now=1.0)   # refilled 2, spend 1
+        (True, 0.0)
+        """
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True, 0.0
+        if self.rate <= 0:
+            return False, math.inf
+        return False, (cost - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Thread-safe admission control (see module docstring).
+
+    Parameters
+    ----------
+    rate, burst:
+        Token-bucket refill rate (tokens/second) and capacity, per
+        tenant.  Costs come from :data:`TIER_COST`.
+    max_queue_depth:
+        Shed once this many accepted jobs are already queued.
+    queue_retry_after:
+        The ``Retry-After`` hint (seconds) on a queue-full shed.
+    max_tenants:
+        LRU bound on distinct tenant buckets.
+    clock:
+        Injectable monotonic clock (tests and doctests).
+    """
+
+    def __init__(
+        self,
+        rate: float = 16.0,
+        burst: float = 64.0,
+        max_queue_depth: int = 256,
+        queue_retry_after: float = 1.0,
+        max_tenants: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate < 0 or burst <= 0:
+            raise ValueError("rate must be >= 0 and burst > 0")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if max_tenants < 1:
+            raise ValueError("max_tenants must be >= 1")
+        self.rate = rate
+        self.burst = burst
+        self.max_queue_depth = max_queue_depth
+        self.queue_retry_after = queue_retry_after
+        self.max_tenants = max_tenants
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._shed_rate = 0
+        self._shed_queue = 0
+
+    def admit(
+        self,
+        tenant: str,
+        budget: str = "default",
+        cost: Optional[float] = None,
+        queue_depth: int = 0,
+    ) -> Admission:
+        """Judge one submission attempt.
+
+        ``budget`` names the request's solve tier (its
+        :data:`TIER_COST` is the token cost unless an explicit ``cost``
+        overrides it — the batch endpoint charges a whole stream at
+        once); ``queue_depth`` is the service's current backlog.
+
+        >>> control = AdmissionController(max_queue_depth=2,
+        ...                               clock=_FakeClock())
+        >>> control.admit("t", queue_depth=0).allowed
+        True
+        >>> full = control.admit("t", queue_depth=2)
+        >>> full.allowed, full.reason, full.retry_after
+        (False, 'queue', 1.0)
+        """
+        if cost is None:
+            cost = TIER_COST.get(budget, TIER_COST["default"])
+        with self._lock:
+            if queue_depth >= self.max_queue_depth:
+                self._shed_queue += 1
+                return Admission(False, self.queue_retry_after, "queue")
+            now = self._clock()
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now)
+                self._buckets[tenant] = bucket
+            self._buckets.move_to_end(tenant)
+            while len(self._buckets) > self.max_tenants:
+                self._buckets.popitem(last=False)
+            ok, retry_after = bucket.acquire(cost, now)
+            if not ok:
+                self._shed_rate += 1
+                return Admission(False, retry_after, "rate")
+            self._admitted += 1
+            return Admission(True)
+
+    def stats(self) -> Dict[str, int]:
+        """Admission counters (scraped by ``/metrics``).
+
+        >>> AdmissionController(clock=_FakeClock()).stats()
+        {'admitted': 0, 'shed_rate': 0, 'shed_queue': 0, 'tenants': 0}
+        """
+        with self._lock:
+            return {
+                "admitted": self._admitted,
+                "shed_rate": self._shed_rate,
+                "shed_queue": self._shed_queue,
+                "tenants": len(self._buckets),
+            }

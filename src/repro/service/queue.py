@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 from typing import Any, List, Optional, Tuple
 
 
@@ -51,15 +52,46 @@ class WorkQueue:
         """Dequeue the next item, blocking while the queue is empty.
 
         Returns ``None`` when the queue is closed and drained, or when
-        ``timeout`` (seconds) elapses first.
+        ``timeout`` (seconds) elapses first.  The timeout is a
+        *deadline*: it is converted to a monotonic-clock instant once,
+        and every pass through the wait loop sleeps only on the time
+        remaining — a notify that another consumer wins (or a spurious
+        wakeup) must not re-arm the full timeout, or a "0.5 s" get
+        could block for many multiples of that under contention.
         """
         with self._cond:
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
             while not self._heap and not self._closed:
-                if not self._cond.wait(timeout=timeout):
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
                     return None
+                self._cond.wait(timeout=remaining)
             if not self._heap:
                 return None  # closed and drained
             return heapq.heappop(self._heap)[-1]
+
+    def drain(self) -> List[Any]:
+        """Atomically remove and return every queued item, drain order.
+
+        The shutdown path uses this to take custody of the backlog in
+        one step, so every un-run item can be resolved (failed) instead
+        of stranding its waiters.
+
+        >>> q = WorkQueue()
+        >>> q.put("a"); q.put("b", priority=-1)
+        >>> q.drain(), len(q)
+        (['b', 'a'], 0)
+        """
+        with self._cond:
+            return [
+                heapq.heappop(self._heap)[-1]
+                for _ in range(len(self._heap))
+            ]
 
     def close(self) -> None:
         """Refuse further puts and wake every blocked consumer."""

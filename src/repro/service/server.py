@@ -47,9 +47,10 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.flow import map_stream_graph
 from repro.mapping.budget import TIER_ORDER, SolveBudget
@@ -170,6 +171,47 @@ class ServiceStats:
         )
 
 
+#: upper bucket bounds (seconds) of the per-tier solve-latency
+#: histograms — the classic Prometheus ladder, µs heuristics through
+#: multi-second MILP proofs
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class _LatencyHistogram:
+    """Cumulative-bucket latency histogram (one per budget tier).
+
+    Mutated only under the service lock; :meth:`snapshot` returns plain
+    data so readers never alias live state.
+    """
+
+    __slots__ = ("counts", "count", "total")
+
+    def __init__(self) -> None:
+        self.counts = [0] * len(LATENCY_BUCKETS)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        for i, bound in enumerate(LATENCY_BUCKETS):
+            if seconds <= bound:
+                self.counts[i] += 1
+        self.count += 1
+        self.total += seconds
+
+    def snapshot(self) -> dict:
+        return {
+            "buckets": [
+                [bound, count]
+                for bound, count in zip(LATENCY_BUCKETS, self.counts)
+            ],
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
 class _JobTicket:
     """The shared completion handle of one in-flight job."""
 
@@ -253,6 +295,9 @@ class MappingService:
         Test seam: replaces :func:`solve_request`.
     """
 
+    #: LRU capacity of the graph-fingerprint memo
+    FINGERPRINT_CACHE_SIZE = 512
+
     def __init__(
         self,
         cache: Optional[StageCache] = None,
@@ -278,9 +323,15 @@ class MappingService:
         self._inflight: Dict[str, _JobTicket] = {}
         self._lock = threading.Lock()
         self._stats = ServiceStats()
+        self._draining = False
+        #: per-tier solve-latency histograms (see LATENCY_BUCKETS)
+        self._latency: Dict[str, _LatencyHistogram] = {}
         #: (app, n) -> graph fingerprint, so a burst of duplicates pays
-        #: one graph build instead of one per submission
-        self._fingerprints: Dict[tuple, str] = {}
+        #: one graph build instead of one per submission.  LRU-bounded
+        #: (mirroring MilpModelCache): adversarial-unique traffic must
+        #: not grow a long-lived server's memory without bound.
+        self._fingerprints: OrderedDict = OrderedDict()
+        self._fingerprint_cap = self.FINGERPRINT_CACHE_SIZE
         self._pool: Optional[ProcessPoolExecutor] = None
         if executor == "process":
             self._pool = ProcessPoolExecutor(max_workers=workers)
@@ -363,19 +414,66 @@ class MappingService:
         return [self.submit(request) for request in requests]
 
     def stats(self) -> ServiceStats:
-        return self._stats
+        """A consistent *snapshot* of the service counters.
+
+        Workers increment the live :class:`ServiceStats` under the
+        service lock, so handing the mutable object out would expose
+        callers to torn multi-field reads — and let them corrupt the
+        service's own counters through the alias.  The copy is taken
+        under the same lock; ``to_json()``/``render()`` on it see one
+        coherent instant.
+        """
+        with self._lock:
+            return replace(self._stats)
+
+    def queue_depth(self) -> int:
+        """How many accepted jobs are waiting for a worker right now."""
+        return len(self._queue)
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`shutdown` has begun (``/healthz`` turns 503)."""
+        return self._draining
+
+    def solve_latency(self) -> Dict[str, dict]:
+        """Per-tier solve-latency histogram snapshots (``/metrics``).
+
+        Keys are budget-tier names; values carry cumulative ``buckets``
+        (``[upper_bound_s, count]`` pairs over :data:`LATENCY_BUCKETS`),
+        ``count``, and ``sum`` — the Prometheus histogram triple.
+        """
+        with self._lock:
+            return {
+                tier: hist.snapshot()
+                for tier, hist in sorted(self._latency.items())
+            }
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work; with ``wait``, drain the queue first.
+
+        Without ``wait``, the backlog is *failed*, not abandoned: every
+        still-queued ticket resolves as FAILED ("service shut down"),
+        mirroring the submit/close race path — a rider blocked in
+        :meth:`Ticket.result` must never hang on a ticket no worker
+        will run (the worker threads are daemons; they die with the
+        process).  Jobs already running when shutdown starts still
+        complete normally.
 
         On a disk-backed cache the hit counters are folded into the
         cache directory's shared stats file (``repro cache stats`` reads
         them back).
         """
+        self._draining = True
         self._queue.close()
         if wait:
             for thread in self._threads:
                 thread.join()
+        else:
+            error = "service shut down"
+            for ticket in self._queue.drain():
+                with self._lock:
+                    self._stats.failed += 1
+                self._finish(ticket, FAILED, error=error)
         if self._pool is not None:
             self._pool.shutdown(wait=wait)
         if self.cache.path is not None:
@@ -389,18 +487,27 @@ class MappingService:
 
     # ------------------------------------------------------------------
     def _fingerprint(self, request: MappingRequest) -> str:
-        """Memoized graph fingerprint (deterministic per app + n)."""
+        """Memoized graph fingerprint (deterministic per app + n).
+
+        The memo is a bounded LRU: recomputing a fingerprint on
+        eviction is cheap and deterministic, while an unbounded dict
+        would grow forever under adversarial-unique traffic.
+        """
         from repro.graph.fingerprint import graph_fingerprint
         from repro.service.api import build_request_graph
 
         memo_key = (request.app, request.n)
         with self._lock:
             cached = self._fingerprints.get(memo_key)
-        if cached is not None:
-            return cached
+            if cached is not None:
+                self._fingerprints.move_to_end(memo_key)
+                return cached
         fp = graph_fingerprint(build_request_graph(request))
         with self._lock:
             self._fingerprints[memo_key] = fp
+            self._fingerprints.move_to_end(memo_key)
+            while len(self._fingerprints) > self._fingerprint_cap:
+                self._fingerprints.popitem(last=False)
         return fp
 
     @staticmethod
@@ -445,6 +552,7 @@ class MappingService:
                          error="deadline expired in queue")
             return
         self.store.update(ticket.key, state=RUNNING)
+        started = time.monotonic()
         try:
             if self._pool is not None:
                 payload = (
@@ -456,11 +564,13 @@ class MappingService:
         except Exception as exc:  # a failed job must not kill the worker
             with self._lock:
                 self._stats.failed += 1
+                self._observe_latency(tier, time.monotonic() - started)
             self._finish(ticket, FAILED, solves=1,
                          error=f"{type(exc).__name__}: {exc}")
             return
         with self._lock:
             self._stats.solved += 1
+            self._observe_latency(tier, time.monotonic() - started)
         downgraded = tier != ticket.request.budget
         self._finish(
             ticket, DONE, solves=1, result=result,
@@ -484,8 +594,6 @@ class MappingService:
         own canonical key (scheduling fields stripped), where it is an
         untainted answer.  Existing or in-flight jobs win — this is a
         dedup bonus, never an overwrite."""
-        from dataclasses import replace
-
         effective = replace(
             ticket.request, budget=tier,
             deadline_s=None, priority=0, tag=None,
@@ -500,6 +608,13 @@ class MappingService:
             key=key, request=request_to_json(effective), state=DONE,
             result=result, solves=0,
         ))
+
+    def _observe_latency(self, tier: str, seconds: float) -> None:
+        """Record one solve latency (caller holds the service lock)."""
+        hist = self._latency.get(tier)
+        if hist is None:
+            hist = self._latency[tier] = _LatencyHistogram()
+        hist.observe(seconds)
 
     def _finish(self, ticket: _JobTicket, state: str, **fields) -> None:
         job = self.store.update(ticket.key, state=state, **fields)

@@ -35,7 +35,9 @@ DOCTEST_MODULES = [
     "repro.mapping.solver_milp",
     "repro.partition.heuristic",
     "repro.service",
+    "repro.service.admission",
     "repro.service.api",
+    "repro.service.http",
     "repro.service.jobs",
     "repro.service.portfolio",
     "repro.service.queue",

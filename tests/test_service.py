@@ -10,6 +10,7 @@ and the shared StageCache stays consistent under concurrent writers.
 import io
 import json
 import threading
+import time
 
 import pytest
 
@@ -66,6 +67,46 @@ class TestWorkQueue:
         assert len(q) == 0
         q.put("x")
         assert len(q) == 1
+
+    def test_drain_empties_in_priority_order(self):
+        q = WorkQueue()
+        q.put("normal")
+        q.put("urgent", priority=-1)
+        assert q.drain() == ["urgent", "normal"]
+        assert len(q) == 0 and q.drain() == []
+
+    def test_get_timeout_is_a_deadline_not_per_wakeup(self):
+        """Regression: ``get(timeout=...)`` used to re-arm the FULL
+        timeout on every notify, so under consumer contention a "0.4 s"
+        get could block for many multiples of that.  Two consumers race
+        one producer, compressed into a deterministic steal: the
+        producer puts an item and the racing consumer takes it back
+        *while still holding the condition lock* (it is reentrant), so
+        the victim is notified but always wakes to an empty queue —
+        exactly the lost-race wakeup the deadline must survive."""
+        q = WorkQueue()
+        outcome = {}
+
+        def victim():
+            start = time.monotonic()
+            outcome["item"] = q.get(timeout=0.4)
+            outcome["elapsed"] = time.monotonic() - start
+
+        consumer = threading.Thread(target=victim)
+        consumer.start()
+        # >= 3x the victim's timeout of contention wakeups
+        for _ in range(30):
+            if not consumer.is_alive():
+                break
+            with q._cond:  # producer + racing consumer, atomically
+                q.put("stolen")
+                assert q.get() == "stolen"
+            time.sleep(0.05)
+        consumer.join(timeout=5)
+        assert not consumer.is_alive(), "get() blocked past its timeout"
+        assert outcome["item"] is None
+        # pre-fix this is >= the whole 1.5 s contention window
+        assert outcome["elapsed"] < 1.2
 
 
 # ----------------------------------------------------------------------
@@ -408,6 +449,91 @@ class TestServiceScheduling:
             MappingService(executor="fiber")
 
 
+# ----------------------------------------------------------------------
+# service-layer concurrency regressions (the PR-8 bugfix sweep)
+# ----------------------------------------------------------------------
+class TestServiceConcurrencyRegressions:
+    def test_stats_returns_a_locked_snapshot(self):
+        """Regression: ``stats()`` used to hand back the *live mutable*
+        counters object — a caller could see torn multi-field reads and
+        corrupt the service's counters through the alias."""
+        solver = _CountingSolver()
+        with MappingService(solve_fn=solver) as service:
+            request = MappingRequest(app="Bitonic", n=8, num_gpus=2)
+            service.submit(request).result()
+            snapshot = service.stats()
+            assert snapshot is not service.stats()  # a copy per call
+            # a buggy caller scribbling on its snapshot must not be able
+            # to corrupt the service's own accounting
+            snapshot.solved += 100
+            snapshot.submitted += 100
+        fresh = service.stats()
+        assert fresh.solved == 1 and fresh.submitted == 1
+        # to_json()/render() still live on the snapshot type
+        assert fresh.to_json()["solved"] == 1
+        assert "1 submitted" in fresh.render()
+
+    def test_no_wait_shutdown_fails_queued_tickets(self):
+        """Regression: ``shutdown(wait=False)`` closed the queue but
+        never resolved still-queued tickets, so a rider blocked in
+        ``Ticket.result()`` hung forever (the workers are daemon
+        threads — they die with the process)."""
+        started, release = threading.Event(), threading.Event()
+
+        def slow_solve(request, tier, cache):
+            started.set()
+            assert release.wait(timeout=30.0)
+            return {"app": request.app}
+
+        service = MappingService(workers=1, solve_fn=slow_solve)
+        running = service.submit(
+            MappingRequest(app="Bitonic", n=8, num_gpus=2))
+        assert started.wait(10)
+        queued = [
+            service.submit(MappingRequest(app="DES", n=n, num_gpus=2))
+            for n in (4, 8)
+        ]
+        service.shutdown(wait=False)
+        # pre-fix: these hang until the timeout (TimeoutError), because
+        # nothing ever resolves the stranded tickets
+        for ticket in queued:
+            with pytest.raises(ServiceError, match="service shut down"):
+                ticket.result(timeout=5)
+            assert service.store.get(ticket.key).state == FAILED
+        assert service.stats().failed == 2
+        # the job already running when shutdown began still completes
+        release.set()
+        assert running.result(timeout=10) == {"app": "Bitonic"}
+        service.shutdown(wait=True)
+
+    def test_fingerprint_memo_is_lru_bounded(self, monkeypatch):
+        """Regression: the graph-fingerprint memo grew without bound
+        under adversarial-unique traffic; it is now a bounded LRU
+        (mirroring MilpModelCache)."""
+        import repro.graph.fingerprint as fp_mod
+        import repro.service.api as api_mod
+
+        monkeypatch.setattr(api_mod, "build_request_graph",
+                            lambda request: (request.app, request.n))
+        monkeypatch.setattr(fp_mod, "graph_fingerprint",
+                            lambda graph: f"fp-{graph[1]}")
+        with MappingService(solve_fn=_CountingSolver()) as service:
+            service._fingerprint_cap = 8
+            for n in range(50):
+                service._fingerprint(MappingRequest(app="Bitonic", n=n))
+            assert len(service._fingerprints) <= 8
+            # the most recent keys survive ...
+            assert ("Bitonic", 49) in service._fingerprints
+            assert ("Bitonic", 0) not in service._fingerprints
+            # ... and a *hit* refreshes recency: touching 42 keeps it
+            # alive past the next insertion, which evicts 43 instead
+            assert service._fingerprint(
+                MappingRequest(app="Bitonic", n=42)) == "fp-42"
+            service._fingerprint(MappingRequest(app="Bitonic", n=99))
+            assert ("Bitonic", 42) in service._fingerprints
+            assert ("Bitonic", 43) not in service._fingerprints
+
+
 class TestServiceEndToEnd:
     def test_real_solve_roundtrip(self):
         with MappingService(workers=2) as service:
@@ -496,6 +622,57 @@ class TestServeStream:
                 )
         assert solver.calls == []
         assert service.stats().submitted == 0
+
+    def test_blank_and_comment_lines_produce_no_output(self):
+        """Padding lines are skipped silently — no response lines, no
+        failures, nothing submitted."""
+        solver = _CountingSolver()
+        out = io.StringIO()
+        with MappingService(solve_fn=solver) as service:
+            failures = serve_stream(
+                io.StringIO("\n   \n# just a comment\n\t\n"), out, service
+            )
+        assert failures == 0
+        assert out.getvalue() == ""
+        assert solver.calls == []
+        assert service.stats().submitted == 0
+
+    def test_failure_count_includes_solver_failures(self):
+        """The return value counts every non-done line: malformed input
+        AND jobs whose solve raised."""
+        solver = _CountingSolver(fail=True)
+        good = json.dumps({"app": "Bitonic", "n": 8, "num_gpus": 2})
+        out = io.StringIO()
+        with MappingService(solve_fn=solver) as service:
+            failures = serve_stream(
+                io.StringIO(good + "\n{malformed\n"), out, service
+            )
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert failures == 2
+        assert [r["state"] for r in responses] == ["failed", "failed"]
+        assert "injected solver failure" in responses[0]["error"]
+        assert "line 2" in responses[1]["error"]
+
+    def test_strict_vs_non_strict_on_invalid_values(self):
+        """An unknown knob *value* (not just malformed JSON) is a
+        failure line when lenient and an abort-before-submit when
+        strict."""
+        solver = _CountingSolver()
+        bad_value = json.dumps({"app": "Bitonic", "n": 8,
+                                "budget": "lavish"})
+        out = io.StringIO()
+        with MappingService(solve_fn=solver) as service:
+            failures = serve_stream(io.StringIO(bad_value + "\n"),
+                                    out, service)
+            assert failures == 1
+            response = json.loads(out.getvalue())
+            assert response["state"] == "failed"
+            assert "line 1" in response["error"]
+            assert "budget" in response["error"]
+            with pytest.raises(ValueError, match="budget"):
+                serve_stream(io.StringIO(bad_value + "\n"), io.StringIO(),
+                             service, strict=True)
+        assert solver.calls == []
 
 
 # ----------------------------------------------------------------------
@@ -627,6 +804,18 @@ class TestServiceCli:
         assert cli_main(["serve", "--self-check"]) == 0
         err = capsys.readouterr().err
         assert "1 solve(s), 7 dedup hit(s)" in err
+
+    def test_serve_self_check_http_gate(self, capsys):
+        """The live-HTTP half of ``make service-check``: 8 duplicate
+        POSTs -> 1 solve, proven by scraping /metrics."""
+        assert cli_main(["serve", "--self-check-http"]) == 0
+        err = capsys.readouterr().err
+        assert "1 solve(s), 7 dedup hit(s)" in err
+
+    def test_serve_http_rejects_requests_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["serve", "--http", "0", "--requests", "x.jsonl"])
+        assert "drop --requests" in capsys.readouterr().err
 
     def test_cache_stats_and_purge(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")

@@ -1,0 +1,374 @@
+"""The HTTP serving tier: wire contract, admission control, observability.
+
+The headline pin is byte-identity — for an equal, deadline-free request
+the ``POST /api/v1/solve`` body must equal the stdio ``serve_stream``
+response line *exactly* (dedup/key/state fields included), and the batch
+endpoint must reproduce the whole JSONL stream.  Around it: 429 load
+shedding (token buckets and the queue-depth bound), the Prometheus
+``/metrics`` exposition, ``/healthz`` flipping to 503 during drain, and
+the job-poll endpoint.
+"""
+
+import io
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from contextlib import contextmanager
+
+import pytest
+
+from repro.service import (
+    AdmissionController,
+    MappingRequest,
+    MappingService,
+    serve_http,
+    serve_stream,
+)
+from repro.service.admission import TIER_COST, _FakeClock
+
+
+def _request(url, data=None, headers=None, timeout=60):
+    """(status, body, headers) for GET (data=None) or POST."""
+    req = urllib.request.Request(
+        url, data=data, headers=headers or {},
+        method="GET" if data is None else "POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.read(), resp.headers
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        return exc.code, body, exc.headers
+
+
+@contextmanager
+def _server(service, admission=None):
+    server = serve_http(service, port=0, admission=admission)
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+class _StubSolver:
+    """Instant deterministic solve_fn, optionally gated on an event."""
+
+    def __init__(self, gate=None):
+        self.gate = gate
+        self.started = threading.Event()
+
+    def __call__(self, request, tier, cache):
+        self.started.set()
+        if self.gate is not None:
+            assert self.gate.wait(timeout=30.0)
+        return {"app": request.app, "n": request.n, "seed": request.seed,
+                "budget": tier}
+
+
+# ----------------------------------------------------------------------
+# the byte-identity contract vs the stdio wire format
+# ----------------------------------------------------------------------
+class TestHttpContract:
+    def test_solve_body_is_byte_identical_to_stdio(self):
+        """Equal request => the HTTP body IS the serve_stream line."""
+        line = json.dumps({"app": "Bitonic", "n": 8, "num_gpus": 2,
+                           "budget": "instant"})
+        out = io.StringIO()
+        with MappingService() as stdio_service:
+            failures = serve_stream(
+                io.StringIO(line + "\n"), out, stdio_service
+            )
+        assert failures == 0
+        expected = out.getvalue().encode()
+
+        with MappingService() as service:
+            with _server(service) as server:
+                status, body, headers = _request(
+                    server.url + "/api/v1/solve", data=line.encode()
+                )
+        assert status == 200
+        assert body == expected
+        # and the contract is meaningful: key/state/dedup ride along
+        payload = json.loads(body)
+        assert payload["state"] == "done"
+        assert payload["dedup"] is None
+        assert len(payload["key"]) == 64
+
+    def test_batch_body_is_byte_identical_to_stdio(self):
+        """The batch endpoint reproduces the full serve_stream output —
+        responses in input order, malformed/blank/comment lines handled
+        identically."""
+        lines = [
+            json.dumps({"app": "Bitonic", "n": 8, "num_gpus": 2,
+                        "budget": "instant", "tag": "a"}),
+            "",
+            "# comment",
+            json.dumps({"app": "DES", "n": 4, "num_gpus": 2,
+                        "budget": "instant", "tag": "b"}),
+            "{malformed",
+        ]
+        stream = "\n".join(lines) + "\n"
+        out = io.StringIO()
+        with MappingService() as stdio_service:
+            serve_stream(io.StringIO(stream), out, stdio_service)
+        expected = out.getvalue().encode()
+
+        with MappingService() as service:
+            with _server(service) as server:
+                status, body, headers = _request(
+                    server.url + "/api/v1/batch", data=stream.encode()
+                )
+        assert status == 200
+        assert headers["Content-Type"] == "application/x-ndjson"
+        assert body == expected
+        responses = [json.loads(l) for l in body.decode().splitlines()]
+        assert [r.get("tag") for r in responses[:2]] == ["a", "b"]
+        assert responses[2]["state"] == "failed"  # the malformed line
+
+    def test_solve_rejects_bad_requests_with_400(self):
+        with MappingService(solve_fn=_StubSolver()) as service:
+            with _server(service) as server:
+                for bad in (
+                    b"{malformed",
+                    json.dumps({"app": "DES", "n": 4, "gpus": 9}).encode(),
+                    json.dumps({"app": "NoSuchApp", "n": 4}).encode(),
+                    json.dumps({"app": "DES", "n": 4,
+                                "budget": "lavish"}).encode(),
+                ):
+                    status, body, _ = _request(
+                        server.url + "/api/v1/solve", data=bad
+                    )
+                    assert status == 400
+                    assert "error" in json.loads(body)
+        assert service.stats().submitted == 0
+
+    def test_unknown_paths_get_404(self):
+        with MappingService(solve_fn=_StubSolver()) as service:
+            with _server(service) as server:
+                assert _request(server.url + "/nope")[0] == 404
+                assert _request(server.url + "/api/v1/nope",
+                                data=b"{}")[0] == 404
+
+
+# ----------------------------------------------------------------------
+# admission control: 429 shedding
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_rate_limit_sheds_with_429_and_retry_after(self):
+        """A tenant that empties its bucket gets 429 + Retry-After; a
+        different tenant's bucket is untouched."""
+        admission = AdmissionController(rate=0.01, burst=1.0)
+        line = json.dumps({"app": "Bitonic", "n": 8, "num_gpus": 2,
+                           "budget": "instant"}).encode()
+        with MappingService(solve_fn=_StubSolver()) as service:
+            with _server(service, admission) as server:
+                url = server.url + "/api/v1/solve"
+                ok, _, _ = _request(url, data=line,
+                                    headers={"X-Tenant": "alice"})
+                assert ok == 200
+                status, body, headers = _request(
+                    url, data=line, headers={"X-Tenant": "alice"}
+                )
+                assert status == 429
+                payload = json.loads(body)
+                assert payload["reason"] == "rate"
+                retry = int(headers["Retry-After"])
+                assert retry >= 1 and retry == payload["retry_after"]
+                # an unrelated tenant still gets through
+                assert _request(url, data=line,
+                                headers={"X-Tenant": "bob"})[0] == 200
+                # anonymous traffic shares the default bucket
+                assert _request(url, data=line)[0] == 200
+        shed = admission.stats()
+        assert shed["shed_rate"] == 1 and shed["admitted"] == 3
+        # shed requests never reached the service: keys/dedup untouched
+        assert service.stats().submitted == 3
+
+    def test_tier_cost_prices_admission(self):
+        """An 'ample' request costs 8 tokens, an 'instant' one 1 — the
+        limiter speaks SolveBudget currency."""
+        assert [TIER_COST[t] for t in
+                ("instant", "small", "default", "ample")] == [1, 2, 4, 8]
+        clock = _FakeClock()
+        control = AdmissionController(rate=1.0, burst=8.0, clock=clock)
+        assert control.admit("t", budget="ample").allowed
+        verdict = control.admit("t", budget="instant")
+        assert not verdict.allowed and verdict.retry_after == 1.0
+        clock.advance(1.0)
+        assert control.admit("t", budget="instant").allowed
+
+    def test_queue_depth_bound_sheds_with_429(self):
+        """Once max_queue_depth jobs wait, new work sheds instead of
+        growing the backlog."""
+        gate = threading.Event()
+        solver = _StubSolver(gate=gate)
+        admission = AdmissionController(rate=1000.0, burst=1000.0,
+                                        max_queue_depth=1)
+
+        def post(server, seed, results):
+            line = json.dumps({"app": "Bitonic", "n": 8, "num_gpus": 2,
+                               "budget": "instant", "seed": seed}).encode()
+            results[seed] = _request(server.url + "/api/v1/solve",
+                                     data=line)
+
+        results, threads = {}, []
+        with MappingService(workers=1, solve_fn=solver) as service:
+            with _server(service, admission) as server:
+                try:
+                    # job 0 occupies the single worker ...
+                    threads.append(threading.Thread(
+                        target=post, args=(server, 0, results)))
+                    threads[-1].start()
+                    assert solver.started.wait(10)
+                    # ... job 1 fills the queue (depth 1) ...
+                    threads.append(threading.Thread(
+                        target=post, args=(server, 1, results)))
+                    threads[-1].start()
+                    deadline = time.monotonic() + 10
+                    while (service.queue_depth() < 1
+                           and time.monotonic() < deadline):
+                        time.sleep(0.01)
+                    assert service.queue_depth() == 1
+                    # ... job 2 is shed at the door
+                    post(server, 2, results)
+                finally:
+                    gate.set()
+                    for thread in threads:
+                        thread.join(timeout=30)
+        status, body, headers = results[2]
+        assert status == 429
+        assert json.loads(body)["reason"] == "queue"
+        assert "Retry-After" in headers
+        assert results[0][0] == 200 and results[1][0] == 200
+        assert admission.stats()["shed_queue"] == 1
+
+    def test_batch_charges_the_whole_stream(self):
+        """A batch cannot sidestep the per-request rate limit: its cost
+        is the sum of per-line tier costs."""
+        admission = AdmissionController(rate=0.01, burst=2.0)
+        lines = "\n".join(
+            json.dumps({"app": "Bitonic", "n": 8, "budget": "instant",
+                        "seed": seed})
+            for seed in range(3)
+        ) + "\n"
+        with MappingService(solve_fn=_StubSolver()) as service:
+            with _server(service, admission) as server:
+                status, body, _ = _request(
+                    server.url + "/api/v1/batch", data=lines.encode()
+                )
+        assert status == 429
+        assert json.loads(body)["reason"] == "rate"
+        assert service.stats().submitted == 0
+
+
+# ----------------------------------------------------------------------
+# observability: /metrics, /healthz, job polling
+# ----------------------------------------------------------------------
+class TestObservability:
+    def test_metrics_scrape_format(self):
+        """The /metrics payload is well-formed Prometheus text: typed
+        families, monotone histogram buckets, cache hit rates."""
+        line = json.dumps({"app": "Bitonic", "n": 8, "num_gpus": 2,
+                           "budget": "instant"}).encode()
+        with MappingService(solve_fn=_StubSolver()) as service:
+            with _server(service) as server:
+                for _ in range(3):  # 1 solve + 2 dedup hits
+                    assert _request(server.url + "/api/v1/solve",
+                                    data=line)[0] == 200
+                status, body, headers = _request(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode()
+        lines = text.splitlines()
+
+        def value(name):
+            for metric_line in lines:
+                if metric_line.startswith(name + " "):
+                    return float(metric_line.split()[-1])
+            raise AssertionError(f"metric {name} missing:\n{text}")
+
+        assert value("repro_service_submitted_total") == 3
+        assert value("repro_service_solved_total") == 1
+        assert value("repro_service_failed_total") == 0
+        assert value("repro_service_queue_depth") == 0
+        dedup = sum(
+            float(metric_line.split()[-1])
+            for metric_line in lines
+            if metric_line.startswith("repro_service_dedup_total{")
+        )
+        assert dedup == 2
+        # every family is typed, histogram buckets are cumulative
+        for family in ("repro_service_submitted_total",
+                       "repro_service_solve_latency_seconds",
+                       "repro_stage_cache_hit_rate",
+                       "repro_milp_model_cache_size",
+                       "repro_admission_admitted_total"):
+            assert f"# TYPE {family} " in text
+        buckets = [
+            float(metric_line.split()[-1])
+            for metric_line in lines
+            if metric_line.startswith(
+                'repro_service_solve_latency_seconds_bucket{tier="instant"')
+        ]
+        assert buckets and buckets == sorted(buckets)
+        count = value(
+            'repro_service_solve_latency_seconds_count{tier="instant"}')
+        assert count == 1
+        assert buckets[-1] == count  # the +Inf bucket equals _count
+
+    def test_healthz_flips_to_503_during_drain(self):
+        gate = threading.Event()
+        solver = _StubSolver(gate=gate)
+        service = MappingService(workers=1, solve_fn=solver)
+        with _server(service) as server:
+            try:
+                assert _request(server.url + "/healthz")[0] == 200
+                service.submit(MappingRequest(app="Bitonic", n=8,
+                                              num_gpus=2))
+                assert solver.started.wait(10)
+                closer = threading.Thread(
+                    target=service.shutdown, kwargs={"wait": True}
+                )
+                closer.start()
+                deadline = time.monotonic() + 10
+                while not service.draining and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                status, body, _ = _request(server.url + "/healthz")
+                assert status == 503
+                assert json.loads(body)["status"] == "draining"
+            finally:
+                gate.set()
+                closer.join(timeout=30)
+
+    def test_jobs_endpoint_tracks_the_lifecycle(self):
+        gate = threading.Event()
+        solver = _StubSolver(gate=gate)
+        with MappingService(workers=1, solve_fn=solver) as service:
+            with _server(service) as server:
+                try:
+                    running = service.submit(
+                        MappingRequest(app="Bitonic", n=8, num_gpus=2))
+                    assert solver.started.wait(10)
+                    queued = service.submit(
+                        MappingRequest(app="DES", n=4, num_gpus=2))
+
+                    def job(key):
+                        status, body, _ = _request(
+                            server.url + f"/api/v1/jobs/{key}")
+                        return status, json.loads(body)
+
+                    status, payload = job(running.key)
+                    assert status == 200 and payload["state"] == "running"
+                    status, payload = job(queued.key)
+                    assert status == 200 and payload["state"] == "queued"
+                    assert job("no-such-key")[0] == 404
+                finally:
+                    gate.set()
+                running.result(timeout=30)
+                queued.result(timeout=30)
+                status, payload = job(queued.key)
+                assert status == 200
+                assert payload["state"] == "done"
+                assert payload["result"]["app"] == "DES"
