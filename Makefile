@@ -1,12 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-slow synth-check platform-check service-check perf-check batch-check bench bench-sweep bench-kernel bench-milp bench-service docs-check experiments clean
+.PHONY: test test-fast test-slow synth-check platform-check service-check perf-check batch-check remap-check bench bench-sweep bench-kernel bench-milp bench-service bench-repair docs-check experiments clean
 
 ## tier-1 verify: the full suite, benchmarks included (see ROADMAP.md);
 ## gated on the synth generate+diffcheck smoke check, the platform
-## property suite, the service dedup round trip, and the kernel perf bar
-test: synth-check platform-check service-check perf-check batch-check
+## property suite, the service dedup round trip, the kernel perf bar,
+## and the kill-GPU repair gate
+test: synth-check platform-check service-check perf-check batch-check remap-check
 	$(PYTHON) -m pytest -x -q
 
 ## unit/property/integration tests only (skips the benchmark harnesses)
@@ -45,6 +46,13 @@ perf-check:
 batch-check:
 	$(PYTHON) -m pytest tests/test_batch_properties.py tests/test_metaheuristic.py -x -q
 
+## the kill-GPU repair gate: every GPU of every catalog platform killed
+## under three pinned graphs — repaired mappings must stay valid,
+## bit-exact under the shared evaluator, and never worse than
+## greedy-from-scratch (CI gate; see docs/SCENARIOS.md)
+remap-check:
+	$(PYTHON) -m repro.cli remap --check --quiet
+
 ## the full benchmark suite
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -68,6 +76,11 @@ bench-milp:
 ## BENCH_service.json (runs under `make test` too, via benchmarks/)
 bench-service:
 	$(PYTHON) -m pytest benchmarks/test_bench_service.py -q
+
+## the incremental-repair benchmark: repair vs full re-solve wall time
+## and quality gap after a kill-GPU delta, recorded into BENCH_repair.json
+bench-repair:
+	$(PYTHON) -m pytest benchmarks/test_bench_repair.py -q
 
 ## fail if a public API symbol lacks a docstring / doctest example
 docs-check:

@@ -22,6 +22,13 @@ request lines, ``serve`` drains a stream of them through a
 answering one JSON response line per request.  ``repro cache`` inspects
 and prunes a stage-cache directory.
 
+``repro remap`` repairs a deployed mapping after a platform degradation
+(:mod:`repro.gpu.delta` / :mod:`repro.mapping.repair`): direct mode
+applies ``--kill-gpu`` / ``--throttle`` / ``--slow`` deltas to a catalog
+platform and repairs one graph's mapping; ``--scenario`` replays a
+seeded degradation script (:mod:`repro.synth.scenarios`); ``--check``
+runs the kill-GPU repair gate behind ``make remap-check``.
+
 Examples::
 
     repro-map --app DES --n 8 --gpus 4
@@ -47,6 +54,10 @@ Examples::
     repro serve --self-check-http
     repro cache stats --cache-dir .sweep-cache
     repro cache purge --cache-dir .sweep-cache --stage mapping
+
+    repro remap --app Bitonic --n 8 --platform host-star --kill-gpu 1
+    repro remap --scenario 7 --platform mixed-box --steps 6
+    repro remap --check --quiet
 """
 
 from __future__ import annotations
@@ -807,6 +818,163 @@ def cache_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def build_remap_parser() -> argparse.ArgumentParser:
+    from repro.mapping.budget import BUDGET_TIERS
+
+    parser = argparse.ArgumentParser(
+        prog="repro remap",
+        description="Repair a deployed mapping after a platform degrades "
+                    "(kill-GPU, throttled link, slowed clock).",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--check", action="store_true",
+                      help="run the kill-GPU repair gate: every GPU of "
+                           "every catalog platform killed under three "
+                           "pinned graphs; exit 1 on any violation")
+    mode.add_argument("--scenario", type=int, default=None, metavar="SEED",
+                      help="generate and replay a seeded degradation "
+                           "scenario on --platform")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the one-line verdict")
+    parser.add_argument("--steps", type=int, default=4, metavar="K",
+                        help="scripted event count (with --scenario)")
+    parser.add_argument("--emit-lines", metavar="FILE",
+                        help="also write the scenario as service JSONL "
+                             "remap lines (with --scenario)")
+    parser.add_argument("--app",
+                        help="bundled benchmark or synth:<family>[;k=v...] "
+                             "(direct mode)")
+    parser.add_argument("--n", type=int, default=None,
+                        help="benchmark size parameter (with --app)")
+    parser.add_argument("--platform", choices=PLATFORM_NAMES,
+                        help="named machine from the platform catalog")
+    parser.add_argument("--kill-gpu", type=int, action="append", default=[],
+                        metavar="G", help="kill GPU G (repeatable)")
+    parser.add_argument("--throttle", action="append", default=[],
+                        metavar="CHILD:FACTOR",
+                        help="throttle the uplink of CHILD to FACTOR of "
+                             "its bandwidth (repeatable)")
+    parser.add_argument("--slow", action="append", default=[],
+                        metavar="GPU:FACTOR",
+                        help="slow GPU's clock by FACTOR (repeatable; "
+                             "needs a platform with per-GPU specs)")
+    parser.add_argument("--budget", choices=sorted(BUDGET_TIERS),
+                        default="default",
+                        help="solve-budget tier (see docs/SERVICE.md)")
+    parser.add_argument("--alpha", type=float, default=None,
+                        help="migration price in the repair objective "
+                             "tmax + alpha*migration_bytes")
+    parser.add_argument("--spec", choices=sorted(_SPECS), default="M2090")
+    parser.add_argument("--partitioner", choices=PARTITIONERS, default="ours")
+    parser.add_argument("--mapper", choices=MAPPERS, default="portfolio",
+                        help="baseline mapper for the pristine machine")
+    parser.add_argument("--no-p2p", action="store_true",
+                        help="route inter-GPU traffic through the host")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="stage-cache directory (front half replays)")
+    return parser
+
+
+def _parse_factor_arg(text: str, flag: str, parser):
+    try:
+        name, factor = text.rsplit(":", 1)
+        return name, float(factor)
+    except ValueError:
+        parser.error(f"bad {flag} {text!r}: expected NAME:FACTOR")
+
+
+def remap_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro remap``."""
+    from repro.gpu.delta import PlatformDelta
+    from repro.mapping.budget import SolveBudget
+    from repro.sweep import StageCache
+    from repro.synth.scenarios import (
+        generate_scenario,
+        repair_check,
+        replay_scenario,
+        scenario_request_lines,
+    )
+
+    parser = build_remap_parser()
+    args = parser.parse_args(argv)
+    cache = StageCache(args.cache_dir) if args.cache_dir else None
+    budget = SolveBudget.tier(args.budget)
+
+    if args.check:
+        report = repair_check(budget=args.budget, cache=cache)
+        print(report.render())
+        return 0 if report.ok else 1
+
+    if args.scenario is not None:
+        if not args.platform:
+            parser.error("--scenario requires --platform")
+        scenario = generate_scenario(
+            args.platform, args.scenario, length=args.steps
+        )
+        if args.emit_lines:
+            with open(args.emit_lines, "w") as fh:
+                for line in scenario_request_lines(scenario,
+                                                   budget=args.budget):
+                    fh.write(line + "\n")
+            print(f"wrote scenario request lines to {args.emit_lines}",
+                  file=sys.stderr)
+        report = replay_scenario(scenario, budget=args.budget, cache=cache)
+        text = report.render()
+        print(text.splitlines()[-1].strip() if args.quiet else text)
+        return 0 if report.ok else 1
+
+    # direct mode: one degraded machine, one repair
+    if not args.app or args.n is None or not args.platform:
+        parser.error("direct mode needs --app, --n, and --platform "
+                     "(or use --check / --scenario)")
+    deltas = [PlatformDelta.kill_gpu(g) for g in args.kill_gpu]
+    deltas += [
+        PlatformDelta.throttle_link(name, factor)
+        for name, factor in (
+            _parse_factor_arg(t, "--throttle", parser)
+            for t in args.throttle
+        )
+    ]
+    deltas += [
+        PlatformDelta.slow_gpu(int(name), factor)
+        for name, factor in (
+            _parse_factor_arg(s, "--slow", parser) for s in args.slow
+        )
+    ]
+    if not deltas:
+        parser.error("direct mode needs at least one of --kill-gpu, "
+                     "--throttle, --slow")
+    from repro.flow import remap_stream_graph
+
+    graph = build_app(args.app, args.n)
+    try:
+        out = remap_stream_graph(
+            graph, args.platform, deltas,
+            spec=_SPECS[args.spec], partitioner=args.partitioner,
+            mapper=args.mapper, peer_to_peer=not args.no_p2p,
+            alpha=args.alpha, solve_budget=budget, cache=cache,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    repair = out.repair
+    degraded = out.degraded
+    print(f"graph     : {graph.name} ({out.num_partitions} partitions)")
+    print(f"platform  : {args.platform} -> {degraded.topology.num_gpus} "
+          f"GPU(s) after {len(deltas)} delta(s)")
+    if out.baseline is not None:
+        print(f"baseline  : {out.baseline.solver}, "
+              f"Tmax {out.baseline.tmax / 1e3:.1f} us/fragment")
+    print(f"repair    : {repair.mapping.solver}, "
+          f"Tmax {repair.mapping.tmax / 1e3:.1f} us/fragment"
+          f"{' (portfolio fallback)' if repair.fallback else ''}")
+    print(f"churn     : {len(repair.migrated)} migrated, "
+          f"{len(repair.evicted)} evicted, "
+          f"{repair.migration_bytes:.0f} bytes moved "
+          f"({repair.moves} polish moves)")
+    print(f"assignment: {list(repair.mapping.assignment)}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
@@ -819,6 +987,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
+    if argv and argv[0] == "remap":
+        return remap_main(argv[1:])
     if argv and argv[0] == "map":
         argv = argv[1:]
     parser = build_parser()

@@ -576,6 +576,112 @@ def map_stream_graph(
     )
 
 
+@dataclass
+class RemapFlowResult:
+    """Everything produced by one end-to-end re-mapping run."""
+
+    graph: StreamGraph
+    pdg: PartitionDependenceGraph
+    #: the degraded machine plus the base->degraded GPU translation
+    degraded: "DegradedTopology"
+    #: the pristine-platform mapping the repair started from; ``None``
+    #: when the caller supplied ``old_assignment`` directly
+    baseline: Optional[MappingResult]
+    #: the repaired mapping with its migration provenance
+    repair: "RepairResult"
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.pdg.nodes)
+
+
+def remap_stream_graph(
+    graph: StreamGraph,
+    platform: str,
+    deltas: Sequence["PlatformDelta"],
+    old_assignment: Optional[Sequence[int]] = None,
+    spec: GpuSpec = M2090,
+    partitioner: str = "ours",
+    mapper: str = "portfolio",
+    peer_to_peer: bool = True,
+    alpha: Optional[float] = None,
+    solve_budget: Optional[SolveBudget] = None,
+    seed: int = 0,
+    cache=None,
+    graph_fp: Optional[str] = None,
+) -> RemapFlowResult:
+    """Repair a deployed mapping after ``platform`` degrades by ``deltas``.
+
+    The front half of the flow (profile, partition, PDG) runs exactly as
+    :func:`map_stream_graph` — cached stages replay.  The *baseline*
+    mapping on the pristine platform is solved (and cached) with
+    ``mapper`` unless the caller hands in the deployed ``old_assignment``
+    directly; the degraded machine is derived with
+    :func:`repro.gpu.delta.apply_deltas` (its ``topology_key_parts``
+    reflect every delta, so nothing ever aliases a pristine cache
+    entry); and :func:`repro.mapping.repair.solve_repair` carries the
+    old assignment across the GPU renumbering and repairs it under
+    ``solve_budget``.
+
+    ``alpha`` prices migration bytes in the repair objective
+    (default :data:`repro.mapping.repair.REPAIR_ALPHA`).
+
+    >>> from repro.apps import build_app
+    >>> from repro.gpu.delta import PlatformDelta
+    >>> out = remap_stream_graph(
+    ...     build_app("Bitonic", 8), "host-star",
+    ...     [PlatformDelta.kill_gpu(1)],
+    ...     solve_budget=SolveBudget.tier("instant"))
+    >>> out.degraded.topology.num_gpus
+    3
+    >>> out.repair.mapping.tmax > 0
+    True
+    """
+    from repro.gpu.delta import degrade_platform
+    from repro.gpu.platforms import build_platform
+    from repro.mapping.repair import REPAIR_ALPHA, solve_repair
+
+    if partitioner not in PARTITIONERS:
+        raise ValueError(f"unknown partitioner {partitioner!r}")
+    if mapper not in MAPPERS:
+        raise ValueError(f"unknown mapper {mapper!r}")
+    if alpha is None:
+        alpha = REPAIR_ALPHA
+    if graph_fp is None and cache is not None:
+        graph_fp = graph_fingerprint(graph)
+    engine = profile_stage(
+        graph, spec=spec, seed=seed, cache=cache, graph_fp=graph_fp
+    )
+    partitions, partitioning = partition_stage(
+        graph, engine, partitioner=partitioner, spec=spec,
+        cache=cache, graph_fp=graph_fp,
+    )
+    pdg = pdg_stage(graph, partitions, engine, partitioning=partitioning)
+
+    baseline: Optional[MappingResult] = None
+    if old_assignment is None:
+        base_topology = build_platform(platform)
+        baseline = mapping_stage(
+            pdg, base_topology.num_gpus, engine, mapper=mapper,
+            topology=base_topology, peer_to_peer=peer_to_peer,
+            solve_budget=solve_budget, cache=cache, graph_fp=graph_fp,
+        )
+        old_assignment = baseline.assignment
+    degraded = degrade_platform(platform, deltas)
+    problem = build_mapping_problem(
+        pdg, degraded.topology.num_gpus, topology=degraded.topology,
+        peer_to_peer=peer_to_peer,
+    )
+    repair = solve_repair(
+        problem, old_assignment, gpu_map=degraded.gpu_map, alpha=alpha,
+        budget=solve_budget, topo_order=pdg.topological_order(),
+    )
+    return RemapFlowResult(
+        graph=graph, pdg=pdg, degraded=degraded, baseline=baseline,
+        repair=repair,
+    )
+
+
 def _solve(
     problem: MappingProblem,
     mapper: str,

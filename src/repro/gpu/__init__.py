@@ -9,6 +9,9 @@ PCIe switch tree).  This package provides the simulated equivalent:
   rule used by the ILP,
 * :mod:`repro.gpu.platforms` -- the named-platform catalog
   (``build_platform("two-island")`` and friends),
+* :mod:`repro.gpu.delta` -- typed platform degradations (kill-GPU,
+  throttle-link, slow-GPU, restore) deriving a degraded topology from a
+  named platform,
 * :mod:`repro.gpu.memory` -- liveness-based shared-memory requirements
   (Figure 3.2 semantics) and buffer allocation,
 * :mod:`repro.gpu.kernel` -- kernel parameterization (S, W, F),
@@ -19,6 +22,14 @@ PCIe switch tree).  This package provides the simulated equivalent:
   data for end-to-end correctness checks.
 """
 
+from repro.gpu.delta import (
+    DELTA_KINDS,
+    DegradedTopology,
+    PlatformDelta,
+    apply_deltas,
+    degrade_platform,
+    relative_gpu_map,
+)
 from repro.gpu.kernel import KernelConfig
 from repro.gpu.memory import PartitionMemory, partition_memory
 from repro.gpu.platforms import (
@@ -44,6 +55,8 @@ from repro.gpu.topology import GpuTopology, Link, default_topology
 
 __all__ = [
     "C2070",
+    "DELTA_KINDS",
+    "DegradedTopology",
     "GpuSpec",
     "GpuTopology",
     "KernelConfig",
@@ -60,10 +73,14 @@ __all__ = [
     "PLATFORM_DESCRIPTIONS",
     "PLATFORM_NAMES",
     "PartitionMemory",
+    "PlatformDelta",
     "SimCosts",
+    "apply_deltas",
     "build_platform",
     "default_topology",
+    "degrade_platform",
     "partition_memory",
     "platform_link_table",
     "platform_num_gpus",
+    "relative_gpu_map",
 ]

@@ -1,0 +1,387 @@
+"""Typed platform deltas: degraded machines derived from named platforms.
+
+A serving fleet's machine is not static — a GPU drops off the bus, a
+PCIe link throttles under thermal pressure, a device downclocks, an
+operator restores the box.  This module types those events as
+:class:`PlatformDelta` values and derives the *degraded*
+:class:`~repro.gpu.topology.GpuTopology` from a base platform, so every
+downstream consumer (the repair solver, cache keys, the scenario
+harness) sees an ordinary topology and nothing special-cases "a broken
+machine".
+
+Four delta kinds, all named in the **base platform's** namespace (GPU
+ids and tree-edge child names of the pristine machine, so a degradation
+script stays readable after earlier kills renumber the survivors):
+
+==================  ====================================================
+``kill-gpu``        remove GPU leaf ``gpu``; survivors renumber to a
+                    contiguous ``gpu0..gpuM-1`` and emptied switches are
+                    pruned
+``throttle-link``   multiply the bandwidth of the tree edge named by its
+                    child endpoint by ``factor`` (0 < factor <= 1);
+                    repeated throttles compound
+``slow-gpu``        divide GPU ``gpu``'s core clock by ``factor``
+                    (>= 1), lowering its throughput proxy — requires a
+                    platform with per-leaf ``gpu_specs``
+``restore``         forget every delta applied so far (the pristine
+                    machine again)
+==================  ====================================================
+
+Because kill-GPU renumbers the survivors, :class:`DegradedTopology`
+carries the ``gpu_map`` (base GPU id -> degraded GPU id, ``None`` for a
+dead device) that the repair solver needs to translate an existing
+assignment, and :func:`relative_gpu_map` composes two cumulative maps
+into the step-to-step translation a scenario replay needs.
+
+The derived topology is a plain :class:`~repro.gpu.topology.GpuTopology`
+whose :func:`repro.flow.topology_key_parts` reflect every delta (edges,
+per-link specs, per-leaf specs), so content-addressed cache keys remain
+honest: a mapping solved for the degraded machine can never collide with
+the pristine platform's cache entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.gpu.specs import GpuSpec, LinkSpec
+from repro.gpu.topology import HOST, GpuTopology, gpu_name
+
+#: the typed delta vocabulary, stable wire names
+DELTA_KINDS: Tuple[str, ...] = (
+    "kill-gpu", "throttle-link", "slow-gpu", "restore",
+)
+
+__all__ = [
+    "DELTA_KINDS",
+    "DegradedTopology",
+    "PlatformDelta",
+    "apply_deltas",
+    "degrade_platform",
+    "relative_gpu_map",
+]
+
+
+@dataclass(frozen=True)
+class PlatformDelta:
+    """One typed platform-degradation event (see module docstring).
+
+    Always name the *base* platform's entities: ``gpu`` is a pristine
+    GPU id, ``link`` the child endpoint of a pristine tree edge.  Use
+    the factory classmethods — they fill exactly the fields the kind
+    reads and ``__post_init__`` rejects everything else.
+
+    >>> PlatformDelta.kill_gpu(2).kind
+    'kill-gpu'
+    >>> PlatformDelta.throttle_link("sw1", 0.5).factor
+    0.5
+    >>> PlatformDelta(kind="kill-gpu")
+    Traceback (most recent call last):
+        ...
+    ValueError: kill-gpu needs a gpu id
+    """
+
+    #: one of :data:`DELTA_KINDS`
+    kind: str
+    #: base-platform GPU id (``kill-gpu`` / ``slow-gpu``)
+    gpu: Optional[int] = None
+    #: child endpoint naming a base tree edge (``throttle-link``)
+    link: Optional[str] = None
+    #: bandwidth multiplier (throttle) or clock divisor (slow)
+    factor: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in DELTA_KINDS:
+            raise ValueError(
+                f"unknown delta kind {self.kind!r}; "
+                f"known: {', '.join(DELTA_KINDS)}"
+            )
+        if self.kind == "kill-gpu":
+            if self.gpu is None or self.gpu < 0:
+                raise ValueError("kill-gpu needs a gpu id")
+            if self.link is not None or self.factor is not None:
+                raise ValueError("kill-gpu takes only a gpu id")
+        elif self.kind == "throttle-link":
+            if not self.link:
+                raise ValueError("throttle-link needs a link (edge child)")
+            if self.factor is None or not 0.0 < self.factor <= 1.0:
+                raise ValueError(
+                    "throttle-link needs a factor in (0, 1]"
+                )
+            if self.gpu is not None:
+                raise ValueError("throttle-link takes no gpu id")
+        elif self.kind == "slow-gpu":
+            if self.gpu is None or self.gpu < 0:
+                raise ValueError("slow-gpu needs a gpu id")
+            if self.factor is None or self.factor < 1.0:
+                raise ValueError("slow-gpu needs a factor >= 1")
+            if self.link is not None:
+                raise ValueError("slow-gpu takes no link")
+        else:  # restore
+            if (self.gpu, self.link, self.factor) != (None, None, None):
+                raise ValueError("restore takes no arguments")
+
+    # -- factories ------------------------------------------------------
+    @classmethod
+    def kill_gpu(cls, gpu: int) -> "PlatformDelta":
+        """The GPU leaf ``gpu`` (base id) drops off the machine."""
+        return cls(kind="kill-gpu", gpu=gpu)
+
+    @classmethod
+    def throttle_link(cls, link: str, factor: float) -> "PlatformDelta":
+        """The tree edge named by child ``link`` keeps ``factor`` of its
+        bandwidth (latency is unchanged)."""
+        return cls(kind="throttle-link", link=link, factor=factor)
+
+    @classmethod
+    def slow_gpu(cls, gpu: int, factor: float) -> "PlatformDelta":
+        """GPU ``gpu`` (base id) downclocks by ``factor`` (>= 1)."""
+        return cls(kind="slow-gpu", gpu=gpu, factor=factor)
+
+    @classmethod
+    def restore(cls) -> "PlatformDelta":
+        """Every delta so far is undone (the pristine machine)."""
+        return cls(kind="restore")
+
+    # -- identity / wire ------------------------------------------------
+    def key_parts(self) -> Dict[str, object]:
+        """The delta's full content for content-addressed request keys."""
+        return {
+            "kind": self.kind, "gpu": self.gpu, "link": self.link,
+            "factor": self.factor,
+        }
+
+    def to_json(self) -> Dict[str, object]:
+        """Compact wire form (``None`` fields dropped)."""
+        out: Dict[str, object] = {"kind": self.kind}
+        if self.gpu is not None:
+            out["gpu"] = self.gpu
+        if self.link is not None:
+            out["link"] = self.link
+        if self.factor is not None:
+            out["factor"] = self.factor
+        return out
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "PlatformDelta":
+        """Parse one wire-form delta object (unknown keys rejected)."""
+        if not isinstance(payload, dict):
+            raise ValueError("delta must be a JSON object")
+        unknown = sorted(set(payload) - {"kind", "gpu", "link", "factor"})
+        if unknown:
+            raise ValueError(
+                f"unknown delta field(s): {', '.join(unknown)}"
+            )
+        if "kind" not in payload:
+            raise ValueError("delta needs a 'kind'")
+        return cls(
+            kind=payload["kind"],
+            gpu=payload.get("gpu"),
+            link=payload.get("link"),
+            factor=payload.get("factor"),
+        )
+
+
+@dataclass(frozen=True)
+class DegradedTopology:
+    """A derived machine plus the id translation back to its base.
+
+    ``gpu_map[base_id]`` is the degraded topology's id of the same
+    physical device, or ``None`` when a ``kill-gpu`` removed it — the
+    translation :func:`repro.mapping.repair.solve_repair` applies to an
+    existing assignment before repairing it.
+    """
+
+    #: the degraded machine (an ordinary, fully-validated topology)
+    topology: GpuTopology
+    #: base GPU id -> degraded GPU id (``None`` = killed)
+    gpu_map: Tuple[Optional[int], ...]
+    #: the deltas that produced this machine, in application order
+    deltas: Tuple[PlatformDelta, ...]
+
+    @property
+    def killed(self) -> Tuple[int, ...]:
+        """Base ids of the GPUs no longer present."""
+        return tuple(
+            base for base, new in enumerate(self.gpu_map) if new is None
+        )
+
+
+def apply_deltas(
+    base: GpuTopology, deltas: Sequence[PlatformDelta]
+) -> DegradedTopology:
+    """Derive the degraded machine ``deltas`` leave behind.
+
+    Deltas apply in order, all named in ``base``'s namespace;
+    ``restore`` resets the accumulated state.  Killing the last GPU, an
+    unknown GPU id, an already-dead GPU, or an unknown edge child raises
+    ``ValueError``.  Throttling a killed GPU's leaf edge is allowed (the
+    edge is simply gone).
+
+    >>> from repro.gpu.platforms import build_platform
+    >>> base = build_platform("two-island")
+    >>> hit = apply_deltas(base, [PlatformDelta.kill_gpu(1)])
+    >>> hit.topology.num_gpus, hit.gpu_map
+    (3, (0, None, 1, 2))
+    >>> apply_deltas(base, [PlatformDelta.kill_gpu(1),
+    ...                     PlatformDelta.restore()]).gpu_map
+    (0, 1, 2, 3)
+    """
+    alive: Set[int] = set(range(base.num_gpus))
+    link_factor: Dict[str, float] = {}
+    gpu_factor: Dict[int, float] = {}
+    base_children = {child for child, _parent in base.tree_edges()}
+
+    for delta in deltas:
+        if delta.kind == "restore":
+            alive = set(range(base.num_gpus))
+            link_factor.clear()
+            gpu_factor.clear()
+        elif delta.kind == "kill-gpu":
+            if not 0 <= delta.gpu < base.num_gpus:
+                raise ValueError(
+                    f"kill-gpu: no gpu {delta.gpu} on this platform"
+                )
+            if delta.gpu not in alive:
+                raise ValueError(f"kill-gpu: gpu {delta.gpu} already dead")
+            if len(alive) == 1:
+                raise ValueError("kill-gpu: cannot kill the last GPU")
+            alive.discard(delta.gpu)
+        elif delta.kind == "throttle-link":
+            if delta.link not in base_children:
+                raise ValueError(
+                    f"throttle-link: no tree edge with child {delta.link!r}"
+                )
+            link_factor[delta.link] = (
+                link_factor.get(delta.link, 1.0) * delta.factor
+            )
+        else:  # slow-gpu
+            if not 0 <= delta.gpu < base.num_gpus:
+                raise ValueError(
+                    f"slow-gpu: no gpu {delta.gpu} on this platform"
+                )
+            if base.gpu_specs is None:
+                raise ValueError(
+                    "slow-gpu needs a platform with per-leaf gpu_specs"
+                )
+            gpu_factor[delta.gpu] = (
+                gpu_factor.get(delta.gpu, 1.0) * delta.factor
+            )
+
+    return _realize(base, alive, link_factor, gpu_factor, tuple(deltas))
+
+
+def degrade_platform(
+    name: str, deltas: Sequence[PlatformDelta]
+) -> DegradedTopology:
+    """:func:`apply_deltas` against a named catalog platform.
+
+    >>> hit = degrade_platform("host-star", [PlatformDelta.kill_gpu(3)])
+    >>> hit.topology.num_gpus
+    3
+    """
+    from repro.gpu.platforms import build_platform
+
+    return apply_deltas(build_platform(name), deltas)
+
+
+def relative_gpu_map(
+    prev: DegradedTopology, cur: DegradedTopology
+) -> Tuple[Optional[int], ...]:
+    """Translate *prev*-space GPU ids into *cur*-space ids.
+
+    Both arguments must derive from the same base platform (equal
+    ``gpu_map`` lengths).  Entry ``p`` of the result is where prev's GPU
+    ``p`` lives in ``cur`` — ``None`` when a later kill removed it.  A
+    scenario replay uses this to carry an assignment from one degraded
+    step to the next.
+
+    >>> from repro.gpu.platforms import build_platform
+    >>> base = build_platform("host-star")
+    >>> a = apply_deltas(base, [PlatformDelta.kill_gpu(0)])
+    >>> b = apply_deltas(base, [PlatformDelta.kill_gpu(0),
+    ...                         PlatformDelta.kill_gpu(2)])
+    >>> relative_gpu_map(a, b)
+    (0, None, 1)
+    """
+    if len(prev.gpu_map) != len(cur.gpu_map):
+        raise ValueError("degraded topologies derive from different bases")
+    out: List[Optional[int]] = [None] * prev.topology.num_gpus
+    for base_id, prev_id in enumerate(prev.gpu_map):
+        if prev_id is not None:
+            out[prev_id] = cur.gpu_map[base_id]
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+def _realize(
+    base: GpuTopology,
+    alive: Set[int],
+    link_factor: Dict[str, float],
+    gpu_factor: Dict[int, float],
+    deltas: Tuple[PlatformDelta, ...],
+) -> DegradedTopology:
+    """Build the degraded :class:`GpuTopology` from accumulated state."""
+    survivors = sorted(alive)
+    gpu_map: List[Optional[int]] = [None] * base.num_gpus
+    for new, old in enumerate(survivors):
+        gpu_map[old] = new
+    rename = {gpu_name(old): gpu_name(new) for new, old in enumerate(survivors)}
+
+    # drop dead leaves, then iteratively prune internal nodes left with
+    # no children (a switch whose whole subtree died carries no traffic
+    # and would pollute the topology's content identity)
+    edges = [
+        (child, parent) for child, parent in base.tree_edges()
+        if not (child.startswith("gpu") and child in
+                {gpu_name(g) for g in range(base.num_gpus)} - set(rename))
+    ]
+    while True:
+        parents = {parent for _child, parent in edges}
+        pruned = [
+            (child, parent) for child, parent in edges
+            if child in rename or child in parents
+        ]
+        if len(pruned) == len(edges):
+            break
+        edges = pruned
+
+    # per-edge specs: the base edge's own spec (override or default),
+    # with any accumulated throttle applied to its bandwidth
+    base_spec: Dict[str, LinkSpec] = {
+        link.child: link.spec for link in base.links if link.up
+    }
+    edge_specs: Dict[str, LinkSpec] = {}
+    for child, _parent in edges:
+        spec = base_spec[child]
+        factor = link_factor.get(child, 1.0)
+        if factor != 1.0:
+            spec = replace(
+                spec,
+                bandwidth_bytes_per_ns=spec.bandwidth_bytes_per_ns * factor,
+            )
+        if spec != base.link_spec:
+            edge_specs[rename.get(child, child)] = spec
+
+    gpu_specs: Optional[List[GpuSpec]] = None
+    if base.gpu_specs is not None:
+        gpu_specs = []
+        for old in survivors:
+            spec = base.gpu_specs[old]
+            factor = gpu_factor.get(old, 1.0)
+            if factor != 1.0:
+                spec = replace(spec, clock_ghz=spec.clock_ghz / factor)
+            gpu_specs.append(spec)
+
+    topology = GpuTopology(
+        [(rename.get(child, child), rename.get(parent, parent))
+         for child, parent in edges],
+        num_gpus=len(survivors),
+        link_spec=base.link_spec,
+        edge_specs=edge_specs or None,
+        gpu_specs=gpu_specs,
+    )
+    return DegradedTopology(
+        topology=topology, gpu_map=tuple(gpu_map), deltas=deltas,
+    )

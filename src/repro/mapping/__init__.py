@@ -15,6 +15,9 @@
   kernel's tables (NumPy structure-of-arrays, pure-python fallback),
 * :mod:`repro.mapping.metaheuristic` -- population simulated annealing
   on the batch evaluator (the portfolio's opt-in escape tier),
+* :mod:`repro.mapping.repair` -- incremental re-mapping after a
+  platform delta (seed from the old assignment, evict the stranded,
+  polish under ``tmax + alpha * migration_bytes``),
 * :mod:`repro.mapping.result` -- mapping results and their breakdowns,
 * :mod:`repro.mapping.budget` -- deterministic solve budgets shared by
   every backend (and the escalation tiers of the service portfolio).
@@ -42,6 +45,13 @@ from repro.mapping.milp_model import (
 )
 from repro.mapping.problem import Broadcast, MappingProblem, build_mapping_problem
 from repro.mapping.refine import refine_mapping
+from repro.mapping.repair import (
+    REPAIR_ALPHA,
+    RepairResult,
+    migration_cost_bytes,
+    solve_repair,
+    translate_assignment,
+)
 from repro.mapping.result import MappingResult
 from repro.mapping.solver_bb import solve_branch_and_bound
 from repro.mapping.solver_milp import MilpNoIncumbent, solve_milp
@@ -58,6 +68,8 @@ __all__ = [
     "MappingResult",
     "MilpModelCache",
     "MilpNoIncumbent",
+    "REPAIR_ALPHA",
+    "RepairResult",
     "SolveBudget",
     "TIER_ORDER",
     "build_mapping_problem",
@@ -65,10 +77,13 @@ __all__ = [
     "compile_kernel",
     "contiguous_mapping",
     "lpt_mapping",
+    "migration_cost_bytes",
     "milp_signature",
     "refine_mapping",
     "round_robin_mapping",
     "solve_branch_and_bound",
     "solve_metaheuristic",
     "solve_milp",
+    "solve_repair",
+    "translate_assignment",
 ]

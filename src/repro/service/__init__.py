@@ -15,11 +15,15 @@ from four pieces:
   together over worker threads (or a process pool) and a shared
   :class:`~repro.sweep.StageCache`;
 * :mod:`repro.service.http` — the network front end (``/api/v1/solve``,
-  ``/api/v1/batch``, ``/api/v1/jobs/<key>``, ``/metrics``,
-  ``/healthz``), byte-identical to the stdio wire format;
+  ``/api/v1/remap``, ``/api/v1/batch``, ``/api/v1/jobs/<key>``,
+  ``/metrics``, ``/healthz``), byte-identical to the stdio wire format;
 * :mod:`repro.service.admission` — per-tenant token-bucket rate
   limiting (tier-priced) and queue-depth load shedding for the HTTP
-  tier.
+  tier;
+* :mod:`repro.service.remap` — fault-tolerant re-mapping requests: a
+  deployed mapping plus a :class:`~repro.gpu.delta.PlatformDelta` list
+  in, an incrementally repaired mapping out
+  (:func:`repro.mapping.repair.solve_repair` under the hood).
 
 Quick round trip::
 
@@ -47,6 +51,7 @@ from repro.service.admission import (
 from repro.service.api import (
     MappingRequest,
     parse_request_line,
+    parse_stream_line,
     request_from_json,
     request_key,
     request_to_json,
@@ -58,6 +63,13 @@ from repro.service.http import (
     serve_http,
 )
 from repro.service.jobs import Job, JobStore
+from repro.service.remap import (
+    RemapRequest,
+    remap_from_json,
+    remap_request_key,
+    remap_to_json,
+    solve_remap_request,
+)
 from repro.service.portfolio import (
     PortfolioResult,
     StageOutcome,
@@ -84,6 +96,7 @@ __all__ = [
     "MappingRequest",
     "MappingService",
     "PortfolioResult",
+    "RemapRequest",
     "ServiceError",
     "ServiceStats",
     "SolveBudget",
@@ -94,6 +107,10 @@ __all__ = [
     "TokenBucket",
     "WorkQueue",
     "parse_request_line",
+    "parse_stream_line",
+    "remap_from_json",
+    "remap_request_key",
+    "remap_to_json",
     "render_metrics",
     "request_from_json",
     "request_key",
@@ -101,6 +118,7 @@ __all__ = [
     "serve_http",
     "serve_stream",
     "solve_portfolio",
+    "solve_remap_request",
     "solve_request",
     "tier_for_deadline",
 ]

@@ -186,6 +186,33 @@ def parse_request_line(line: str) -> MappingRequest:
     return request_from_json(payload)
 
 
+def parse_stream_line(line: str):
+    """Parse one JSONL stream line into a request object.
+
+    Returns a :class:`MappingRequest`, or — when the object carries a
+    ``"remap"`` key — a :class:`~repro.service.remap.RemapRequest` (the
+    scenario-replay wire form).
+
+    >>> parse_stream_line('{"app": "DES", "n": 4}').app
+    'DES'
+    >>> parse_stream_line('{"remap": {"app": "DES", "n": 4, '
+    ...     '"platform": "host-star", '
+    ...     '"deltas": [{"kind": "restore"}]}}').base.app
+    'DES'
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"bad request line: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ValueError("request line must be a JSON object")
+    if "remap" in payload:
+        from repro.service.remap import remap_from_json
+
+        return remap_from_json(payload)
+    return request_from_json(payload)
+
+
 def response_to_line(response: dict) -> str:
     """Encode one response object as a JSONL line (no trailing newline)."""
     return json.dumps(response, sort_keys=True, separators=(",", ":"))
@@ -209,6 +236,11 @@ def serve_stream(
     the parse phase — before anything is submitted, so an invalid
     stream has no side effects.
 
+    A line whose object carries a ``"remap"`` key is a
+    :class:`~repro.service.remap.RemapRequest` (scenario replay); it is
+    routed through :meth:`~repro.service.server.MappingService.submit_remap`
+    and answered in the same stream, in the same input order.
+
     >>> import io
     >>> from repro.service.server import MappingService
     >>> out = io.StringIO()
@@ -219,13 +251,17 @@ def serve_stream(
     >>> failures, '"state":"done"' in out.getvalue()
     (0, True)
     """
-    parsed: List[object] = []  # MappingRequest | failure placeholder
+    # local import: remap builds on this module, so the dependency must
+    # not also run module-level in the other direction
+    from repro.service.remap import RemapRequest
+
+    parsed: List[object] = []  # request object | failure placeholder
     for lineno, line in enumerate(in_fh, 1):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
         try:
-            request = parse_request_line(line)
+            request = parse_stream_line(line)
             request.validate()
         except ValueError as exc:
             if strict:
@@ -236,7 +272,9 @@ def serve_stream(
             continue
         parsed.append(request)
     tickets = [
-        item if isinstance(item, dict) else service.submit(item)
+        item if isinstance(item, dict)
+        else service.submit_remap(item) if isinstance(item, RemapRequest)
+        else service.submit(item)
         for item in parsed
     ]
     failures = 0

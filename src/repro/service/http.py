@@ -12,6 +12,8 @@ Endpoints (see ``docs/SERVICE.md`` for the full contract):
 =============================  =========================================
 ``POST /api/v1/solve``         one request object in, one response
                                line out (blocks until solved)
+``POST /api/v1/remap``         one ``{"remap": ...}`` object in, one
+                               repaired-mapping response line out
 ``POST /api/v1/batch``         JSONL stream in, input-order JSONL out
 ``GET /api/v1/jobs/<key>``     poll a canonical request key's job record
 ``GET /metrics``               Prometheus text format
@@ -22,6 +24,9 @@ Admission control (:mod:`repro.service.admission`) runs *before*
 ``submit``: a shed request is answered ``429`` with a ``Retry-After``
 header and never touches the work queue, so admission is purely a
 scheduling concern — request keys and cached results are unaffected.
+Submit-refused requests (the service began draining) answer ``503``
+with the same ``Retry-After`` discipline, so clients back off uniformly
+whether they hit the rate limiter or a shutdown.
 
 >>> from repro.service.server import MappingService
 >>> with MappingService() as service:
@@ -54,6 +59,11 @@ from repro.service.api import (
 
 #: largest accepted request body (a batch of ~50k request lines)
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Retry-After seconds on a 503 submit-refused/draining response — a
+#: drain is short (the backlog finishes or fails), so clients should
+#: probe again soon rather than back off like a rate-limit hit
+DRAIN_RETRY_AFTER_S = 5
 
 
 def _fmt(value) -> str:
@@ -243,6 +253,21 @@ class _Handler(BaseHTTPRequestHandler):
             headers=[("Retry-After", str(seconds))],
         )
 
+    def _refused(self, exc: BaseException) -> None:
+        """Answer a refused submit (shutdown race / draining) with 503.
+
+        Mirrors :meth:`_shed`'s contract — ``Retry-After`` header plus
+        ``reason``/``retry_after`` body fields — so clients back off the
+        same way on 429 and 503.
+        """
+        self._json(
+            503,
+            {"error": f"{type(exc).__name__}: {exc}",
+             "reason": "draining",
+             "retry_after": DRAIN_RETRY_AFTER_S},
+            headers=[("Retry-After", str(DRAIN_RETRY_AFTER_S))],
+        )
+
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
         if self.path == "/healthz":
@@ -265,6 +290,8 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if self.path == "/api/v1/solve":
             self._post_solve(body)
+        elif self.path == "/api/v1/remap":
+            self._post_remap(body)
         elif self.path == "/api/v1/batch":
             self._post_batch(body)
         else:
@@ -305,7 +332,42 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             ticket = self.service.submit(request)
         except BaseException as exc:  # submit raced a shutdown
-            self._json(503, {"error": f"{type(exc).__name__}: {exc}"})
+            self._refused(exc)
+            return
+        response = ticket.response()
+        self._respond(200, (response_to_line(response) + "\n").encode())
+
+    def _post_remap(self, body: bytes) -> None:
+        """One remap object in, one repaired-mapping line out.
+
+        Accepts the wrapped ``{"remap": {...}}`` wire form (and, for
+        convenience, the bare inner object).  Admission-priced by the
+        base request's budget tier like ``/api/v1/solve``; the success
+        body is byte-identical to the ``serve_stream`` response line
+        for the same remap line.
+        """
+        from repro.service.remap import remap_from_json
+
+        try:
+            payload = json.loads(body.decode("utf-8", "replace"))
+            if not isinstance(payload, dict):
+                raise ValueError("request line must be a JSON object")
+            request = remap_from_json(payload)
+            request.validate()
+        except ValueError as exc:
+            self._json(400, {"error": str(exc)})
+            return
+        verdict = self.admission.admit(
+            self._tenant(), budget=request.base.budget,
+            queue_depth=self.service.queue_depth(),
+        )
+        if not verdict.allowed:
+            self._shed(verdict)
+            return
+        try:
+            ticket = self.service.submit_remap(request)
+        except BaseException as exc:  # draining, or submit raced one
+            self._refused(exc)
             return
         response = ticket.response()
         self._respond(200, (response_to_line(response) + "\n").encode())
@@ -326,7 +388,9 @@ class _Handler(BaseHTTPRequestHandler):
                 continue
             try:
                 payload = json.loads(line)
-                tier = payload.get("budget", "default")
+                # remap lines nest the base fields under "remap"
+                inner = payload.get("remap", payload)
+                tier = inner.get("budget", "default")
                 cost += TIER_COST.get(tier, min(TIER_COST.values()))
             except (ValueError, AttributeError):
                 cost += min(TIER_COST.values())

@@ -10,7 +10,11 @@ The store is two-level like the stage cache: an in-memory dict under a
 lock (the service's worker threads all touch it) plus an optional
 on-disk directory — one JSON file per job, written via atomic temp-file
 rename, so a service restarted on the same ``--store`` directory
-resumes deduplicating against every previously completed job.
+resumes deduplicating against every previously completed job.  Startup
+is crash-robust: orphaned ``*.tmp`` files (a writer died between
+``mkstemp`` and the rename) are swept away, and a truncated or corrupt
+job file is quarantined as ``*.corrupt`` instead of crashing the
+service — its key simply re-solves and re-persists cleanly.
 
 >>> store = JobStore()
 >>> job = Job(key="k1", request={"app": "DES"}, state=QUEUED)
@@ -88,13 +92,33 @@ class JobStore:
 
     def _load(self) -> None:
         for name in sorted(os.listdir(self.path)):
+            path = os.path.join(self.path, name)
+            if name.endswith(".tmp"):
+                # orphan from a crash between mkstemp and the atomic
+                # rename; its key's real file either exists (the old
+                # value — fine) or never will (the job re-solves)
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                continue
             if not name.endswith(".job.json"):
                 continue
             try:
-                with open(os.path.join(self.path, name)) as fh:
+                with open(path) as fh:
                     job = Job.from_json(json.load(fh))
-            except (OSError, json.JSONDecodeError, TypeError):
-                continue  # a torn write from a crashed writer; ignore
+            except (json.JSONDecodeError, TypeError):
+                # truncated/corrupt content: quarantine rather than
+                # silently skip, so the broken bytes stop shadowing the
+                # key (it re-solves and re-persists cleanly) and stay
+                # on disk for a post-mortem
+                try:
+                    os.replace(path, path + ".corrupt")
+                except OSError:
+                    pass
+                continue
+            except OSError:
+                continue  # unreadable (permissions, races); ignore
             # an interrupted run's queued/running jobs are not resumable
             # state — only finished jobs are worth deduplicating against
             if job.state in (DONE, FAILED):

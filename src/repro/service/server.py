@@ -398,6 +398,76 @@ class MappingService:
             raise
         return Ticket(ticket, None, request.tag)
 
+    def submit_remap(self, request) -> Ticket:
+        """Submit one :class:`~repro.service.remap.RemapRequest`.
+
+        Remaps share the service's dedup machinery — the content-addressed
+        :func:`~repro.service.remap.remap_request_key` (base request +
+        deltas + old assignment + alpha) dedups against in-flight and
+        completed remap jobs exactly like plain solves — but *execute
+        synchronously in the calling thread*: a repair is orders of
+        magnitude cheaper than the solve it repairs (the expensive
+        baseline replays from the stage cache), so queueing it behind
+        full solves would invert the service's latency story.  Raises
+        :class:`ServiceError` once the service is draining (the HTTP
+        tier maps that to 503 + ``Retry-After``).
+        """
+        from repro.service.remap import (
+            remap_request_key,
+            remap_to_json,
+            solve_remap_request,
+        )
+
+        request.validate()
+        key = remap_request_key(
+            request, graph_fp=self._fingerprint(request.base)
+        )
+        tag = request.base.tag
+        with self._lock:
+            if self._draining:
+                raise ServiceError("service is draining: remap refused")
+            self._stats.submitted += 1
+            ticket = self._inflight.get(key)
+            if ticket is not None:
+                self._stats.dedup_inflight += 1
+                return Ticket(ticket, "inflight", tag)
+            job = self.store.get(key)
+            if (
+                job is not None
+                and job.state == DONE
+                and job.downgraded_from is None
+                and (job.result or {}).get("budget") == request.base.budget
+            ):
+                self._stats.dedup_completed += 1
+                done = _JobTicket(key, request.base)
+                done.resolve(self._job_payload(job))
+                return Ticket(done, "completed", tag)
+            ticket = _JobTicket(key, request.base)
+            self._inflight[key] = ticket
+            self.store.put(Job(
+                key=key, request=remap_to_json(request), state=QUEUED,
+            ))
+        self.store.update(key, state=RUNNING)
+        started = time.monotonic()
+        try:
+            result = solve_remap_request(request, cache=self.cache)
+        except Exception as exc:  # the rider contract: always resolve
+            with self._lock:
+                self._stats.failed += 1
+                self._observe_latency(
+                    request.base.budget, time.monotonic() - started
+                )
+            self._finish(ticket, FAILED, solves=1,
+                         error=f"{type(exc).__name__}: {exc}")
+            return Ticket(ticket, None, tag)
+        with self._lock:
+            self._stats.solved += 1
+            self._observe_latency(
+                request.base.budget, time.monotonic() - started
+            )
+        self._finish(ticket, DONE, solves=1, result=result)
+        return Ticket(ticket, None, tag)
+
     def submit_many(self, requests) -> List[Ticket]:
         """Submit a batch; returns tickets in submission order.
 

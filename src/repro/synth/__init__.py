@@ -9,7 +9,10 @@ is reproducible from ``(family, seed, params)`` and stable under
 flow through the sweep engine's stage cache exactly like the bundled
 apps.  On top sits :mod:`repro.synth.diffcheck`, a differential harness
 that runs greedy, branch-and-bound, and MILP mappers on the same
-instances and cross-checks their answers.
+instances and cross-checks their answers, and
+:mod:`repro.synth.scenarios`, seedable platform-degradation scripts
+(kill/throttle/restore/arrive/depart) replayed through the incremental
+repair solver with a repair-vs-resolve differential gate.
 
 Entry points::
 
@@ -59,6 +62,18 @@ from repro.synth.families import (
     parse_param,
 )
 from repro.synth.rng import SynthRng
+from repro.synth.scenarios import (
+    EVENT_KINDS,
+    RepairCheckReport,
+    Scenario,
+    ScenarioEvent,
+    ScenarioReport,
+    StepOutcome,
+    generate_scenario,
+    repair_check,
+    replay_scenario,
+    scenario_request_lines,
+)
 
 #: app-name prefix routing :func:`repro.apps.registry.build_app` (and
 #: therefore SweepPoints) into the generator
@@ -67,12 +82,18 @@ APP_PREFIX = "synth:"
 __all__ = [
     "APP_PREFIX",
     "CorpusReport",
+    "EVENT_KINDS",
     "FAMILIES",
     "FAMILY_DEFAULTS",
     "FAMILY_DESCRIPTIONS",
     "InstanceReport",
     "PINNED_CORPUS",
+    "RepairCheckReport",
+    "Scenario",
+    "ScenarioEvent",
+    "ScenarioReport",
     "SourceUnavailableError",
+    "StepOutcome",
     "SynthError",
     "SynthGraph",
     "SynthRng",
@@ -86,8 +107,12 @@ __all__ = [
     "diffcheck_problem",
     "generate",
     "generate_corpus",
+    "generate_scenario",
     "parse_app_name",
     "parse_param",
+    "repair_check",
+    "replay_scenario",
+    "scenario_request_lines",
     "synth_app_name",
 ]
 

@@ -1,0 +1,184 @@
+"""Platform deltas: validation, renumbering, pruning, and honest keys.
+
+The load-bearing properties: deltas always name *base*-platform
+entities regardless of application order, killed GPUs renumber the
+survivors contiguously (with ``gpu_map`` carrying old ids to new ones),
+emptied switches are pruned, throttles compound, and every delta is
+visible in ``topology_key_parts`` so degraded machines never alias a
+pristine cache entry.
+"""
+
+import pytest
+
+from repro.flow import topology_key_parts
+from repro.gpu import (
+    PLATFORM_NAMES,
+    PlatformDelta,
+    apply_deltas,
+    build_platform,
+    degrade_platform,
+    relative_gpu_map,
+)
+
+
+def _upspec(topology, child):
+    return next(
+        link.spec for link in topology.links
+        if link.up and link.child == child
+    )
+
+
+class TestDeltaValidation:
+    def test_kinds_validate_their_operands(self):
+        with pytest.raises(ValueError):
+            PlatformDelta(kind="kill-gpu")  # needs a gpu id
+        with pytest.raises(ValueError):
+            PlatformDelta(kind="throttle-link", link="sw1", factor=1.5)
+        with pytest.raises(ValueError):
+            PlatformDelta(kind="throttle-link", link="sw1", factor=0.0)
+        with pytest.raises(ValueError):
+            PlatformDelta(kind="slow-gpu", gpu=0, factor=0.5)
+        with pytest.raises(ValueError):
+            PlatformDelta(kind="restore", gpu=0)
+        with pytest.raises(ValueError):
+            PlatformDelta(kind="explode")
+
+    def test_json_round_trip(self):
+        for delta in (
+            PlatformDelta.kill_gpu(2),
+            PlatformDelta.throttle_link("sw1", 0.5),
+            PlatformDelta.slow_gpu(1, 4.0),
+            PlatformDelta.restore(),
+        ):
+            assert PlatformDelta.from_json(delta.to_json()) == delta
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown delta field"):
+            PlatformDelta.from_json({"kind": "restore", "oops": 1})
+
+
+class TestKillGpu:
+    def test_survivors_renumber_contiguously(self):
+        base = build_platform("two-island")
+        hit = apply_deltas(
+            base, [PlatformDelta.kill_gpu(0), PlatformDelta.kill_gpu(1)]
+        )
+        assert hit.topology.num_gpus == 2
+        assert hit.gpu_map == (None, None, 0, 1)
+        assert hit.killed == (0, 1)
+
+    def test_deltas_name_base_entities_regardless_of_order(self):
+        base = build_platform("host-star")
+        a = apply_deltas(
+            base, [PlatformDelta.kill_gpu(1), PlatformDelta.kill_gpu(3)]
+        )
+        b = apply_deltas(
+            base, [PlatformDelta.kill_gpu(3), PlatformDelta.kill_gpu(1)]
+        )
+        assert a.gpu_map == b.gpu_map == (0, None, 1, None)
+
+    def test_emptied_switches_are_pruned(self):
+        base = build_platform("two-island")
+        hit = apply_deltas(
+            base, [PlatformDelta.kill_gpu(0), PlatformDelta.kill_gpu(1)]
+        )
+        names = {child for child, _parent in hit.topology.tree_edges()}
+        names |= {parent for _child, parent in hit.topology.tree_edges()}
+        # the island that lost both GPUs is gone entirely
+        assert "sw2" not in names
+
+    def test_killing_a_dead_or_unknown_gpu_raises(self):
+        base = build_platform("host-star")
+        with pytest.raises(ValueError):
+            apply_deltas(base, [PlatformDelta.kill_gpu(0),
+                                PlatformDelta.kill_gpu(0)])
+        with pytest.raises(ValueError):
+            apply_deltas(base, [PlatformDelta.kill_gpu(99)])
+
+    def test_killing_the_last_gpu_raises(self):
+        base = build_platform("host-star")
+        deltas = [PlatformDelta.kill_gpu(g) for g in range(base.num_gpus)]
+        with pytest.raises(ValueError):
+            apply_deltas(base, deltas)
+
+
+class TestThrottleAndSlow:
+    def test_throttle_scales_one_uplink_and_compounds(self):
+        base = build_platform("two-island")
+        before = _upspec(base, "sw1").bandwidth_bytes_per_ns
+        once = degrade_platform(
+            "two-island", [PlatformDelta.throttle_link("sw1", 0.5)]
+        ).topology
+        assert _upspec(once, "sw1").bandwidth_bytes_per_ns == before * 0.5
+        # siblings untouched
+        assert (_upspec(once, "sw2").bandwidth_bytes_per_ns
+                == _upspec(base, "sw2").bandwidth_bytes_per_ns)
+        twice = degrade_platform(
+            "two-island", [PlatformDelta.throttle_link("sw1", 0.5),
+                           PlatformDelta.throttle_link("sw1", 0.5)]
+        ).topology
+        assert _upspec(twice, "sw1").bandwidth_bytes_per_ns == before * 0.25
+
+    def test_throttle_unknown_child_raises(self):
+        base = build_platform("host-star")
+        with pytest.raises(ValueError):
+            apply_deltas(base, [PlatformDelta.throttle_link("nope", 0.5)])
+
+    def test_slow_gpu_flows_into_slowdowns(self):
+        hit = degrade_platform(
+            "mixed-box", [PlatformDelta.slow_gpu(1, 2.0)]
+        )
+        slowdowns = hit.topology.gpu_slowdowns()
+        assert slowdowns[1] == pytest.approx(2.0)
+
+    def test_restore_resets_everything(self):
+        hit = degrade_platform(
+            "two-island",
+            [PlatformDelta.kill_gpu(0),
+             PlatformDelta.throttle_link("sw1", 0.5),
+             PlatformDelta.restore()],
+        )
+        assert hit.topology.num_gpus == 4
+        assert hit.gpu_map == (0, 1, 2, 3)
+        assert hit.killed == ()
+        assert topology_key_parts(hit.topology) == topology_key_parts(
+            build_platform("two-island")
+        )
+
+
+class TestHonestKeys:
+    def test_every_delta_kind_changes_the_topology_key(self):
+        base = topology_key_parts(build_platform("mixed-box"))
+        variants = [
+            topology_key_parts(degrade_platform("mixed-box", [d]).topology)
+            for d in (
+                PlatformDelta.kill_gpu(1),
+                PlatformDelta.throttle_link("gpu0", 0.5),
+                PlatformDelta.slow_gpu(0, 2.0),
+            )
+        ]
+        seen = [base] + variants
+        for i, a in enumerate(seen):
+            for b in seen[i + 1:]:
+                assert a != b
+
+    def test_degraded_machines_work_platform_wide(self):
+        # every catalog platform survives losing its last-numbered GPU
+        for name in PLATFORM_NAMES:
+            base = build_platform(name)
+            hit = degrade_platform(
+                name, [PlatformDelta.kill_gpu(base.num_gpus - 1)]
+            )
+            assert hit.topology.num_gpus == base.num_gpus - 1
+            assert hit.gpu_map[-1] is None
+
+
+class TestRelativeGpuMap:
+    def test_composes_previous_into_current_space(self):
+        base = build_platform("two-island")
+        prev = apply_deltas(base, [PlatformDelta.kill_gpu(0)])
+        cur = apply_deltas(
+            base, [PlatformDelta.kill_gpu(0), PlatformDelta.kill_gpu(2)]
+        )
+        # prev space had 3 GPUs (old 1,2,3); old 2 died in cur
+        assert relative_gpu_map(prev, cur) == (0, None, 1)

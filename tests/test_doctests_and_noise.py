@@ -18,6 +18,7 @@ DOCTEST_MODULES = [
     "repro.apps.registry",
     "repro.flow",
     "repro.frontend.parser",
+    "repro.gpu.delta",
     "repro.gpu.topology",
     "repro.graph.builder",
     "repro.graph.fingerprint",
@@ -31,6 +32,7 @@ DOCTEST_MODULES = [
     "repro.mapping.metaheuristic",
     "repro.mapping.problem",
     "repro.mapping.refine",
+    "repro.mapping.repair",
     "repro.mapping.solver_bb",
     "repro.mapping.solver_milp",
     "repro.partition.heuristic",
@@ -41,6 +43,7 @@ DOCTEST_MODULES = [
     "repro.service.jobs",
     "repro.service.portfolio",
     "repro.service.queue",
+    "repro.service.remap",
     "repro.service.server",
     "repro.sweep",
     "repro.sweep.cache",
@@ -51,6 +54,7 @@ DOCTEST_MODULES = [
     "repro.synth.diffcheck",
     "repro.synth.families",
     "repro.synth.rng",
+    "repro.synth.scenarios",
 ]
 
 

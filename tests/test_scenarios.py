@@ -1,0 +1,121 @@
+"""Degradation scenarios: determinism, legality, and the replay harness.
+
+The generator must be a pure function of ``(platform, seed, length)``,
+every generated script must be legal by construction (never kills the
+last GPU, only restores a degraded machine), and the replay harness
+must come back clean — repairs valid, bit-exact, and no worse than the
+greedy floor — across seeds and platforms.  The kill-GPU sweep behind
+``make remap-check`` is exercised end to end, and the JSONL rendering
+of a scenario must drain through ``serve_stream`` without failures.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.gpu import PLATFORM_NAMES, build_platform
+from repro.service import MappingService, serve_stream
+from repro.synth import (
+    EVENT_KINDS,
+    generate_scenario,
+    repair_check,
+    replay_scenario,
+    scenario_request_lines,
+)
+
+
+class TestGeneration:
+    def test_deterministic_in_platform_seed_length(self):
+        a = generate_scenario("mixed-box", 7, length=6)
+        b = generate_scenario("mixed-box", 7, length=6)
+        assert a == b
+        assert generate_scenario("mixed-box", 8, length=6) != a
+        assert generate_scenario("host-star", 7, length=6) != a
+
+    def test_events_use_the_typed_vocabulary(self):
+        scenario = generate_scenario("deep-tree-8", 3, length=8)
+        assert len(scenario.events) == 8
+        for event in scenario.events:
+            assert event.kind in EVENT_KINDS
+
+    def test_scripts_are_legal_by_construction(self):
+        """Across many seeds, applying every platform event in order
+        never raises — no kill of the last GPU, no restore of a
+        pristine machine, no slow without specs."""
+        from repro.gpu import apply_deltas
+
+        for platform in PLATFORM_NAMES:
+            base = build_platform(platform)
+            for seed in range(10):
+                scenario = generate_scenario(platform, seed, length=8)
+                deltas = []
+                for event in scenario.events:
+                    if event.delta is None:
+                        continue
+                    deltas.append(event.delta)
+                    hit = apply_deltas(base, deltas)  # must not raise
+                    if event.delta.kind == "restore":
+                        deltas = []
+                    assert hit.topology.num_gpus >= 1
+
+    def test_describe_is_human_readable(self):
+        scenario = generate_scenario("host-star", 1, length=4)
+        for event in scenario.events:
+            assert event.kind.split("-")[0] in event.describe()
+
+
+class TestReplay:
+    @pytest.mark.parametrize("platform,seed", [
+        ("host-star", 0),
+        ("mixed-box", 5),
+        ("two-island", 2),
+    ])
+    def test_replay_comes_back_clean(self, platform, seed):
+        scenario = generate_scenario(platform, seed, length=5)
+        report = replay_scenario(scenario, budget="instant")
+        assert report.ok, report.violations
+        # gap is repair/resolve: positive, and bounded by the greedy
+        # floor the checker enforces on every step
+        assert 0.0 < report.worst_gap
+
+    def test_replay_is_deterministic(self):
+        scenario = generate_scenario("deep-tree-8", 9, length=4)
+        a = replay_scenario(scenario, budget="instant")
+        b = replay_scenario(scenario, budget="instant")
+        assert a.render() == b.render()
+
+
+class TestRepairCheck:
+    def test_kill_gpu_sweep_over_the_catalog(self):
+        report = repair_check(budget="instant")
+        assert report.ok, report.violations
+        # 3 pinned graphs x every GPU of every catalog platform
+        total_gpus = sum(
+            build_platform(name).num_gpus for name in PLATFORM_NAMES
+        )
+        assert report.checks == 3 * total_gpus
+        assert report.worst_gap <= 1.0 + 1e-9
+        assert "remap-check" in report.render()
+
+
+class TestServeStreamReplay:
+    def test_scenario_lines_drain_without_failures(self):
+        scenario = generate_scenario("host-star", 4, length=5)
+        lines = scenario_request_lines(scenario, budget="instant")
+        assert lines, "scenario rendered no request lines"
+        for line in lines:
+            payload = json.loads(line)
+            inner = payload.get("remap", payload)
+            assert inner["budget"] == "instant"
+        out = io.StringIO()
+        with MappingService(workers=2) as service:
+            failures = serve_stream(
+                io.StringIO("\n".join(lines) + "\n"), out, service
+            )
+        assert failures == 0
+        responses = [
+            json.loads(text) for text in out.getvalue().splitlines()
+        ]
+        assert len(responses) == len(lines)
+        assert all(r["state"] == "done" for r in responses)

@@ -3,7 +3,10 @@
 
 Checks, for every name in ``repro.__all__``, ``repro.sweep.__all__``,
 ``repro.synth.__all__``, ``repro.service.__all__``,
-``repro.mapping.__all__``, and ``repro.gpu.__all__``:
+``repro.mapping.__all__``, and ``repro.gpu.__all__`` — plus the
+module-level ``__all__`` of the re-mapping layer
+(``repro.gpu.delta``, ``repro.mapping.repair``,
+``repro.synth.scenarios``, ``repro.service.remap``):
 
 * the symbol carries a non-empty docstring (classes and functions), and
 * exported *functions* carry an executable example (a ``>>>`` doctest
@@ -43,28 +46,36 @@ def main() -> int:
     sys.path.insert(0, "src")
     import repro
     import repro.gpu
+    import repro.gpu.delta
     import repro.mapping
+    import repro.mapping.repair
     import repro.service
+    import repro.service.remap
     import repro.sweep
     import repro.synth
+    import repro.synth.scenarios
 
-    problems = check_module(repro, require_examples=True)
-    problems += check_module(repro.gpu, require_examples=True)
-    problems += check_module(repro.mapping, require_examples=True)
-    problems += check_module(repro.sweep, require_examples=True)
-    problems += check_module(repro.synth, require_examples=True)
-    problems += check_module(repro.service, require_examples=True)
+    modules = (
+        repro,
+        repro.gpu,
+        repro.gpu.delta,
+        repro.mapping,
+        repro.mapping.repair,
+        repro.sweep,
+        repro.synth,
+        repro.synth.scenarios,
+        repro.service,
+        repro.service.remap,
+    )
+    problems = []
+    for module in modules:
+        problems += check_module(module, require_examples=True)
     if problems:
         print("docs-check FAILED:")
         for problem in problems:
             print(f"  - {problem}")
         return 1
-    count = (
-        len(repro.__all__) + len(repro.gpu.__all__)
-        + len(repro.mapping.__all__)
-        + len(repro.sweep.__all__) + len(repro.synth.__all__)
-        + len(repro.service.__all__)
-    )
+    count = sum(len(module.__all__) for module in modules)
     print(f"docs-check OK: {count} public symbols documented")
     return 0
 
